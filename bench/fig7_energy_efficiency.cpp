@@ -1,0 +1,144 @@
+// Reproduces Fig. 7: post-layout energy efficiency of generated macros
+// across precisions (INT4, INT8, FP8, BF16) and dimensions (32x32 ..
+// 256x256).
+//
+// Expected shape (paper Sec. IV-A): efficiency improves with array size
+// (peripheral overhead amortizes, the CSA gets more efficient per bit);
+// the FP formats pay an alignment-unit + wider-OFU overhead on the order
+// of 10-20% over the comparable INT formats.
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "cell/characterize.hpp"
+#include "core/compiler.hpp"
+#include "core/report.hpp"
+#include "netlist/flatten.hpp"
+#include "num/alignment.hpp"
+#include "num/fp_format.hpp"
+#include "tech/tech_node.hpp"
+
+using namespace syndcim;
+
+namespace {
+
+core::PerfSpec make_spec(int dim) {
+  core::PerfSpec s;
+  s.rows = dim;
+  s.cols = dim;
+  s.mcr = 2;
+  s.mac_freq_mhz = 300.0;
+  s.wupdate_freq_mhz = 300.0;
+  return s;
+}
+
+rtlgen::MacroConfig fixed_config(core::PerfSpec& s) {
+  // One fixed, timing-safe architecture across all cells of the figure so
+  // the precision/dimension comparison is apples-to-apples.
+  rtlgen::MacroConfig cfg = s.base_config();
+  cfg.tree.fa_fraction = 0.25;
+  cfg.ofu.pipeline_regs = 8;  // clamped to n_stages inside the generator
+  return cfg;
+}
+
+struct Cell {
+  double tops = 0.0;
+  double tops_per_w = 0.0;
+  double power_uw = 0.0;
+};
+
+Cell measure_int(core::SynDcimCompiler& compiler, int dim, int bits) {
+  // One macro per precision so the FP-vs-INT comparison isolates the
+  // alignment/OFU overhead (a mixed-precision macro carries the widest
+  // format's hardware regardless of the workload).
+  core::PerfSpec s = make_spec(dim);
+  s.input_bits = {bits};
+  s.weight_bits = {bits};
+  auto cfg = fixed_config(s);
+  core::Workload wl;
+  wl.input_bits = bits;
+  wl.weight_bits = bits;
+  wl.n_macs = 4;
+  const auto impl = compiler.implement(cfg, s, wl);
+  Cell c;
+  c.power_uw = impl.total_power_uw;
+  const double f = std::min(s.mac_freq_mhz, impl.fmax_mhz) * 1e6;
+  const double ops_per_s = 2.0 * dim * (dim / bits) * f / bits;
+  c.tops = ops_per_s * 1e-12;
+  c.tops_per_w = c.tops / (c.power_uw * 1e-6);
+  return c;
+}
+
+Cell measure_fp(core::SynDcimCompiler& compiler, int dim, num::FpFormat fmt) {
+  core::PerfSpec s = make_spec(dim);
+  s.input_bits = {4};
+  s.weight_bits = {4};
+  s.fp_formats = {fmt};
+  auto cfg = fixed_config(s);
+  core::Workload wl;
+  wl.n_macs = 4;
+  const auto impl = compiler.implement(cfg, s, wl);
+
+  // FP workload power: drive real FP MACs for measured activity.
+  Cell c;
+  c.power_uw = impl.total_power_uw;
+  const int ib = num::aligned_mant_bits(fmt, s.fp_guard_bits);
+  const int wp = cfg.max_weight_bits();
+  const double f = std::min(s.mac_freq_mhz, impl.fmax_mhz) * 1e6;
+  const double ops_per_s = 2.0 * dim * (dim / wp) * f / ib;
+  c.tops = ops_per_s * 1e-12;
+  c.tops_per_w = c.tops / (c.power_uw * 1e-6);
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  const auto lib = cell::characterize_default_library(tech::make_default_40nm());
+  core::SynDcimCompiler compiler(lib);
+  std::cout << "=== Fig. 7: post-layout energy efficiency vs precision and "
+               "dimension ===\n\n";
+
+  const std::vector<int> dims = {32, 64, 128, 256};
+  std::map<std::string, std::map<int, Cell>> grid;
+  for (const int dim : dims) {
+    std::cerr << "[fig7] measuring " << dim << "x" << dim << "...\n";
+    grid["INT4"][dim] = measure_int(compiler, dim, 4);
+    grid["INT8"][dim] = measure_int(compiler, dim, 8);
+    grid["FP8"][dim] = measure_fp(compiler, dim, num::kFp8);
+    grid["BF16"][dim] = measure_fp(compiler, dim, num::kBf16);
+  }
+
+  core::TextTable t({"precision", "dim", "power_uW", "TOPS", "TOPS/W"});
+  for (const char* prec : {"INT4", "INT8", "FP8", "BF16"}) {
+    for (const int dim : dims) {
+      const Cell& c = grid[prec][dim];
+      t.add_row({prec, std::to_string(dim) + "x" + std::to_string(dim),
+                 core::TextTable::num(c.power_uw, 0),
+                 core::TextTable::num(c.tops, 3),
+                 core::TextTable::num(c.tops_per_w, 2)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape checks (paper: efficiency rises with dimension; FP "
+               "pays an alignment/OFU overhead):\n";
+  for (const char* prec : {"INT4", "INT8", "FP8", "BF16"}) {
+    const double lo = grid[prec][dims.front()].tops_per_w;
+    const double hi = grid[prec][dims.back()].tops_per_w;
+    std::cout << "  " << prec << ": TOPS/W " << dims.front() << "->"
+              << dims.back() << " grows x"
+              << core::TextTable::num(hi / lo, 2) << "\n";
+  }
+  for (const int dim : dims) {
+    const double fp8_over_int4 =
+        grid["FP8"][dim].power_uw / grid["INT4"][dim].power_uw - 1.0;
+    const double bf16_over_int8 =
+        grid["BF16"][dim].power_uw / grid["INT8"][dim].power_uw - 1.0;
+    std::cout << "  " << dim << "x" << dim << ": FP8 power vs INT4 macro "
+              << core::TextTable::num(100 * fp8_over_int4, 1)
+              << "%  |  BF16 vs INT8 macro "
+              << core::TextTable::num(100 * bf16_over_int8, 1) << "%\n";
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "cell/cell.hpp"
+
+#include <stdexcept>
+
+namespace syndcim::cell {
+
+TimingRole Cell::timing_role() const {
+  switch (kind) {
+    case Kind::kDff:
+    case Kind::kDffEn:
+    case Kind::kLatch:
+      return TimingRole::kRegister;
+    case Kind::kSram6T:
+    case Kind::kSram8T:
+    case Kind::kSram12T:
+      return TimingRole::kStorage;
+    default:
+      return TimingRole::kCombinational;
+  }
+}
+
+int Cell::pin_index(std::string_view pin_name) const {
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].name == pin_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const Pin& Cell::pin(std::string_view pin_name) const {
+  const int i = pin_index(pin_name);
+  if (i < 0) {
+    throw std::out_of_range("Cell::pin: no pin '" + std::string(pin_name) +
+                            "' on cell " + name);
+  }
+  return pins[static_cast<std::size_t>(i)];
+}
+
+int Cell::input_count() const {
+  int n = 0;
+  for (const Pin& p : pins) n += p.is_input ? 1 : 0;
+  return n;
+}
+
+int Cell::output_count() const {
+  return static_cast<int>(pins.size()) - input_count();
+}
+
+std::vector<std::string> input_pin_names(Kind k) {
+  switch (k) {
+    case Kind::kInv:
+    case Kind::kBuf:
+      return {"A"};
+    case Kind::kNand2:
+    case Kind::kNor2:
+    case Kind::kAnd2:
+    case Kind::kOr2:
+    case Kind::kXor2:
+    case Kind::kXnor2:
+    case Kind::kHalfAdder:
+      return {"A", "B"};
+    case Kind::kAoi21:
+    case Kind::kOai21:
+      return {"A", "B", "C"};
+    case Kind::kOai22:
+      return {"A", "B", "C", "D"};
+    case Kind::kMux2:
+    case Kind::kPassGate1T:
+    case Kind::kTGate2T:
+      return {"A", "B", "S"};
+    case Kind::kFullAdder:
+      return {"A", "B", "CI"};
+    case Kind::kCompressor42:
+      return {"A", "B", "C", "D", "CIN"};
+    case Kind::kDff:
+      return {"D", "CK"};
+    case Kind::kDffEn:
+      return {"D", "E", "CK"};
+    case Kind::kLatch:
+      return {"D", "G"};
+    case Kind::kSram6T:
+    case Kind::kSram8T:
+    case Kind::kSram12T:
+      return {"WL", "D"};
+  }
+  throw std::logic_error("input_pin_names: unhandled kind");
+}
+
+std::vector<std::string> output_pin_names(Kind k) {
+  switch (k) {
+    case Kind::kHalfAdder:
+    case Kind::kFullAdder:
+      return {"S", "CO"};
+    case Kind::kCompressor42:
+      return {"S", "CO", "COUT"};
+    case Kind::kDff:
+    case Kind::kDffEn:
+    case Kind::kLatch:
+    case Kind::kSram6T:
+    case Kind::kSram8T:
+    case Kind::kSram12T:
+      return {"Q"};
+    default:
+      return {"Y"};
+  }
+}
+
+std::vector<int> eval_kind(Kind k, const std::vector<int>& in) {
+  auto need = [&](std::size_t n) {
+    if (in.size() != n) {
+      throw std::invalid_argument("eval_kind: wrong input count");
+    }
+  };
+  switch (k) {
+    case Kind::kInv:
+      need(1);
+      return {in[0] ? 0 : 1};
+    case Kind::kBuf:
+      need(1);
+      return {in[0]};
+    case Kind::kNand2:
+      need(2);
+      return {(in[0] & in[1]) ? 0 : 1};
+    case Kind::kNor2:
+      need(2);
+      return {(in[0] | in[1]) ? 0 : 1};
+    case Kind::kAnd2:
+      need(2);
+      return {in[0] & in[1]};
+    case Kind::kOr2:
+      need(2);
+      return {in[0] | in[1]};
+    case Kind::kXor2:
+      need(2);
+      return {in[0] ^ in[1]};
+    case Kind::kXnor2:
+      need(2);
+      return {(in[0] ^ in[1]) ? 0 : 1};
+    case Kind::kAoi21:
+      need(3);
+      return {((in[0] & in[1]) | in[2]) ? 0 : 1};
+    case Kind::kOai21:
+      need(3);
+      return {((in[0] | in[1]) & in[2]) ? 0 : 1};
+    case Kind::kOai22:
+      need(4);
+      return {((in[0] | in[1]) & (in[2] | in[3])) ? 0 : 1};
+    case Kind::kMux2:
+    case Kind::kPassGate1T:
+    case Kind::kTGate2T:
+      need(3);
+      return {in[2] ? in[1] : in[0]};
+    case Kind::kHalfAdder:
+      need(2);
+      return {in[0] ^ in[1], in[0] & in[1]};
+    case Kind::kFullAdder: {
+      need(3);
+      const int s = in[0] ^ in[1] ^ in[2];
+      const int co = (in[0] & in[1]) | (in[1] & in[2]) | (in[0] & in[2]);
+      return {s, co};
+    }
+    case Kind::kCompressor42: {
+      // Two chained full adders: FA1(A,B,C) then FA2(s1,D,CIN).
+      need(5);
+      const int s1 = in[0] ^ in[1] ^ in[2];
+      const int cout = (in[0] & in[1]) | (in[1] & in[2]) | (in[0] & in[2]);
+      const int s = s1 ^ in[3] ^ in[4];
+      const int c = (s1 & in[3]) | (in[3] & in[4]) | (s1 & in[4]);
+      return {s, c, cout};
+    }
+    case Kind::kDff:
+    case Kind::kDffEn:
+    case Kind::kLatch:
+    case Kind::kSram6T:
+    case Kind::kSram8T:
+    case Kind::kSram12T:
+      throw std::logic_error(
+          "eval_kind: sequential/storage kinds are evaluated by the "
+          "simulator's state machinery");
+  }
+  throw std::logic_error("eval_kind: unhandled kind");
+}
+
+}  // namespace syndcim::cell

@@ -1,0 +1,103 @@
+#pragma once
+#include <string>
+#include <vector>
+
+#include "cell/lut2d.hpp"
+
+namespace syndcim::cell {
+
+/// Logic/storage function class of a cell. Simulation, STA roles and power
+/// models dispatch on this; drive variants of the same kind share it.
+enum class Kind {
+  kInv,
+  kBuf,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kXnor2,
+  kAoi21,  // Y = !((A & B) | C)
+  kOai21,  // Y = !((A | B) & C)
+  kOai22,  // Y = !((A | B) & (C | D)) — fused multiplier-multiplexer
+  kMux2,   // Y = S ? B : A
+  kHalfAdder,     // A,B -> S,CO
+  kFullAdder,     // A,B,CI -> S,CO
+  kCompressor42,  // A,B,C,D,CIN -> S,CO,COUT (two chained full adders)
+  kDff,           // D,CK -> Q
+  kDffEn,         // D,E,CK -> Q (holds when E=0)
+  kLatch,         // D,G -> Q (transparent high)
+  kSram6T,        // WL,D -> Q storage bitcell (write when WL=1)
+  kSram8T,        // D-latch style bitcell (robust read/write)
+  kSram12T,       // OAI-gate based bitcell
+  kPassGate1T,    // A,B,S -> Y 2:1 NMOS pass-gate mux (2T, degraded level)
+  kTGate2T,       // A,B,S -> Y 2:1 transmission-gate mux (6T, restoring)
+};
+
+/// Role a cell plays in timing analysis.
+enum class TimingRole {
+  kCombinational,
+  kRegister,  // DFF/DFFE: CK->Q launch, D/E setup endpoint
+  kStorage,   // SRAM bitcell: Q launches at t=0; D/WL are write endpoints
+};
+
+struct Pin {
+  std::string name;
+  bool is_input = true;
+  bool is_clock = false;
+  double cap_ff = 0.0;  ///< input pin capacitance (0 for outputs)
+};
+
+/// One input-to-output delay arc with NLDM tables.
+struct TimingArc {
+  int from_pin = -1;  ///< index into Cell::pins
+  int to_pin = -1;
+  Lut2d delay_ps;
+  Lut2d out_slew_ps;
+};
+
+struct Cell {
+  std::string name;
+  Kind kind = Kind::kInv;
+  double drive_x = 1.0;  ///< drive strength multiplier (X1, X2, ...)
+
+  std::vector<Pin> pins;
+  std::vector<TimingArc> arcs;
+
+  double area_um2 = 0.0;
+  double width_um = 0.0;   ///< footprint used by the placer
+  double height_um = 0.0;
+  double leakage_nw = 0.0;
+  /// Internal (short-circuit + internal node) energy per output toggle at
+  /// nominal VDD; load energy 0.5*C*V^2 is added by the power engine.
+  double internal_energy_fj = 0.0;
+  /// Energy drawn from the clock pin every clock edge pair (registers).
+  double clock_energy_fj = 0.0;
+
+  // Sequential characteristics (registers only).
+  double setup_ps = 0.0;
+  double hold_ps = 0.0;
+
+  [[nodiscard]] TimingRole timing_role() const;
+  [[nodiscard]] int pin_index(std::string_view pin_name) const;  // -1 if none
+  [[nodiscard]] const Pin& pin(std::string_view pin_name) const;
+  [[nodiscard]] int input_count() const;
+  [[nodiscard]] int output_count() const;
+  [[nodiscard]] bool is_bitcell() const {
+    return kind == Kind::kSram6T || kind == Kind::kSram8T ||
+           kind == Kind::kSram12T;
+  }
+};
+
+/// Canonical pin name lists per kind, inputs first then outputs; the
+/// characterizer and the simulator both rely on this ordering.
+[[nodiscard]] std::vector<std::string> input_pin_names(Kind k);
+[[nodiscard]] std::vector<std::string> output_pin_names(Kind k);
+
+/// Evaluates the combinational function of `k`: `in` holds input values in
+/// canonical order, returns outputs in canonical order. Registers/storage
+/// evaluate their next-state function (D..., current Q appended by caller
+/// where the kind needs it — see sim/gate_sim.cpp).
+[[nodiscard]] std::vector<int> eval_kind(Kind k, const std::vector<int>& in);
+
+}  // namespace syndcim::cell

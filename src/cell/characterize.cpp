@@ -1,0 +1,265 @@
+#include "cell/characterize.hpp"
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace syndcim::cell {
+
+namespace {
+
+struct ArcSpec {
+  const char* from;
+  const char* to;
+  double p_tau;  ///< parasitic delay in units of tau
+};
+
+struct PinG {
+  const char* pin;
+  double g;  ///< logical effort (input cap in units of unit_cin per drive)
+};
+
+struct KindSpec {
+  Kind kind;
+  const char* base;
+  int transistors;
+  std::vector<double> drives;       ///< drive variants to emit
+  std::vector<PinG> pin_g;          ///< logical effort per input pin
+  std::vector<ArcSpec> arcs;
+  double r_factor = 1.0;            ///< output resistance multiplier
+  double slew_sens = 0.25;          ///< delay sensitivity to input slew
+  double energy_scale = 1.0;        ///< internal-energy multiplier
+  bool sequential = false;
+  bool bitcell = false;
+};
+
+const std::vector<KindSpec>& kind_specs() {
+  // Parasitic delays encode the structural timing facts the searcher
+  // exploits: carry outputs are faster than sum outputs, the compressor's
+  // COUT depends only on A/B/C, late inputs (CI/CIN/D) have short arcs.
+  static const std::vector<KindSpec> specs = {
+      {Kind::kInv, "INV", 2, {1, 2, 4}, {{"A", 1.0}}, {{"A", "Y", 1.0}}},
+      {Kind::kBuf,
+       "BUF",
+       4,
+       {1, 2, 4, 8, 16},
+       {{"A", 1.0}},
+       {{"A", "Y", 2.0}}},
+      {Kind::kNand2, "NAND2", 4, {1, 2, 4},
+       {{"A", 1.33}, {"B", 1.33}},
+       {{"A", "Y", 2.0}, {"B", "Y", 2.0}}},
+      {Kind::kNor2, "NOR2", 4, {1, 2, 4},
+       {{"A", 1.67}, {"B", 1.67}},
+       {{"A", "Y", 2.4}, {"B", "Y", 2.4}}},
+      {Kind::kAnd2, "AND2", 6, {1, 2},
+       {{"A", 1.5}, {"B", 1.5}},
+       {{"A", "Y", 2.8}, {"B", "Y", 2.8}}},
+      {Kind::kOr2, "OR2", 6, {1, 2},
+       {{"A", 1.5}, {"B", 1.5}},
+       {{"A", "Y", 2.8}, {"B", "Y", 2.8}}},
+      {Kind::kXor2, "XOR2", 10, {1, 2},
+       {{"A", 2.0}, {"B", 2.0}},
+       {{"A", "Y", 4.5}, {"B", "Y", 4.5}}},
+      {Kind::kXnor2, "XNOR2", 10, {1},
+       {{"A", 2.0}, {"B", 2.0}},
+       {{"A", "Y", 4.5}, {"B", "Y", 4.5}}},
+      {Kind::kAoi21, "AOI21", 6, {1},
+       {{"A", 1.8}, {"B", 1.8}, {"C", 1.8}},
+       {{"A", "Y", 2.8}, {"B", "Y", 2.8}, {"C", "Y", 2.4}}},
+      {Kind::kOai21, "OAI21", 6, {1},
+       {{"A", 1.8}, {"B", 1.8}, {"C", 1.8}},
+       {{"A", "Y", 2.8}, {"B", "Y", 2.8}, {"C", "Y", 2.4}}},
+      {Kind::kOai22, "OAI22", 8, {1},
+       {{"A", 1.9}, {"B", 1.9}, {"C", 1.9}, {"D", 1.9}},
+       {{"A", "Y", 3.2}, {"B", "Y", 3.2}, {"C", "Y", 3.2}, {"D", "Y", 3.2}}},
+      {Kind::kMux2, "MUX2", 10, {1, 2},
+       {{"A", 1.8}, {"B", 1.8}, {"S", 2.2}},
+       {{"A", "Y", 3.0}, {"B", "Y", 3.0}, {"S", "Y", 3.6}}},
+      {Kind::kHalfAdder, "HA", 12, {1},
+       {{"A", 1.8}, {"B", 1.8}},
+       {{"A", "S", 4.5},
+        {"B", "S", 4.5},
+        {"A", "CO", 2.2},
+        {"B", "CO", 2.2}}},
+      {Kind::kFullAdder, "FA", 28, {1, 2},
+       {{"A", 2.2}, {"B", 2.2}, {"CI", 1.6}},
+       {{"A", "S", 6.8},
+        {"B", "S", 6.8},
+        {"CI", "S", 4.8},
+        {"A", "CO", 4.2},
+        {"B", "CO", 4.2},
+        {"CI", "CO", 3.0}}},
+      {Kind::kCompressor42, "CMP42", 40, {1, 2},
+       {{"A", 2.2}, {"B", 2.2}, {"C", 2.2}, {"D", 1.7}, {"CIN", 1.4}},
+       {// S depends on all five inputs; late inputs have short arcs.
+        // Optimized transmission-gate XOR implementation: the classic 4-2
+        // compressor has XOR-depth 3 (vs 4 for two cascaded full adders).
+        {"A", "S", 7.5},
+        {"B", "S", 7.5},
+        {"C", "S", 7.5},
+        {"D", "S", 3.8},
+        {"CIN", "S", 3.4},
+        {"A", "CO", 5.8},
+        {"B", "CO", 5.8},
+        {"C", "CO", 5.8},
+        {"D", "CO", 3.2},
+        {"CIN", "CO", 2.8},
+        // COUT structurally independent of D and CIN.
+        {"A", "COUT", 4.2},
+        {"B", "COUT", 4.2},
+        {"C", "COUT", 4.2}},
+       1.0, 0.25, 0.85},
+      {Kind::kDff, "DFF", 24, {1, 2},
+       {{"D", 1.2}, {"CK", 0.9}},
+       {{"CK", "Q", 4.5}},
+       1.0, 0.25, 1.0, true},
+      {Kind::kDffEn, "DFFE", 30, {1},
+       {{"D", 1.2}, {"E", 1.1}, {"CK", 0.9}},
+       {{"CK", "Q", 4.8}},
+       1.0, 0.25, 1.0, true},
+      {Kind::kLatch, "LATCH", 12, {1},
+       {{"D", 1.1}, {"G", 1.0}},
+       {{"D", "Q", 2.5}, {"G", "Q", 3.0}},
+       1.0, 0.25, 1.0, true},
+      {Kind::kSram6T, "SRAM6T", 6, {1},
+       {{"WL", 1.3}, {"D", 1.1}},
+       {},
+       1.0, 0.25, 1.2, false, true},
+      {Kind::kSram8T, "SRAM8T", 8, {1},
+       {{"WL", 1.2}, {"D", 1.0}},
+       {},
+       1.0, 0.25, 1.0, false, true},
+      {Kind::kSram12T, "SRAM12T", 12, {1},
+       {{"WL", 1.3}, {"D", 1.1}},
+       {},
+       1.0, 0.25, 1.35, false, true},
+      // 2:1 mux cells for the multiplier/multiplexer subcircuit styles.
+      // 1T pass gate: tiny, but weak non-restoring drive (voltage drop):
+      // slow, slew-degrading and power-hungry.
+      {Kind::kPassGate1T, "PGMUX", 2, {1},
+       {{"A", 0.7}, {"B", 0.7}, {"S", 1.0}},
+       {{"A", "Y", 1.2}, {"B", "Y", 1.2}, {"S", "Y", 1.5}},
+       3.2, 0.55, 8.0},
+      {Kind::kTGate2T, "TGMUX", 6, {1},
+       {{"A", 1.0}, {"B", 1.0}, {"S", 1.3}},
+       {{"A", "Y", 1.6}, {"B", "Y", 1.6}, {"S", "Y", 2.0}},
+       1.4, 0.35, 1.2},
+  };
+  return specs;
+}
+
+/// Characterization grid (commercial libraries use 5-7 points per axis).
+const std::vector<double>& slew_grid() {
+  static const std::vector<double> g = {5, 20, 60, 150, 400};
+  return g;
+}
+const std::vector<double>& load_grid() {
+  static const std::vector<double> g = {0.5, 2, 6, 15, 40, 100};
+  return g;
+}
+
+Lut2d sweep(double value_at /*f(slew,load)*/, double slope_slew,
+            double slope_load) {
+  std::vector<double> vals;
+  vals.reserve(slew_grid().size() * load_grid().size());
+  for (const double s : slew_grid()) {
+    for (const double l : load_grid()) {
+      vals.push_back(value_at + slope_slew * s + slope_load * l);
+    }
+  }
+  return Lut2d(slew_grid(), load_grid(), std::move(vals));
+}
+
+Cell build_cell(const KindSpec& spec, double drive,
+                const tech::TechNode& node) {
+  const double tau = node.unit_r_kohm * node.unit_cin_ff;  // ps
+  Cell c;
+  c.kind = spec.kind;
+  c.drive_x = drive;
+  c.name = spec.bitcell ? std::string(spec.base)
+                        : std::string(spec.base) + "X" +
+                              std::to_string(static_cast<int>(drive));
+
+  for (const std::string& in : input_pin_names(spec.kind)) {
+    Pin p;
+    p.name = in;
+    p.is_input = true;
+    p.is_clock = (in == "CK");
+    double g = 1.0;
+    for (const PinG& pg : spec.pin_g) {
+      if (in == pg.pin) g = pg.g;
+    }
+    // Input caps grow with drive; clock pins are kept small.
+    p.cap_ff = g * node.unit_cin_ff * (p.is_clock ? 1.0 : drive);
+    c.pins.push_back(std::move(p));
+  }
+  for (const std::string& out : output_pin_names(spec.kind)) {
+    Pin p;
+    p.name = out;
+    p.is_input = false;
+    c.pins.push_back(std::move(p));
+  }
+
+  const double r_out = node.unit_r_kohm * spec.r_factor / drive;
+  for (const ArcSpec& a : spec.arcs) {
+    TimingArc arc;
+    arc.from_pin = c.pin_index(a.from);
+    arc.to_pin = c.pin_index(a.to);
+    // First-order RC: d = p*tau + 0.69*R*(Cload + Cself) + k*slew.
+    const double c_self = 0.5 * spec.transistors / 4.0 * node.unit_cin_ff;
+    const double d0 = a.p_tau * tau + 0.69 * r_out * c_self;
+    arc.delay_ps = sweep(d0, spec.slew_sens, 0.69 * r_out);
+    // 10-90 output transition ~ 2.2*RC plus a floor from the parasitic.
+    const double s0 = 0.35 * a.p_tau * tau + 2.2 * r_out * c_self;
+    arc.out_slew_ps = sweep(s0, 0.08, 2.2 * r_out);
+    c.arcs.push_back(std::move(arc));
+  }
+
+  c.leakage_nw = node.unit_leak_nw * spec.transistors / 2.0 * drive;
+  c.internal_energy_fj =
+      0.12 * spec.transistors * spec.energy_scale * std::sqrt(drive);
+  if (spec.sequential) {
+    c.setup_ps = 3.0 * tau;
+    c.hold_ps = 0.5 * tau;
+    c.clock_energy_fj = 0.5 * std::sqrt(drive);
+  }
+  if (spec.bitcell) {
+    // Write must resolve within the write cycle.
+    c.setup_ps = 4.0 * tau;
+    switch (spec.kind) {
+      case Kind::kSram6T:
+        c.width_um = node.sram6t_w_um;
+        c.height_um = node.sram6t_h_um;
+        break;
+      case Kind::kSram8T:
+        c.width_um = node.sram6t_w_um * 1.25;
+        c.height_um = node.sram6t_h_um;
+        break;
+      default:  // 12T
+        c.width_um = node.sram6t_w_um * 1.7;
+        c.height_um = node.sram6t_h_um;
+        break;
+    }
+    c.area_um2 = c.width_um * c.height_um;
+  } else {
+    c.height_um = node.std_row_height_um;
+    c.width_um = std::max(0.3, 0.22 * spec.transistors * std::sqrt(drive));
+    c.area_um2 = c.width_um * c.height_um;
+  }
+  return c;
+}
+
+}  // namespace
+
+Library characterize_default_library(const tech::TechNode& node) {
+  Library lib(node);
+  for (const KindSpec& spec : kind_specs()) {
+    for (const double d : spec.drives) {
+      lib.add(build_cell(spec, d, node));
+    }
+  }
+  return lib;
+}
+
+}  // namespace syndcim::cell

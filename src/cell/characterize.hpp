@@ -1,0 +1,21 @@
+#pragma once
+#include "cell/library.hpp"
+#include "tech/tech_node.hpp"
+
+namespace syndcim::cell {
+
+/// Builds the default DCIM cell library for `node` by analytic
+/// characterization: every cell kind is described by per-arc parasitic
+/// delays (in units of the node's tau = R_unit * C_unit), per-pin logical
+/// effort, transistor count and footprint; delay/slew NLDM tables are
+/// swept over a (slew x load) grid from a first-order RC model.
+///
+/// This replaces the paper's SPICE-based custom-cell characterization flow:
+/// the compiler downstream only ever consumes the resulting tables, so the
+/// search faces the same trade-off structure (e.g. the 4-2 compressor's
+/// sum path is slower than a full adder's but cheaper per reduced bit, the
+/// carry outputs are faster than sum outputs, the 1T pass-gate mux is tiny
+/// but slow and power-hungry).
+[[nodiscard]] Library characterize_default_library(const tech::TechNode& node);
+
+}  // namespace syndcim::cell

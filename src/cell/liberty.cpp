@@ -1,0 +1,82 @@
+#include "cell/liberty.hpp"
+
+#include <iomanip>
+
+namespace syndcim::cell {
+
+namespace {
+void write_values(const Lut2d& lut, std::ostream& os, const char* indent) {
+  os << indent << "index_1(\"";
+  for (std::size_t i = 0; i < lut.slew_axis().size(); ++i) {
+    os << (i ? ", " : "") << lut.slew_axis()[i];
+  }
+  os << "\");\n" << indent << "index_2(\"";
+  for (std::size_t i = 0; i < lut.load_axis().size(); ++i) {
+    os << (i ? ", " : "") << lut.load_axis()[i];
+  }
+  os << "\");\n" << indent << "values( \\\n";
+  const std::size_t cols = lut.load_axis().size();
+  for (std::size_t r = 0; r < lut.slew_axis().size(); ++r) {
+    os << indent << "  \"";
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << (c ? ", " : "") << std::fixed << std::setprecision(3)
+         << lut.values()[r * cols + c];
+    }
+    os << "\"" << (r + 1 < lut.slew_axis().size() ? ", \\\n" : " \\\n");
+  }
+  os << indent << ");\n";
+  os.unsetf(std::ios::fixed);
+  os << std::setprecision(12);  // restore scalar-attribute precision
+}
+}  // namespace
+
+void write_liberty(const Library& lib, std::ostream& os) {
+  os << std::setprecision(12);
+  os << "library (syndcim_" << lib.node().name << ") {\n";
+  os << "  time_unit : \"1ps\";\n  capacitive_load_unit (1, ff);\n";
+  os << "  nom_voltage : " << lib.node().vdd_nominal << ";\n";
+  for (const Cell& c : lib.all()) {
+    os << "  cell (" << c.name << ") {\n";
+    os << "    area : " << c.area_um2 << ";\n";
+    os << "    cell_leakage_power : " << c.leakage_nw << ";\n";
+    // Vendor attributes keeping the round trip lossless (Kind, energies,
+    // footprint and sequential data have no standard scalar home).
+    os << "    syndcim_kind : " << static_cast<int>(c.kind) << ";\n";
+    os << "    syndcim_drive : " << c.drive_x << ";\n";
+    os << "    syndcim_internal_energy : " << c.internal_energy_fj << ";\n";
+    os << "    syndcim_clock_energy : " << c.clock_energy_fj << ";\n";
+    os << "    syndcim_setup : " << c.setup_ps << ";\n";
+    os << "    syndcim_hold : " << c.hold_ps << ";\n";
+    os << "    syndcim_width : " << c.width_um << ";\n";
+    os << "    syndcim_height : " << c.height_um << ";\n";
+    for (const Pin& p : c.pins) {
+      os << "    pin (" << p.name << ") {\n";
+      os << "      direction : " << (p.is_input ? "input" : "output")
+         << ";\n";
+      if (p.is_input) {
+        os << "      capacitance : " << p.cap_ff << ";\n";
+        if (p.is_clock) os << "      clock : true;\n";
+      } else {
+        for (const TimingArc& a : c.arcs) {
+          if (c.pins[static_cast<std::size_t>(a.to_pin)].name != p.name) {
+            continue;
+          }
+          os << "      timing () {\n";
+          os << "        related_pin : \""
+             << c.pins[static_cast<std::size_t>(a.from_pin)].name << "\";\n";
+          os << "        cell_rise (delay_template) {\n";
+          write_values(a.delay_ps, os, "          ");
+          os << "        }\n";
+          os << "        rise_transition (delay_template) {\n";
+          write_values(a.out_slew_ps, os, "          ");
+          os << "        }\n      }\n";
+        }
+      }
+      os << "    }\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace syndcim::cell

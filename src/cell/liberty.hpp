@@ -1,0 +1,15 @@
+#pragma once
+#include <ostream>
+
+#include "cell/library.hpp"
+
+namespace syndcim::cell {
+
+/// Emits the library in a Liberty-flavoured text format (cell, pin,
+/// timing() groups with values tables). This is the artifact the paper's
+/// flow hands to Design Compiler / Innovus; here it documents the
+/// characterized library and is exercised by tests as a stable external
+/// format.
+void write_liberty(const Library& lib, std::ostream& os);
+
+}  // namespace syndcim::cell

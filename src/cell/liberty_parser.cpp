@@ -1,0 +1,255 @@
+#include "cell/liberty_parser.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace syndcim::cell {
+
+namespace {
+
+/// Minimal recursive tokenizer for the Liberty dialect write_liberty
+/// emits: group_name (arg) { ... }, attr : value ;, name("...").
+class Lexer {
+ public:
+  explicit Lexer(std::istream& is) {
+    std::string src((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+    std::size_t i = 0;
+    int line = 1;
+    while (i < src.size()) {
+      const char c = src[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '\\') {
+        ++i;
+        continue;
+      }
+      if (c == '"') {
+        std::size_t j = i + 1;
+        while (j < src.size() && src[j] != '"') {
+          if (src[j] == '\n') ++line;
+          ++j;
+        }
+        toks_.push_back({src.substr(i + 1, j - i - 1), line, true});
+        i = j + 1;
+        continue;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == '-' || c == '+') {
+        std::size_t j = i;
+        while (j < src.size() &&
+               (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                src[j] == '_' || src[j] == '.' || src[j] == '-' ||
+                src[j] == '+')) {
+          ++j;
+        }
+        toks_.push_back({src.substr(i, j - i), line, false});
+        i = j;
+        continue;
+      }
+      toks_.push_back({std::string(1, c), line, false});
+      ++i;
+    }
+  }
+  [[nodiscard]] bool done() const { return pos_ >= toks_.size(); }
+  struct Tok {
+    std::string text;
+    int line;
+    bool quoted;
+  };
+  const Tok& peek() const {
+    if (done()) throw std::invalid_argument("liberty: unexpected EOF");
+    return toks_[pos_];
+  }
+  Tok next() {
+    const Tok t = peek();
+    ++pos_;
+    return t;
+  }
+  void expect(const char* s) {
+    const Tok t = next();
+    if (t.text != s) {
+      throw std::invalid_argument("liberty line " + std::to_string(t.line) +
+                                  ": expected '" + s + "', got '" + t.text +
+                                  "'");
+    }
+  }
+
+ private:
+  std::vector<Tok> toks_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<double> parse_number_list(const std::string& s) {
+  std::vector<double> out;
+  std::string cur;
+  for (const char c : s) {
+    if ((c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' ||
+        c == 'e' || c == 'E') {
+      cur.push_back(c);
+    } else if (!cur.empty()) {
+      out.push_back(std::stod(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::stod(cur));
+  return out;
+}
+
+/// Parses one table group body: index_1("..."); index_2("..."); values(...)
+Lut2d parse_table(Lexer& lex) {
+  lex.expect("{");
+  std::vector<double> i1, i2, vals;
+  while (lex.peek().text != "}") {
+    const std::string key = lex.next().text;
+    lex.expect("(");
+    std::string body;
+    while (lex.peek().text != ")") body += lex.next().text + " ";
+    lex.expect(")");
+    lex.expect(";");
+    if (key == "index_1") {
+      i1 = parse_number_list(body);
+    } else if (key == "index_2") {
+      i2 = parse_number_list(body);
+    } else if (key == "values") {
+      vals = parse_number_list(body);
+    } else {
+      throw std::invalid_argument("liberty: unknown table member " + key);
+    }
+  }
+  lex.expect("}");
+  return Lut2d(std::move(i1), std::move(i2), std::move(vals));
+}
+
+}  // namespace
+
+Library parse_liberty(std::istream& is, const tech::TechNode& node) {
+  Lexer lex(is);
+  lex.expect("library");
+  lex.expect("(");
+  lex.next();  // library name
+  lex.expect(")");
+  lex.expect("{");
+
+  Library lib(node);
+  while (lex.peek().text != "}") {
+    const std::string key = lex.next().text;
+    if (key != "cell") {
+      // library-level attribute: skip to ';' (possibly with parens)
+      while (lex.peek().text != ";") lex.next();
+      lex.expect(";");
+      continue;
+    }
+    lex.expect("(");
+    Cell c;
+    c.name = lex.next().text;
+    lex.expect(")");
+    lex.expect("{");
+    while (lex.peek().text != "}") {
+      const std::string ckey = lex.next().text;
+      if (ckey == "pin") {
+        lex.expect("(");
+        const int pin_idx = static_cast<int>(c.pins.size());
+        c.pins.push_back(Pin{lex.next().text, true, false, 0.0});
+        lex.expect(")");
+        lex.expect("{");
+        while (lex.peek().text != "}") {
+          const std::string pkey = lex.next().text;
+          if (pkey == "direction") {
+            lex.expect(":");
+            c.pins[pin_idx].is_input = lex.next().text == "input";
+            lex.expect(";");
+          } else if (pkey == "capacitance") {
+            lex.expect(":");
+            c.pins[pin_idx].cap_ff = std::stod(lex.next().text);
+            lex.expect(";");
+          } else if (pkey == "clock") {
+            lex.expect(":");
+            c.pins[pin_idx].is_clock = lex.next().text == "true";
+            lex.expect(";");
+          } else if (pkey == "timing") {
+            lex.expect("(");
+            lex.expect(")");
+            lex.expect("{");
+            std::string rel;
+            Lut2d delay, slewt;
+            while (lex.peek().text != "}") {
+              const std::string tkey = lex.next().text;
+              if (tkey == "related_pin") {
+                lex.expect(":");
+                rel = lex.next().text;  // quoted token
+                lex.expect(";");
+              } else if (tkey == "cell_rise") {
+                lex.expect("(");
+                lex.next();  // template name
+                lex.expect(")");
+                delay = parse_table(lex);
+              } else if (tkey == "rise_transition") {
+                lex.expect("(");
+                lex.next();
+                lex.expect(")");
+                slewt = parse_table(lex);
+              } else {
+                throw std::invalid_argument("liberty: unknown timing member " +
+                                            tkey);
+              }
+            }
+            lex.expect("}");
+            // Inputs are emitted before outputs, so the related pin is
+            // already present and resolvable.
+            TimingArc arc;
+            arc.from_pin = c.pin_index(rel);
+            arc.to_pin = pin_idx;
+            if (arc.from_pin < 0) {
+              throw std::invalid_argument("liberty: arc references unknown "
+                                          "pin " + rel + " on " + c.name);
+            }
+            arc.delay_ps = std::move(delay);
+            arc.out_slew_ps = std::move(slewt);
+            c.arcs.push_back(std::move(arc));
+          } else {
+            throw std::invalid_argument("liberty: unknown pin member " +
+                                        pkey);
+          }
+        }
+        lex.expect("}");
+      } else {
+        // scalar cell attribute
+        lex.expect(":");
+        const std::string val = lex.next().text;
+        lex.expect(";");
+        if (ckey == "area") {
+          c.area_um2 = std::stod(val);
+        } else if (ckey == "cell_leakage_power") {
+          c.leakage_nw = std::stod(val);
+        } else if (ckey == "syndcim_kind") {
+          c.kind = static_cast<Kind>(std::stoi(val));
+        } else if (ckey == "syndcim_drive") {
+          c.drive_x = std::stod(val);
+        } else if (ckey == "syndcim_internal_energy") {
+          c.internal_energy_fj = std::stod(val);
+        } else if (ckey == "syndcim_clock_energy") {
+          c.clock_energy_fj = std::stod(val);
+        } else if (ckey == "syndcim_setup") {
+          c.setup_ps = std::stod(val);
+        } else if (ckey == "syndcim_hold") {
+          c.hold_ps = std::stod(val);
+        } else if (ckey == "syndcim_width") {
+          c.width_um = std::stod(val);
+        } else if (ckey == "syndcim_height") {
+          c.height_um = std::stod(val);
+        }
+      }
+    }
+    lex.expect("}");
+    lib.add(std::move(c));
+  }
+  return lib;
+}
+
+}  // namespace syndcim::cell

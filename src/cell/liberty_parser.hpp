@@ -1,0 +1,21 @@
+#pragma once
+#include <istream>
+
+#include "cell/library.hpp"
+#include "tech/tech_node.hpp"
+
+namespace syndcim::cell {
+
+/// Parses the Liberty-flavoured format emitted by write_liberty() back
+/// into a Library: cells, pin directions/capacitances, timing() groups
+/// with index_1/index_2/values tables. Functional metadata (Kind, areas,
+/// energies, sequential attributes) that Liberty does not carry in our
+/// dialect is recovered by matching the cell name against the built-in
+/// kind table (names like FAX1, CMP42X2, SRAM6T).
+///
+/// Enables library round-trips (characterize -> write -> parse -> same
+/// timing answers) and loading externally characterized tables.
+[[nodiscard]] Library parse_liberty(std::istream& is,
+                                    const tech::TechNode& node);
+
+}  // namespace syndcim::cell

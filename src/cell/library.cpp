@@ -1,0 +1,54 @@
+#include "cell/library.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace syndcim::cell {
+
+const Cell& Library::add(Cell c) {
+  if (index_.contains(c.name)) {
+    throw std::invalid_argument("Library::add: duplicate cell " + c.name);
+  }
+  for (std::size_t i = 0; i < c.pins.size(); ++i) {
+    for (std::size_t j = i + 1; j < c.pins.size(); ++j) {
+      if (c.pins[i].name == c.pins[j].name) {
+        throw std::invalid_argument("Library::add: duplicate pin name '" +
+                                    c.pins[i].name + "' on cell " + c.name);
+      }
+    }
+  }
+  cells_.reserve(512);  // keep Cell* stable for typical library sizes
+  if (cells_.size() == cells_.capacity()) {
+    throw std::logic_error("Library::add: capacity exceeded (pointers must stay stable)");
+  }
+  index_.emplace(c.name, cells_.size());
+  cells_.push_back(std::move(c));
+  return cells_.back();
+}
+
+const Cell* Library::find(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &cells_[it->second];
+}
+
+const Cell& Library::get(std::string_view name) const {
+  const Cell* c = find(name);
+  if (!c) {
+    throw std::out_of_range("Library::get: no cell '" + std::string(name) +
+                            "'");
+  }
+  return *c;
+}
+
+std::vector<const Cell*> Library::variants_of(Kind k) const {
+  std::vector<const Cell*> out;
+  for (const Cell& c : cells_) {
+    if (c.kind == k) out.push_back(&c);
+  }
+  std::sort(out.begin(), out.end(), [](const Cell* a, const Cell* b) {
+    return a->drive_x < b->drive_x;
+  });
+  return out;
+}
+
+}  // namespace syndcim::cell

@@ -1,0 +1,36 @@
+#pragma once
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cell/cell.hpp"
+#include "tech/tech_node.hpp"
+
+namespace syndcim::cell {
+
+/// Characterized cell library for one technology node. Cells are owned by
+/// the library; pointers into it stay valid for its lifetime.
+class Library {
+ public:
+  explicit Library(tech::TechNode node) : node_(std::move(node)) {}
+
+  const Cell& add(Cell c);
+
+  [[nodiscard]] const Cell& get(std::string_view name) const;
+  [[nodiscard]] const Cell* find(std::string_view name) const;
+  [[nodiscard]] bool has(std::string_view name) const {
+    return find(name) != nullptr;
+  }
+  [[nodiscard]] const std::vector<Cell>& all() const { return cells_; }
+  [[nodiscard]] const tech::TechNode& node() const { return node_; }
+
+  /// All drive variants of `k`, sorted by ascending drive strength.
+  [[nodiscard]] std::vector<const Cell*> variants_of(Kind k) const;
+
+ private:
+  tech::TechNode node_;
+  std::vector<Cell> cells_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+}  // namespace syndcim::cell

@@ -1,0 +1,68 @@
+#include "cell/lut2d.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace syndcim::cell {
+
+Lut2d::Lut2d(std::vector<double> slew_axis_ps,
+             std::vector<double> load_axis_ff,
+             std::vector<double> values_row_major)
+    : slew_(std::move(slew_axis_ps)),
+      load_(std::move(load_axis_ff)),
+      values_(std::move(values_row_major)) {
+  if (slew_.empty() || load_.empty() ||
+      values_.size() != slew_.size() * load_.size()) {
+    throw std::invalid_argument("Lut2d: axis/value size mismatch");
+  }
+  if (!std::is_sorted(slew_.begin(), slew_.end()) ||
+      !std::is_sorted(load_.begin(), load_.end())) {
+    throw std::invalid_argument("Lut2d: axes must be sorted ascending");
+  }
+}
+
+Lut2d Lut2d::constant(double v) { return Lut2d({0.0}, {0.0}, {v}); }
+
+Lut2d Lut2d::scaled(double k) const {
+  Lut2d out = *this;
+  for (double& v : out.values_) v *= k;
+  return out;
+}
+
+namespace {
+/// Index i and fraction t such that x ~ axis[i]*(1-t) + axis[i+1]*t,
+/// clamped to the axis range.
+struct Seg {
+  std::size_t i;
+  double t;
+};
+Seg locate(const std::vector<double>& axis, double x) {
+  if (axis.size() == 1 || x <= axis.front()) return {0, 0.0};
+  if (x >= axis.back()) return {axis.size() - 2, 1.0};
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - axis.begin());
+  const std::size_t lo = hi - 1;
+  const double span = axis[hi] - axis[lo];
+  return {lo, span > 0 ? (x - axis[lo]) / span : 0.0};
+}
+}  // namespace
+
+double Lut2d::eval(double slew_ps, double load_ff) const {
+  if (values_.empty()) throw std::logic_error("Lut2d::eval on empty table");
+  if (values_.size() == 1) return values_[0];
+  const Seg s = locate(slew_, slew_ps);
+  const Seg l = locate(load_, load_ff);
+  const std::size_t cols = load_.size();
+  auto at = [&](std::size_t si, std::size_t li) {
+    return values_[si * cols + li];
+  };
+  const std::size_t s1 = std::min(s.i + 1, slew_.size() - 1);
+  const std::size_t l1 = std::min(l.i + 1, load_.size() - 1);
+  const double v00 = at(s.i, l.i), v01 = at(s.i, l1);
+  const double v10 = at(s1, l.i), v11 = at(s1, l1);
+  const double v0 = v00 * (1 - l.t) + v01 * l.t;
+  const double v1 = v10 * (1 - l.t) + v11 * l.t;
+  return v0 * (1 - s.t) + v1 * s.t;
+}
+
+}  // namespace syndcim::cell

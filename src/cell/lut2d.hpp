@@ -1,0 +1,34 @@
+#pragma once
+#include <vector>
+
+namespace syndcim::cell {
+
+/// NLDM-style 2-D lookup table: values indexed by (input slew, output
+/// load), bilinearly interpolated, clamped at the axis ends (commercial
+/// STA extrapolates; clamping is the conservative simplification).
+class Lut2d {
+ public:
+  Lut2d() = default;
+  Lut2d(std::vector<double> slew_axis_ps, std::vector<double> load_axis_ff,
+        std::vector<double> values_row_major);
+
+  [[nodiscard]] double eval(double slew_ps, double load_ff) const;
+
+  [[nodiscard]] const std::vector<double>& slew_axis() const { return slew_; }
+  [[nodiscard]] const std::vector<double>& load_axis() const { return load_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  /// Constant-valued table (used for scalar quantities).
+  [[nodiscard]] static Lut2d constant(double v);
+
+  /// Returns a copy with every value multiplied by `k` (voltage scaling).
+  [[nodiscard]] Lut2d scaled(double k) const;
+
+ private:
+  std::vector<double> slew_;
+  std::vector<double> load_;
+  std::vector<double> values_;  // row-major: [slew][load]
+};
+
+}  // namespace syndcim::cell

@@ -1,0 +1,55 @@
+#include "core/baselines.hpp"
+
+namespace syndcim::core {
+
+std::vector<CompilerCapabilities> compiler_feature_matrix() {
+  return {
+      {"AutoDCIM", "DAC'23", true, false, false, false, true},
+      {"EasyACIM", "arXiv'24", true, false, false, true, false},
+      {"ISLPED'23", "ISLPED'23", true, false, false, false, true},
+      {"ARCTIC", "DATE'24", true, true, false, false, true},
+      {"SynDCIM (ours)", "DATE'25", true, true, true, true, true},
+  };
+}
+
+namespace {
+rtlgen::MacroConfig common_base(const PerfSpec& spec, bool keep_fp) {
+  rtlgen::MacroConfig cfg = spec.base_config();
+  if (!keep_fp) cfg.fp_formats.clear();
+  // Template compilers emit one fixed, fully registered pipeline.
+  cfg.pipe.reg_after_tree = true;
+  cfg.pipe.retime_tree_cpa = false;
+  cfg.column_split = 1;
+  cfg.ofu = rtlgen::OfuConfig{true, false, false};
+  return cfg;
+}
+}  // namespace
+
+std::optional<rtlgen::MacroConfig> autodcim_style_config(
+    const PerfSpec& spec) {
+  rtlgen::MacroConfig cfg = common_base(spec, /*keep_fp=*/false);
+  if (cfg.fp_formats.empty() && spec.input_bits.empty()) return std::nullopt;
+  cfg.mux = rtlgen::MuxStyle::kPassGate1T;
+  cfg.tree.style = rtlgen::AdderTreeStyle::kRcaTree;
+  cfg.tree.carry_reorder = false;
+  return cfg;
+}
+
+std::optional<rtlgen::MacroConfig> islped23_style_config(
+    const PerfSpec& spec) {
+  rtlgen::MacroConfig cfg = common_base(spec, /*keep_fp=*/false);
+  cfg.mux = rtlgen::MuxStyle::kTGateNor;
+  cfg.tree.style = rtlgen::AdderTreeStyle::kRcaTree;
+  cfg.tree.carry_reorder = false;
+  return cfg;
+}
+
+std::optional<rtlgen::MacroConfig> arctic_style_config(const PerfSpec& spec) {
+  rtlgen::MacroConfig cfg = common_base(spec, /*keep_fp=*/true);
+  cfg.mux = rtlgen::MuxStyle::kTGateNor;
+  cfg.tree.style = rtlgen::AdderTreeStyle::kCompressor;
+  cfg.tree.carry_reorder = false;
+  return cfg;
+}
+
+}  // namespace syndcim::core

@@ -1,0 +1,48 @@
+#pragma once
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "rtlgen/arch.hpp"
+
+namespace syndcim::core {
+
+/// Capability matrix of emerging CIM compilers (paper Table I).
+struct CompilerCapabilities {
+  std::string name;
+  std::string venue;
+  bool end_to_end = false;
+  bool fp_and_int = false;
+  bool ppa_selectable_subcircuits = false;
+  bool spec_oriented_synthesis = false;
+  bool digital_cim = true;  ///< EasyACIM targets analog CIM
+};
+
+/// The five rows of Table I (AutoDCIM, EasyACIM, ISLPED'23, ARCTIC,
+/// SynDCIM).
+[[nodiscard]] std::vector<CompilerCapabilities> compiler_feature_matrix();
+
+/// Template-based baseline compiler models for the Fig. 8 comparison:
+/// each maps a spec to the single fixed-architecture macro that compiler
+/// family would emit (no spec-oriented synthesis, no PPA-selectable
+/// subcircuits). Returns nullopt when the spec is outside the compiler's
+/// scope (e.g. FP formats for an INT-only compiler are dropped by the
+/// caller, an MCR the mux style cannot serve).
+///
+/// AutoDCIM [DAC'23]: 1T pass-gate mux template, conventional signed RCA
+/// adder tree, fully registered pipeline, INT only.
+[[nodiscard]] std::optional<rtlgen::MacroConfig> autodcim_style_config(
+    const PerfSpec& spec);
+
+/// ISLPED'23 structured std-cell macro: TG mux, RCA tree, INT only.
+[[nodiscard]] std::optional<rtlgen::MacroConfig> islped23_style_config(
+    const PerfSpec& spec);
+
+/// ARCTIC [DATE'24]: parameterized INT/FP pipeline but one fixed
+/// subcircuit set (TG mux, compressor CSA without the mixed-FA knob or
+/// carry reorder), no search.
+[[nodiscard]] std::optional<rtlgen::MacroConfig> arctic_style_config(
+    const PerfSpec& spec);
+
+}  // namespace syndcim::core

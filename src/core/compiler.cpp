@@ -1,0 +1,141 @@
+#include "core/compiler.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "netlist/flatten.hpp"
+#include "num/int_ops.hpp"
+#include "sim/macro_tb.hpp"
+#include "tech/units.hpp"
+
+namespace syndcim::core {
+
+namespace {
+
+/// Random workload run on the gate-level netlist for measured activity.
+void drive_workload(sim::MacroTestbench& tb, sim::DcimMacroModel& model,
+                    const Workload& wl) {
+  std::mt19937 rng(wl.seed);
+  std::bernoulli_distribution in_bit(wl.input_density);
+  std::bernoulli_distribution w_bit(wl.weight_density);
+  const auto& cfg = model.cfg();
+  const int wp = wl.weight_bits;
+  const int n_out = cfg.cols / wp;
+
+  for (int bank = 0; bank < cfg.mcr; ++bank) {
+    std::vector<std::vector<std::int64_t>> w(
+        static_cast<std::size_t>(n_out));
+    for (auto& g : w) {
+      g.resize(static_cast<std::size_t>(cfg.rows));
+      for (auto& v : g) {
+        std::uint64_t bits = 0;
+        for (int b = 0; b < wp; ++b) {
+          bits |= static_cast<std::uint64_t>(w_bit(rng)) << b;
+        }
+        v = wp > 1 ? num::sign_extend(bits, wp)
+                   : static_cast<std::int64_t>(bits);
+      }
+    }
+    model.load_weights_int(bank, wp, w);
+  }
+  tb.preload_weights(model);
+  tb.sim().reset_activity();
+  for (int m = 0; m < wl.n_macs; ++m) {
+    std::vector<std::int64_t> in(static_cast<std::size_t>(cfg.rows));
+    for (auto& v : in) {
+      std::uint64_t bits = 0;
+      for (int b = 0; b < wl.input_bits; ++b) {
+        bits |= static_cast<std::uint64_t>(in_bit(rng)) << b;
+      }
+      v = wl.input_bits > 1 ? num::sign_extend(bits, wl.input_bits)
+                            : static_cast<std::int64_t>(bits);
+    }
+    (void)tb.run_mac_int(in, wl.input_bits, wp, m % cfg.mcr,
+                         wl.input_bits > 1);
+  }
+}
+
+}  // namespace
+
+Implementation SynDcimCompiler::implement(const rtlgen::MacroConfig& cfg,
+                                          const PerfSpec& spec,
+                                          const Workload& workload) {
+  Implementation impl;
+  impl.macro = rtlgen::gen_macro(cfg);
+  const netlist::FlatNetlist flat =
+      netlist::flatten(impl.macro.design, impl.macro.top);
+
+  // APR: structured-data-path placement, then signoff checks.
+  impl.floorplan = layout::sdp_place(flat, lib_, cfg);
+  impl.drc = layout::run_drc(flat, lib_, impl.floorplan);
+  impl.lvs = layout::run_lvs(flat, lib_, impl.floorplan);
+  const sta::WireModel wire =
+      layout::extract_wire_model(flat, impl.floorplan, lib_.node());
+
+  // Post-layout STA with back-annotated parasitics.
+  sta::StaEngine sta(flat, lib_);
+  sta::StaOptions topt;
+  topt.clock_period_ps = spec.period_ps();
+  topt.write_period_ps = spec.write_period_ps();
+  topt.vdd = spec.vdd;
+  topt.wire = wire;
+  topt.static_inputs = impl.macro.static_control_ports();
+  impl.timing = sta.analyze(topt);
+  impl.fmax_mhz = impl.timing.fmax_mhz;
+
+  // Post-layout power from gate-level simulated activity.
+  sim::MacroTestbench tb(impl.macro, lib_);
+  sim::DcimMacroModel model(cfg);
+  Workload wl = workload;
+  wl.input_bits = std::min(wl.input_bits, cfg.max_input_bits());
+  wl.weight_bits = std::min(wl.weight_bits, cfg.max_weight_bits());
+  drive_workload(tb, model, wl);
+  const power::ActivityModel act =
+      power::activity_from_sim(flat, lib_, tb.sim());
+  power::PowerOptions popt;
+  popt.vdd = spec.vdd;
+  popt.freq_mhz = std::min(spec.mac_freq_mhz, impl.fmax_mhz);
+  popt.wire = wire;
+  impl.power = power::analyze_power(flat, lib_, act, popt);
+  impl.cell_area = power::analyze_area(flat, lib_);
+
+  impl.macro_area_mm2 = impl.floorplan.outline.area() * 1e-6;
+  impl.total_power_uw = impl.power.total_uw();
+  impl.tops_1b =
+      2.0 * cfg.rows * cfg.cols * popt.freq_mhz * 1.0e6 * 1.0e-12;
+  return impl;
+}
+
+CompileResult SynDcimCompiler::compile(const PerfSpec& spec,
+                                       const Workload& workload) {
+  CompileResult res;
+  res.search = searcher_.search(spec);
+
+  // Implement Pareto points in preference order; post-layout verification
+  // can reject an aggressive point whose extracted parasitics exceed the
+  // pre-layout guard band, in which case the next point is taken (the
+  // paper's flow likewise validates each implemented design by
+  // post-layout simulation before accepting it).
+  std::vector<const DesignPoint*> order;
+  for (const DesignPoint& p : res.search.pareto) order.push_back(&p);
+  std::sort(order.begin(), order.end(),
+            [&](const DesignPoint* a, const DesignPoint* b) {
+              return preference_score(*a, res.search.pareto, spec.pref.power,
+                                      spec.pref.area,
+                                      spec.pref.performance) <
+                     preference_score(*b, res.search.pareto, spec.pref.power,
+                                      spec.pref.area,
+                                      spec.pref.performance);
+            });
+  if (order.empty()) {
+    throw std::logic_error("SynDcimCompiler::compile: spec infeasible");
+  }
+  for (const DesignPoint* p : order) {
+    res.selected = *p;
+    res.impl = implement(p->cfg, spec, workload);
+    if (res.impl.signoff_clean()) break;
+  }
+  return res;
+}
+
+}  // namespace syndcim::core

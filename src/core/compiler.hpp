@@ -1,0 +1,88 @@
+#pragma once
+#include <memory>
+#include <string>
+
+#include "cell/library.hpp"
+#include "core/searcher.hpp"
+#include "layout/floorplan.hpp"
+#include "power/power.hpp"
+#include "rtlgen/macro.hpp"
+#include "sta/sta.hpp"
+
+namespace syndcim::core {
+
+/// Workload statistics used for the post-layout power measurement
+/// (Table II is measured at 12.5% input density / 50% weight density).
+struct Workload {
+  int n_macs = 8;
+  double input_density = 0.5;   ///< P(input bit == 1)
+  double weight_density = 0.5;  ///< P(weight bit == 1)
+  int input_bits = 4;
+  int weight_bits = 4;
+  unsigned seed = 1;
+};
+
+/// Post-layout signoff results of one implemented design (the paper's
+/// "synthesis + APR + DRC/LVS + post-layout simulation" stage).
+struct Implementation {
+  rtlgen::MacroDesign macro;
+  layout::Floorplan floorplan;
+  layout::DrcReport drc;
+  layout::LvsReport lvs;
+  sta::TimingReport timing;      ///< with back-annotated wire parasitics
+  power::PowerReport power;      ///< simulation-based activity
+  power::AreaReport cell_area;
+  double fmax_mhz = 0.0;
+  double macro_area_mm2 = 0.0;
+  double total_power_uw = 0.0;
+  double tops_1b = 0.0;          ///< at the achieved fmax
+  [[nodiscard]] double tops_per_w() const {
+    return total_power_uw > 0 ? tops_1b / (total_power_uw * 1e-6) : 0.0;
+  }
+  [[nodiscard]] double tops_per_mm2() const {
+    return macro_area_mm2 > 0 ? tops_1b / macro_area_mm2 : 0.0;
+  }
+  [[nodiscard]] bool signoff_clean() const {
+    return drc.clean() && lvs.clean() && timing.met();
+  }
+};
+
+struct CompileResult {
+  SearchResult search;
+  DesignPoint selected;
+  Implementation impl;
+};
+
+/// End-to-end SynDCIM compiler: specification -> MSO search -> selected
+/// Pareto design -> full macro elaboration -> SDP placement ->
+/// DRC/LVS -> post-layout STA and simulation-based power (paper Fig. 2
+/// and Fig. 6).
+class SynDcimCompiler {
+ public:
+  explicit SynDcimCompiler(const cell::Library& lib)
+      : lib_(lib), scl_(lib), searcher_(scl_) {}
+
+  /// Full flow at the spec's PPA preference.
+  [[nodiscard]] CompileResult compile(const PerfSpec& spec,
+                                      const Workload& workload = {});
+
+  /// Search only (no implementation) — what the paper's DSE loop calls.
+  [[nodiscard]] SearchResult search(const PerfSpec& spec) {
+    return searcher_.search(spec);
+  }
+
+  /// Implements one concrete configuration (used for every point a user
+  /// picks off the Pareto front, and by the baseline compiler models).
+  [[nodiscard]] Implementation implement(const rtlgen::MacroConfig& cfg,
+                                         const PerfSpec& spec,
+                                         const Workload& workload = {});
+
+  [[nodiscard]] SubcircuitLibrary& scl() { return scl_; }
+
+ private:
+  const cell::Library& lib_;
+  SubcircuitLibrary scl_;
+  MsoSearcher searcher_;
+};
+
+}  // namespace syndcim::core

@@ -1,0 +1,65 @@
+#include "core/design_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace syndcim::core {
+
+std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points) {
+  std::vector<DesignPoint> front;
+  for (const DesignPoint& p : points) {
+    if (!p.feasible) continue;
+    bool dominated = false;
+    for (const DesignPoint& q : points) {
+      if (!q.feasible || &q == &p) continue;
+      const bool no_worse = q.ppa.power_uw <= p.ppa.power_uw &&
+                            q.ppa.area_um2 <= p.ppa.area_um2;
+      const bool better = q.ppa.power_uw < p.ppa.power_uw ||
+                          q.ppa.area_um2 < p.ppa.area_um2;
+      if (no_worse && better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(p);
+  }
+  // Deduplicate identical PPA points (same config explored twice).
+  std::sort(front.begin(), front.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              return a.ppa.power_uw < b.ppa.power_uw;
+            });
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const DesignPoint& a, const DesignPoint& b) {
+                            return std::abs(a.ppa.power_uw -
+                                            b.ppa.power_uw) < 1e-9 &&
+                                   std::abs(a.ppa.area_um2 -
+                                            b.ppa.area_um2) < 1e-9;
+                          }),
+              front.end());
+  return front;
+}
+
+double preference_score(const DesignPoint& p,
+                        const std::vector<DesignPoint>& front,
+                        double w_power, double w_area, double w_perf) {
+  double min_p = std::numeric_limits<double>::max(), max_p = 0;
+  double min_a = std::numeric_limits<double>::max(), max_a = 0;
+  double min_f = std::numeric_limits<double>::max(), max_f = 0;
+  for (const DesignPoint& q : front) {
+    min_p = std::min(min_p, q.ppa.power_uw);
+    max_p = std::max(max_p, q.ppa.power_uw);
+    min_a = std::min(min_a, q.ppa.area_um2);
+    max_a = std::max(max_a, q.ppa.area_um2);
+    min_f = std::min(min_f, q.ppa.fmax_mhz);
+    max_f = std::max(max_f, q.ppa.fmax_mhz);
+  }
+  auto norm = [](double v, double lo, double hi) {
+    return hi > lo ? (v - lo) / (hi - lo) : 0.0;
+  };
+  return w_power * norm(p.ppa.power_uw, min_p, max_p) +
+         w_area * norm(p.ppa.area_um2, min_a, max_a) -
+         w_perf * norm(p.ppa.fmax_mhz, min_f, max_f);
+}
+
+}  // namespace syndcim::core

@@ -1,0 +1,49 @@
+#pragma once
+#include <string>
+#include <vector>
+
+#include "rtlgen/arch.hpp"
+
+namespace syndcim::core {
+
+/// Search-time PPA estimate of one macro configuration (from the
+/// subcircuit library's slice characterization).
+struct PpaEstimate {
+  double fmax_mhz = 0.0;        ///< MAC clock limit at the spec voltage
+  double write_fmax_mhz = 0.0;  ///< weight-update limit
+  double power_uw = 0.0;        ///< at the spec frequency and voltage
+  double area_um2 = 0.0;        ///< cell area (pre-layout)
+  double energy_per_mac_fj = 0.0;  ///< per 1b-1b bitwise MAC
+  int latency_cycles = 0;          ///< input-to-output, at max precision
+  double tops_1b = 0.0;            ///< 1b-1b equivalent throughput at spec f
+  [[nodiscard]] double tops_per_w() const {
+    return power_uw > 0 ? tops_1b / (power_uw * 1e-6) : 0.0;
+  }
+  [[nodiscard]] double tops_per_mm2() const {
+    return area_um2 > 0 ? tops_1b / (area_um2 * 1e-6) : 0.0;
+  }
+};
+
+/// One explored design: configuration + estimate + provenance.
+struct DesignPoint {
+  rtlgen::MacroConfig cfg;
+  PpaEstimate ppa;
+  bool feasible = false;        ///< meets MAC + write frequency targets
+  std::vector<std::string> applied;  ///< technique trail (tt1..ft3)
+  std::string label;
+};
+
+/// Non-dominated filtering on (power, area), feasible points only.
+/// Points are dominated if another feasible point is no worse in both
+/// power and area and strictly better in one.
+[[nodiscard]] std::vector<DesignPoint> pareto_front(
+    const std::vector<DesignPoint>& points);
+
+/// Preference-weighted scalar score (lower is better) used for final
+/// selection among Pareto points.
+[[nodiscard]] double preference_score(const DesignPoint& p,
+                                      const std::vector<DesignPoint>& front,
+                                      double w_power, double w_area,
+                                      double w_perf);
+
+}  // namespace syndcim::core

@@ -1,0 +1,52 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace syndcim::core {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != rows_[0].size()) {
+    throw std::invalid_argument("TextTable::add_row: column count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      os << (c ? "  " : "") << std::left
+         << std::setw(static_cast<int>(widths[c])) << rows_[r][c];
+    }
+    os << "\n";
+    if (r == 0) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        os << (c ? "  " : "") << std::string(widths[c], '-');
+      }
+      os << "\n";
+    }
+  }
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::yesno(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace syndcim::core

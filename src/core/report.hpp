@@ -1,0 +1,24 @@
+#pragma once
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace syndcim::core {
+
+/// Minimal fixed-width text table used by the benchmark harnesses to print
+/// the rows/series of the paper's tables and figures.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  /// Number formatting helpers.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  [[nodiscard]] static std::string yesno(bool v);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace syndcim::core

@@ -1,0 +1,84 @@
+#pragma once
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "core/design_point.hpp"
+#include "core/spec.hpp"
+#include "rtlgen/arch.hpp"
+
+namespace syndcim::core {
+
+/// Characterized PPA of one macro configuration, obtained by elaborating a
+/// single-OFU-group *slice* of the macro (all columns are identical, so
+/// the slice's stage timing and per-group power/area compose exactly into
+/// the full macro). Cached per configuration — this is the paper's
+/// "subcircuit library with PPA lookup tables": the searcher consults
+/// these entries instead of re-elaborating full macros.
+struct SliceEval {
+  int slice_cols = 0;
+  // Nominal-voltage timing (scale by TechNode::delay_scale for other VDD).
+  double min_period_ps = 0.0;        ///< MAC-domain limit incl. OFU/outputs
+  double min_write_period_ps = 0.0;  ///< weight-update limit
+  /// Minimum feasible period of the MAC array pipeline stages (column
+  /// tree/S&A plus drivers/alignment), excluding the OFU/output stage —
+  /// the "adder path" of Algorithm 1.
+  double mac_path_period_ps = 0.0;
+  /// Minimum feasible period of the OFU/output stage ("OFU path").
+  double ofu_path_period_ps = 0.0;
+
+  // Per-group nominal dynamic energy (fJ per cycle, 50% data activity),
+  // leakage (nW) and cell area (um^2), keyed by depth-1 group name.
+  struct GroupCost {
+    std::string group;
+    double dynamic_fj = 0.0;
+    double leakage_nw = 0.0;
+    double area_um2 = 0.0;
+  };
+  std::vector<GroupCost> groups;
+  std::size_t gate_count = 0;
+};
+
+/// The SynDCIM Subcircuit Library (SCL).
+class SubcircuitLibrary {
+ public:
+  explicit SubcircuitLibrary(const cell::Library& lib) : lib_(lib) {}
+
+  /// Cached slice characterization of `cfg`.
+  const SliceEval& slice(const rtlgen::MacroConfig& cfg);
+
+  /// Full-macro search-time PPA estimate under `spec`'s frequency/voltage.
+  [[nodiscard]] PpaEstimate evaluate(const rtlgen::MacroConfig& cfg,
+                                     const PerfSpec& spec);
+
+  /// Timing classification at the spec voltage for Algorithm 1: does the
+  /// MAC ("adder") path meet, does the OFU path meet, does the write path
+  /// meet?
+  struct PathStatus {
+    double mac_period_ps = 0.0;
+    double ofu_period_ps = 0.0;
+    double write_period_ps = 0.0;
+    bool mac_ok = false;
+    bool ofu_ok = false;
+    bool write_ok = false;
+    [[nodiscard]] bool all_ok() const { return mac_ok && ofu_ok && write_ok; }
+  };
+  [[nodiscard]] PathStatus timing_status(const rtlgen::MacroConfig& cfg,
+                                         const PerfSpec& spec);
+
+  /// tt1's "faster adders available in the SCL": the next-faster adder
+  /// tree variant after `cur`, if any (more full adders, then reorder).
+  [[nodiscard]] static std::vector<rtlgen::AdderTreeConfig>
+  faster_tree_ladder(const rtlgen::AdderTreeConfig& cur);
+
+  [[nodiscard]] const cell::Library& cells() const { return lib_; }
+  [[nodiscard]] std::size_t cache_entries() const { return cache_.size(); }
+
+ private:
+  [[nodiscard]] static std::string cache_key(const rtlgen::MacroConfig& cfg);
+  const cell::Library& lib_;
+  std::map<std::string, SliceEval> cache_;
+};
+
+}  // namespace syndcim::core

@@ -1,0 +1,63 @@
+#pragma once
+#include <string>
+#include <vector>
+
+#include "core/design_point.hpp"
+#include "core/scl.hpp"
+#include "core/spec.hpp"
+
+namespace syndcim::core {
+
+struct SearchResult {
+  std::vector<DesignPoint> explored;  ///< every evaluated configuration
+  std::vector<DesignPoint> pareto;    ///< feasible non-dominated set
+  std::vector<std::string> log;       ///< technique application trace
+  [[nodiscard]] bool feasible() const { return !pareto.empty(); }
+  /// Pareto point ranked best under the spec's PPA preference.
+  [[nodiscard]] const DesignPoint& best(const PpaPreference& pref) const;
+};
+
+/// Multi-Spec-Oriented searcher (paper Algorithm 1, "Heuristic
+/// Hierarchical Search"). For each seed subcircuit selection it runs:
+///
+///   Step 1: subcircuit configuration from the SPEC (defaults otherwise)
+///   Step 2: critical-path optimization —
+///           adder path: tt1 faster adders from the SCL ladder,
+///                       tt2 retime the tree CPA into the S&A,
+///                       tt3 split the column height in half;
+///           OFU path:   tt4 retime OFU stage 1 into the S&A,
+///                       tt5 add an OFU pipeline stage
+///   Step 3: latency optimization — fuse S&A+OFU, then tree+S&A+OFU, by
+///           removing the pipeline registers where timing still closes
+///   Step 4: PPA fine-tuning — preference-oriented subcircuit
+///           substitutions (ft1 compressor-heavier CSA for power,
+///           ft2 OAI22 fused mux for area at MCR<=2, ft3 1T pass-gate mux
+///           for minimum area)
+///
+/// All evaluated points are kept; the result's `pareto` set is the
+/// feasible power/area frontier the user (or the preference weights)
+/// selects from.
+class MsoSearcher {
+ public:
+  explicit MsoSearcher(SubcircuitLibrary& scl) : scl_(scl) {}
+
+  [[nodiscard]] SearchResult search(const PerfSpec& spec);
+
+ private:
+  DesignPoint evaluate(const rtlgen::MacroConfig& cfg, const PerfSpec& spec,
+                       std::vector<std::string> applied, SearchResult& out);
+  /// Step 2 for one trajectory; returns false if the path cannot be fixed.
+  bool fix_mac_path(rtlgen::MacroConfig& cfg, const PerfSpec& spec,
+                    std::vector<std::string>& applied, SearchResult& out);
+  bool fix_ofu_path(rtlgen::MacroConfig& cfg, const PerfSpec& spec,
+                    std::vector<std::string>& applied, SearchResult& out);
+  void latency_optimize(rtlgen::MacroConfig& cfg, const PerfSpec& spec,
+                        std::vector<std::string>& applied,
+                        SearchResult& out);
+  void fine_tune(const rtlgen::MacroConfig& cfg, const PerfSpec& spec,
+                 const std::vector<std::string>& applied, SearchResult& out);
+
+  SubcircuitLibrary& scl_;
+};
+
+}  // namespace syndcim::core

@@ -1,0 +1,39 @@
+#include "core/spec.hpp"
+
+#include "tech/units.hpp"
+
+namespace syndcim::core {
+
+rtlgen::MacroConfig PerfSpec::base_config() const {
+  rtlgen::MacroConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.mcr = mcr;
+  cfg.input_bits = input_bits;
+  cfg.weight_bits = weight_bits;
+  cfg.fp_formats = fp_formats;
+  cfg.fp_guard_bits = fp_guard_bits;
+
+  // Algorithm 1 step 1: SPEC-defined subcircuits, else defaults. Defaults
+  // follow the paper: bit-wise CSA (compressor-leaning mixed design with
+  // carry reorder), TG+NOR mux, 6T bitcell, fully registered pipeline.
+  cfg.bitcell = bitcell.value_or(rtlgen::BitcellKind::k6T);
+  cfg.mux = mux.value_or(rtlgen::MuxStyle::kTGateNor);
+  cfg.tree.style = tree_style.value_or(rtlgen::AdderTreeStyle::kMixed);
+  cfg.tree.fa_fraction = 0.0;
+  cfg.tree.carry_reorder = true;
+  cfg.pipe.reg_after_tree = true;
+  cfg.ofu.input_reg = true;
+  cfg.column_split = 1;
+  return cfg;
+}
+
+double PerfSpec::period_ps() const {
+  return units::period_ps_from_mhz(mac_freq_mhz);
+}
+
+double PerfSpec::write_period_ps() const {
+  return units::period_ps_from_mhz(wupdate_freq_mhz);
+}
+
+}  // namespace syndcim::core

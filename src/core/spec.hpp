@@ -1,0 +1,54 @@
+#pragma once
+#include <optional>
+#include <vector>
+
+#include "num/fp_format.hpp"
+#include "rtlgen/arch.hpp"
+
+namespace syndcim::core {
+
+/// User PPA preference weights (paper: "PPA preferences"); the searcher
+/// ranks Pareto points by the weighted normalized objective.
+struct PpaPreference {
+  double power = 1.0;
+  double area = 1.0;
+  /// Extra reward for fmax headroom beyond the required frequency.
+  double performance = 0.0;
+};
+
+/// Input specification of the SynDCIM compiler (paper Fig. 2): macro
+/// architecture parameters plus performance constraints.
+struct PerfSpec {
+  // Architecture parameters.
+  int rows = 64;
+  int cols = 64;
+  int mcr = 2;
+  std::vector<int> input_bits = {4, 8};
+  std::vector<int> weight_bits = {4, 8};
+  std::vector<num::FpFormat> fp_formats = {};
+  int fp_guard_bits = 2;
+
+  // Performance constraints.
+  double mac_freq_mhz = 800.0;
+  double wupdate_freq_mhz = 800.0;
+  double vdd = 0.9;
+  /// Pre-layout guard band: the searcher closes timing at
+  /// period * (1 - timing_margin) so the post-APR wire parasitics still
+  /// meet the spec (standard synthesis-margin practice).
+  double timing_margin = 0.10;
+  PpaPreference pref;
+
+  // Optional SPEC-defined subcircuit choices (Algorithm 1, step 1:
+  // "if SPEC defined: set sc as SPEC-defined configuration").
+  std::optional<rtlgen::BitcellKind> bitcell;
+  std::optional<rtlgen::MuxStyle> mux;
+  std::optional<rtlgen::AdderTreeStyle> tree_style;
+
+  /// Base macro configuration with the paper's defaults applied.
+  [[nodiscard]] rtlgen::MacroConfig base_config() const;
+  /// Target MAC clock period in ps.
+  [[nodiscard]] double period_ps() const;
+  [[nodiscard]] double write_period_ps() const;
+};
+
+}  // namespace syndcim::core

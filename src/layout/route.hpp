@@ -1,0 +1,46 @@
+#pragma once
+#include <cstdint>
+#include <vector>
+
+#include "layout/floorplan.hpp"
+
+namespace syndcim::layout {
+
+/// Global-routing congestion analysis: every net is routed as a single
+/// horizontal trunk at its pins' median row with vertical branches (the
+/// classic one-trunk Steiner approximation); track demand is accumulated
+/// per gcell and compared against the pitch-derived capacity.
+struct RoutingGrid {
+  double gcell_um = 10.0;
+  int nx = 0, ny = 0;
+  std::vector<std::uint32_t> demand;  ///< tracks used per gcell
+  std::uint32_t capacity = 0;         ///< tracks available per gcell
+
+  [[nodiscard]] std::uint32_t at(int x, int y) const {
+    return demand[static_cast<std::size_t>(y) * nx + x];
+  }
+};
+
+struct RouteReport {
+  RoutingGrid grid;
+  double total_routed_um = 0.0;  ///< trunk+branch wirelength
+  /// Gcells whose straight-line demand exceeds capacity. The router does
+  /// not detour, so overflow measures *detour pressure*, not hard
+  /// unroutability; designs stay practically routable while the average
+  /// utilization is comfortably below 1 and hotspots are isolated.
+  int overflow_gcells = 0;
+  double max_utilization = 0.0;  ///< worst gcell demand/capacity
+  double avg_utilization = 0.0;
+  [[nodiscard]] bool routable() const { return overflow_gcells == 0; }
+};
+
+/// Routes all placed nets of `nl` over `fp` and reports congestion.
+/// `capacity_derate` scales the available tracks (1.0 = both routing
+/// layers fully available to signals).
+[[nodiscard]] RouteReport global_route(const netlist::FlatNetlist& nl,
+                                       const Floorplan& fp,
+                                       const tech::TechNode& node,
+                                       double gcell_um = 10.0,
+                                       double capacity_derate = 0.6);
+
+}  // namespace syndcim::layout

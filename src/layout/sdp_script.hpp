@@ -1,0 +1,21 @@
+#pragma once
+#include <iosfwd>
+
+#include "layout/floorplan.hpp"
+#include "netlist/flatten.hpp"
+
+namespace syndcim::layout {
+
+/// Emits the floorplan as a scalable Innovus-style SDP TCL script — the
+/// structured-data-path placement the paper sources during APR
+/// (Sec. III-D): die/core box, one region per structural group, and a
+/// placeInstance command per cell at its grid location.
+void write_sdp_tcl(const netlist::FlatNetlist& nl, const Floorplan& fp,
+                   std::ostream& os);
+
+/// Emits the placement in DEF (DESIGN/DIEAREA/COMPONENTS ... PLACED) for
+/// interchange with standard back-end tools.
+void write_def(const netlist::FlatNetlist& nl, const Floorplan& fp,
+               const std::string& design_name, std::ostream& os);
+
+}  // namespace syndcim::layout

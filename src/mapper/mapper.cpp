@@ -1,0 +1,92 @@
+#include "mapper/mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace syndcim::mapper {
+
+MacroProfile MacroProfile::from_implementation(
+    const core::Implementation& impl, double freq_mhz) {
+  MacroProfile p;
+  p.cfg = impl.macro.cfg;
+  p.freq_mhz = std::min(freq_mhz, impl.fmax_mhz);
+  p.energy_per_cycle_fj = impl.power.energy_per_cycle_fj(
+      std::min(freq_mhz, impl.fmax_mhz));
+  p.leakage_uw = impl.power.leakage_uw;
+  return p;
+}
+
+LayerMapping map_layer(const Layer& layer, const MacroProfile& macro) {
+  const auto& cfg = macro.cfg;
+  if (layer.m < 1 || layer.k < 1 || layer.n < 1) {
+    throw std::invalid_argument("map_layer: degenerate layer");
+  }
+  if (layer.weight_bits > cfg.max_weight_bits() ||
+      layer.input_bits > cfg.max_input_bits()) {
+    throw std::invalid_argument("map_layer: precision exceeds the macro's");
+  }
+  LayerMapping lm;
+  const long outs_per_tile = cfg.cols / layer.weight_bits;
+  lm.k_tiles = (layer.k + cfg.rows - 1) / cfg.rows;
+  lm.n_tiles = (layer.n + outs_per_tile - 1) / outs_per_tile;
+  lm.macs = layer.m * layer.k * layer.n;
+
+  // Weight-stationary: for each (n,k) tile, write `rows` rows (2-cycle
+  // write pipeline each), then stream m input groups at input_bits+1
+  // cycles apiece (load cycle + serial bits; the OFU pipeline overlaps
+  // consecutive groups).
+  const long tiles = lm.k_tiles * lm.n_tiles;
+  const long load_per_tile = 2L * cfg.rows;
+  const long compute_per_tile = layer.m * (layer.input_bits + 1L);
+  lm.weight_load_cycles = tiles * load_per_tile;
+  lm.compute_cycles = tiles * compute_per_tile;
+  if (cfg.mcr >= 2) {
+    // Double buffering: the next tile's load hides under this tile's
+    // compute; only the remainder (and the first load) is exposed.
+    const long hidden = std::min(load_per_tile, compute_per_tile);
+    lm.exposed_load_cycles =
+        load_per_tile + (tiles - 1) * (load_per_tile - hidden);
+  } else {
+    lm.exposed_load_cycles = lm.weight_load_cycles;
+  }
+  lm.total_cycles = lm.compute_cycles + lm.exposed_load_cycles;
+  lm.time_us = static_cast<double>(lm.total_cycles) / macro.freq_mhz;
+
+  // Energy: dynamic scaled by the workload's input density relative to
+  // the 50% profiling point, plus leakage over the wall time.
+  const double density_scale = 0.4 + 1.2 * layer.input_density;
+  lm.energy_uj = lm.total_cycles * macro.energy_per_cycle_fj *
+                     density_scale * 1e-9 +
+                 macro.leakage_uw * lm.time_us * 1e-6;
+
+  const double offered_macs =
+      static_cast<double>(lm.compute_cycles) / (layer.input_bits + 1) *
+      cfg.rows * outs_per_tile;
+  lm.utilization = offered_macs > 0 ? lm.macs / offered_macs : 0.0;
+  return lm;
+}
+
+NetworkReport map_network(const std::vector<Layer>& layers,
+                          const MacroProfile& macro, int n_macros) {
+  if (n_macros < 1) {
+    throw std::invalid_argument("map_network: need at least one macro");
+  }
+  NetworkReport rep;
+  for (const Layer& l : layers) {
+    LayerMapping lm = map_layer(l, macro);
+    // Tiles distribute across macros; the slowest macro sets layer time.
+    const long tiles = lm.k_tiles * lm.n_tiles;
+    const long per_macro = (tiles + n_macros - 1) / n_macros;
+    const double shrink =
+        tiles > 0 ? static_cast<double>(per_macro) / tiles : 1.0;
+    lm.time_us *= shrink;
+    rep.total_time_us += lm.time_us;
+    rep.total_energy_uj += lm.energy_uj;  // energy is conserved
+    rep.total_macs += lm.macs;
+    rep.layers.emplace_back(l, lm);
+  }
+  return rep;
+}
+
+}  // namespace syndcim::mapper

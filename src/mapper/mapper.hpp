@@ -1,0 +1,78 @@
+#pragma once
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "rtlgen/arch.hpp"
+
+namespace syndcim::mapper {
+
+/// A GEMM-shaped workload layer (fully-connected, or a convolution after
+/// im2col): Y[m,n] = X[m,k] * W[k,n].
+struct Layer {
+  std::string name;
+  long m = 1;  ///< batch/output-pixel count
+  long k = 1;  ///< reduction depth
+  long n = 1;  ///< output channels
+  int input_bits = 8;
+  int weight_bits = 8;
+  double input_density = 0.5;  ///< P(input bit == 1), scales energy
+};
+
+/// Execution profile of one compiled macro, extracted from its post-layout
+/// implementation at an operating frequency.
+struct MacroProfile {
+  rtlgen::MacroConfig cfg;
+  double freq_mhz = 0.0;
+  double energy_per_cycle_fj = 0.0;  ///< dynamic, at 50% data density
+  double leakage_uw = 0.0;
+
+  [[nodiscard]] static MacroProfile from_implementation(
+      const core::Implementation& impl, double freq_mhz);
+};
+
+/// How one layer executes on one macro (weight-stationary dataflow; with
+/// MCR >= 2 the next tile's weights stream into the idle bank during
+/// compute, hiding the write cycles behind the MAC cycles).
+struct LayerMapping {
+  long k_tiles = 0;       ///< reduction tiles of `rows` each
+  long n_tiles = 0;       ///< output tiles of cols/weight_bits each
+  long weight_load_cycles = 0;  ///< total write-port cycles
+  long exposed_load_cycles = 0; ///< loads not hidden by double buffering
+  long compute_cycles = 0;
+  long total_cycles = 0;
+  long macs = 0;
+  double time_us = 0.0;
+  double energy_uj = 0.0;
+  /// MAC-array utilization: useful bit-MACs / offered bit-MACs.
+  double utilization = 0.0;
+};
+
+[[nodiscard]] LayerMapping map_layer(const Layer& layer,
+                                     const MacroProfile& macro);
+
+/// Whole-network roll-up across `n_macros` identical macros (tiles are
+/// distributed across macros; per-layer tail effects are modeled by
+/// ceiling division).
+struct NetworkReport {
+  std::vector<std::pair<Layer, LayerMapping>> layers;
+  double total_time_us = 0.0;
+  double total_energy_uj = 0.0;
+  long total_macs = 0;
+  /// Effective throughput/efficiency at the workload's precision.
+  [[nodiscard]] double effective_gops() const {
+    return total_time_us > 0 ? 2.0 * total_macs / total_time_us * 1e-3
+                             : 0.0;
+  }
+  [[nodiscard]] double effective_tops_per_w() const {
+    return total_energy_uj > 0
+               ? 2.0 * total_macs / (total_energy_uj * 1e6)
+               : 0.0;
+  }
+};
+
+[[nodiscard]] NetworkReport map_network(const std::vector<Layer>& layers,
+                                        const MacroProfile& macro,
+                                        int n_macros = 1);
+
+}  // namespace syndcim::mapper

@@ -1,0 +1,86 @@
+#include "netlist/design.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace syndcim::netlist {
+
+Module& Design::add_module(Module m) {
+  const std::string name = m.name();
+  auto [it, inserted] = modules_.emplace(name, std::move(m));
+  if (!inserted) {
+    throw std::invalid_argument("Design::add_module: duplicate module " +
+                                name);
+  }
+  return it->second;
+}
+
+const Module& Design::module(std::string_view name) const {
+  const auto it = modules_.find(name);
+  if (it == modules_.end()) {
+    throw std::out_of_range("Design::module: unknown module " +
+                            std::string(name));
+  }
+  return it->second;
+}
+
+Module& Design::module(std::string_view name) {
+  const auto it = modules_.find(name);
+  if (it == modules_.end()) {
+    throw std::out_of_range("Design::module: unknown module " +
+                            std::string(name));
+  }
+  return it->second;
+}
+
+bool Design::has_module(std::string_view name) const {
+  return modules_.contains(name);
+}
+
+std::vector<std::string> Design::module_names() const {
+  std::vector<std::string> out;
+  out.reserve(modules_.size());
+  for (const auto& [k, v] : modules_) out.push_back(k);
+  return out;
+}
+
+namespace {
+void validate_module(const Design& d, const Module& m,
+                     std::set<std::string>& visited,
+                     std::vector<std::string>& problems) {
+  if (!visited.insert(m.name()).second) return;
+  std::set<std::string> inst_names;
+  for (const Instance& inst : m.instances()) {
+    if (!inst_names.insert(inst.name).second) {
+      problems.push_back(m.name() + ": duplicate instance name " + inst.name);
+    }
+    if (inst.is_cell) continue;
+    if (!d.has_module(inst.master)) {
+      problems.push_back(m.name() + "/" + inst.name + ": unknown submodule " +
+                         inst.master);
+      continue;
+    }
+    const Module& sub = d.module(inst.master);
+    for (const Conn& c : inst.conns) {
+      if (!sub.has_port(c.pin)) {
+        problems.push_back(m.name() + "/" + inst.name + ": no port '" +
+                           c.pin + "' on module " + inst.master);
+      }
+    }
+    validate_module(d, sub, visited, problems);
+  }
+}
+}  // namespace
+
+std::vector<std::string> validate(const Design& d, const std::string& top) {
+  std::vector<std::string> problems;
+  if (!d.has_module(top)) {
+    problems.push_back("top module '" + top + "' not found");
+    return problems;
+  }
+  std::set<std::string> visited;
+  validate_module(d, d.module(top), visited, problems);
+  return problems;
+}
+
+}  // namespace syndcim::netlist

@@ -1,0 +1,33 @@
+#pragma once
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/module.hpp"
+
+namespace syndcim::netlist {
+
+/// Owns a set of modules keyed by name; submodule instances refer to
+/// modules of the same Design.
+class Design {
+ public:
+  /// Moves `m` in; throws on duplicate module name.
+  Module& add_module(Module m);
+
+  [[nodiscard]] const Module& module(std::string_view name) const;
+  [[nodiscard]] Module& module(std::string_view name);
+  [[nodiscard]] bool has_module(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> module_names() const;
+
+ private:
+  std::map<std::string, Module, std::less<>> modules_;
+};
+
+/// Structural validation: every submodule master exists, every submodule
+/// connection names a real port with matching existence, instance names are
+/// unique within a module. Returns human-readable problem list (empty if
+/// clean).
+[[nodiscard]] std::vector<std::string> validate(const Design& d,
+                                                const std::string& top);
+
+}  // namespace syndcim::netlist

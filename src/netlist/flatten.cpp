@@ -1,0 +1,222 @@
+#include "netlist/flatten.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace syndcim::netlist {
+
+namespace {
+
+struct Interner {
+  std::unordered_map<std::string, std::uint32_t> map;
+};
+
+struct FlattenCtx {
+  const Design& design;
+  FlatNetlist& out;
+  Interner masters;
+  Interner pins;
+  Interner groups;
+  std::uint32_t shared_const0 = UINT32_MAX;
+  std::uint32_t shared_const1 = UINT32_MAX;
+};
+
+std::uint32_t intern(Interner& in, const std::string& name,
+                     auto&& make) {
+  const auto it = in.map.find(name);
+  if (it != in.map.end()) return it->second;
+  const std::uint32_t id = make(name);
+  in.map.emplace(name, id);
+  return id;
+}
+
+/// Recursively expands `m`. `port_nets` maps each of m's local port nets to
+/// a flat net id chosen by the parent; other local nets get fresh flat ids.
+void expand(FlattenCtx& ctx, const Module& m,
+            const std::unordered_map<std::uint32_t, std::uint32_t>& port_nets,
+            std::uint32_t group) {
+  std::vector<std::uint32_t> local2flat(m.nets().size(), UINT32_MAX);
+  for (const auto& [local, flat] : port_nets) local2flat[local] = flat;
+
+  auto flat_net = [&](NetId local) -> std::uint32_t {
+    std::uint32_t& slot = local2flat[local.v];
+    if (slot != UINT32_MAX) return slot;
+    const NetConst tie = m.net(local).tie;
+    // Share one flat net per constant value design-wide.
+    if (tie == NetConst::kZero) {
+      if (ctx.shared_const0 == UINT32_MAX) {
+        ctx.shared_const0 = ctx.out.new_net(tie);
+      }
+      slot = ctx.shared_const0;
+    } else if (tie == NetConst::kOne) {
+      if (ctx.shared_const1 == UINT32_MAX) {
+        ctx.shared_const1 = ctx.out.new_net(tie);
+      }
+      slot = ctx.shared_const1;
+    } else {
+      slot = ctx.out.new_net(tie);
+    }
+    return slot;
+  };
+
+  for (const Instance& inst : m.instances()) {
+    if (inst.is_cell) {
+      FlatNetlist::Gate g;
+      g.master = intern(ctx.masters, inst.master, [&](const std::string& n) {
+        return ctx.out.intern_master(n);
+      });
+      g.group = group;
+      g.pins.reserve(inst.conns.size());
+      for (const Conn& c : inst.conns) {
+        const std::uint32_t pin =
+            intern(ctx.pins, c.pin, [&](const std::string& n) {
+              return ctx.out.intern_pin(n);
+            });
+        g.pins.push_back({pin, flat_net(c.net)});
+      }
+      ctx.out.add_gate(std::move(g));
+      continue;
+    }
+    const Module& sub = ctx.design.module(inst.master);
+    std::unordered_map<std::uint32_t, std::uint32_t> sub_ports;
+    for (const Conn& c : inst.conns) {
+      const Port& p = sub.port(c.pin);
+      sub_ports.emplace(p.net.v, flat_net(c.net));
+    }
+    for (const Port& p : sub.ports()) {
+      if (sub_ports.contains(p.net.v)) continue;
+      if (p.dir == PortDir::kIn) {
+        throw std::invalid_argument("flatten: unconnected input port " +
+                                    p.name + " on instance " + inst.name +
+                                    " of " + sub.name());
+      }
+      sub_ports.emplace(p.net.v, ctx.out.new_net(NetConst::kNone));
+    }
+    expand(ctx, sub, sub_ports, group);
+  }
+}
+
+}  // namespace
+
+std::uint32_t FlatNetlist::intern_master(const std::string& name) {
+  master_names_.push_back(name);
+  return static_cast<std::uint32_t>(master_names_.size() - 1);
+}
+std::uint32_t FlatNetlist::intern_pin(const std::string& name) {
+  pin_names_.push_back(name);
+  return static_cast<std::uint32_t>(pin_names_.size() - 1);
+}
+std::uint32_t FlatNetlist::intern_group(const std::string& name) {
+  group_names_.push_back(name);
+  return static_cast<std::uint32_t>(group_names_.size() - 1);
+}
+std::uint32_t FlatNetlist::new_net(NetConst tie) {
+  net_consts_.push_back(tie);
+  return static_cast<std::uint32_t>(net_consts_.size() - 1);
+}
+
+std::uint32_t FlatNetlist::input_net(std::string_view name) const {
+  for (const PrimaryIo& io : primary_inputs_) {
+    if (io.name == name) return io.net;
+  }
+  throw std::out_of_range("FlatNetlist::input_net: no input " +
+                          std::string(name));
+}
+
+std::uint32_t FlatNetlist::output_net(std::string_view name) const {
+  for (const PrimaryIo& io : primary_outputs_) {
+    if (io.name == name) return io.net;
+  }
+  throw std::out_of_range("FlatNetlist::output_net: no output " +
+                          std::string(name));
+}
+
+FlatNetlist flatten(const Design& d, const std::string& top) {
+  const std::vector<std::string> problems = validate(d, top);
+  if (!problems.empty()) {
+    throw std::invalid_argument("flatten: design invalid: " + problems[0] +
+                                (problems.size() > 1 ? " (+more)" : ""));
+  }
+  FlatNetlist out;
+  FlattenCtx ctx{d, out, {}, {}, {}};
+  const Module& t = d.module(top);
+
+  std::unordered_map<std::uint32_t, std::uint32_t> top_ports;
+  for (const Port& p : t.ports()) {
+    const std::uint32_t net = out.new_net(t.net(p.net).tie);
+    top_ports.emplace(p.net.v, net);
+    if (p.dir == PortDir::kIn) {
+      out.add_primary_input(p.name, net);
+    } else {
+      out.add_primary_output(p.name, net);
+    }
+  }
+
+  // Group 0 = gates directly in the top module; depth-1 submodule instances
+  // each get their own group for path-group classification and placement.
+  const std::uint32_t top_group = out.intern_group(top);
+  ctx.groups.map.emplace(top, top_group);
+
+  // Expand top manually so depth-1 instances can be tagged.
+  const Module& m = t;
+  std::vector<std::uint32_t> local2flat(m.nets().size(), UINT32_MAX);
+  for (const auto& [local, flat] : top_ports) local2flat[local] = flat;
+  auto flat_net = [&](NetId local) -> std::uint32_t {
+    std::uint32_t& slot = local2flat[local.v];
+    if (slot != UINT32_MAX) return slot;
+    const NetConst tie = m.net(local).tie;
+    if (tie == NetConst::kZero) {
+      if (ctx.shared_const0 == UINT32_MAX) {
+        ctx.shared_const0 = out.new_net(tie);
+      }
+      slot = ctx.shared_const0;
+    } else if (tie == NetConst::kOne) {
+      if (ctx.shared_const1 == UINT32_MAX) {
+        ctx.shared_const1 = out.new_net(tie);
+      }
+      slot = ctx.shared_const1;
+    } else {
+      slot = out.new_net(tie);
+    }
+    return slot;
+  };
+
+  for (const Instance& inst : m.instances()) {
+    if (inst.is_cell) {
+      FlatNetlist::Gate g;
+      g.master = intern(ctx.masters, inst.master, [&](const std::string& n) {
+        return out.intern_master(n);
+      });
+      g.group = top_group;
+      for (const Conn& c : inst.conns) {
+        const std::uint32_t pin =
+            intern(ctx.pins, c.pin,
+                   [&](const std::string& n) { return out.intern_pin(n); });
+        g.pins.push_back({pin, flat_net(c.net)});
+      }
+      out.add_gate(std::move(g));
+      continue;
+    }
+    const std::uint32_t group = intern(
+        ctx.groups, inst.name,
+        [&](const std::string& n) { return out.intern_group(n); });
+    const Module& sub = d.module(inst.master);
+    std::unordered_map<std::uint32_t, std::uint32_t> sub_ports;
+    for (const Conn& c : inst.conns) {
+      const Port& p = sub.port(c.pin);
+      sub_ports.emplace(p.net.v, flat_net(c.net));
+    }
+    for (const Port& p : sub.ports()) {
+      if (sub_ports.contains(p.net.v)) continue;
+      if (p.dir == PortDir::kIn) {
+        throw std::invalid_argument("flatten: unconnected input port " +
+                                    p.name + " on instance " + inst.name);
+      }
+      sub_ports.emplace(p.net.v, out.new_net(NetConst::kNone));
+    }
+    expand(ctx, sub, sub_ports, group);
+  }
+  return out;
+}
+
+}  // namespace syndcim::netlist

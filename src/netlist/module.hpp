@@ -1,0 +1,102 @@
+#pragma once
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace syndcim::netlist {
+
+/// Index of a net inside one Module (not globally unique).
+struct NetId {
+  std::uint32_t v = std::numeric_limits<std::uint32_t>::max();
+  [[nodiscard]] bool valid() const {
+    return v != std::numeric_limits<std::uint32_t>::max();
+  }
+  [[nodiscard]] bool operator==(const NetId&) const = default;
+};
+
+enum class PortDir { kIn, kOut };
+
+/// Constant tie value of a net, if any.
+enum class NetConst : std::uint8_t { kNone, kZero, kOne };
+
+struct Net {
+  std::string name;
+  NetConst tie = NetConst::kNone;
+};
+
+struct Port {
+  std::string name;
+  PortDir dir = PortDir::kIn;
+  NetId net;
+};
+
+/// One pin-to-net connection of an instance.
+struct Conn {
+  std::string pin;
+  NetId net;
+};
+
+/// Instance of either a library cell or another module.
+struct Instance {
+  std::string name;
+  std::string master;
+  bool is_cell = true;
+  std::vector<Conn> conns;
+};
+
+/// Bus bit name, e.g. bus_name("sum", 3) == "sum[3]".
+[[nodiscard]] std::string bus_name(std::string_view base, int index);
+
+/// A hierarchical netlist module: ports, nets and instances. Modules are
+/// value types owned by a Design; NetIds are only meaningful within their
+/// module.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  NetId add_net(std::string name);
+  std::vector<NetId> add_bus(std::string_view base, int width);
+
+  /// Adds a port and its backing net.
+  NetId add_port(std::string name, PortDir dir);
+  std::vector<NetId> add_port_bus(std::string_view base, PortDir dir,
+                                  int width);
+
+  /// Constant-tie nets, created on first use.
+  NetId const0();
+  NetId const1();
+
+  std::size_t add_cell(std::string inst_name, std::string cell_name,
+                       std::vector<Conn> conns);
+  std::size_t add_submodule(std::string inst_name, std::string module_name,
+                            std::vector<Conn> conns);
+
+  [[nodiscard]] std::span<const Net> nets() const { return nets_; }
+  [[nodiscard]] std::span<const Port> ports() const { return ports_; }
+  [[nodiscard]] std::span<const Instance> instances() const {
+    return instances_;
+  }
+  [[nodiscard]] const Net& net(NetId id) const { return nets_.at(id.v); }
+
+  /// Port lookup by name; throws if absent.
+  [[nodiscard]] const Port& port(std::string_view name) const;
+  [[nodiscard]] bool has_port(std::string_view name) const;
+
+  /// Number of cell instances (excluding submodule instances).
+  [[nodiscard]] std::size_t cell_count() const;
+
+ private:
+  std::string name_;
+  std::vector<Net> nets_;
+  std::vector<Port> ports_;
+  std::vector<Instance> instances_;
+  NetId const0_{};
+  NetId const1_{};
+};
+
+}  // namespace syndcim::netlist

@@ -1,0 +1,20 @@
+#pragma once
+#include <iosfwd>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace syndcim::netlist {
+
+/// Emits the hierarchical design as structural Verilog-2001 (the "macro
+/// RTL/netlist" output of the compiler). Bus-bit net names like "sum[3]"
+/// are escaped-identifier-safe scalarized names; every module below `top`
+/// is emitted once, leaves (library cells) are referenced by name.
+void write_verilog(const Design& d, const std::string& top,
+                   std::ostream& os);
+
+/// Verilog identifier for an internal name (bus bits become name_3_;
+/// anything else non-alphanumeric is escaped with '_').
+[[nodiscard]] std::string verilog_ident(const std::string& name);
+
+}  // namespace syndcim::netlist

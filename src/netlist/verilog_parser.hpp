@@ -1,0 +1,20 @@
+#pragma once
+#include <istream>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace syndcim::netlist {
+
+/// Parses the structural-Verilog subset emitted by write_verilog():
+/// scalar ports/wires, constant assigns, named-port instances. Instance
+/// masters that match a parsed module become submodule instances;
+/// everything else is a library-cell reference. Throws
+/// std::invalid_argument with a line number on any syntax it does not
+/// understand.
+///
+/// Enables netlist round-trips: generate -> write -> parse -> flatten,
+/// which the test suite checks for structural and functional equality.
+[[nodiscard]] Design parse_verilog(std::istream& is);
+
+}  // namespace syndcim::netlist

@@ -1,0 +1,78 @@
+#include "num/alignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace syndcim::num {
+
+namespace {
+/// Effective (unbiased) exponent and integer significand (with implicit
+/// bit for normals) of one encoded value.
+struct SigExp {
+  std::int64_t sig = 0;  ///< unsigned significand
+  int exp = 0;           ///< effective unbiased exponent
+  int sign = 0;
+};
+
+SigExp sig_exp(std::uint32_t enc, FpFormat f) {
+  const FpFields v = fp_split(enc, f);
+  SigExp out;
+  out.sign = v.sign;
+  if (v.exp_raw == 0) {
+    out.sig = v.man_raw;
+    out.exp = 1 - f.bias();  // subnormals share the minimum exponent
+  } else {
+    out.sig = v.man_raw + (std::int64_t{1} << f.man_bits);
+    out.exp = v.exp_raw - f.bias();
+  }
+  return out;
+}
+}  // namespace
+
+double AlignedGroup::value(std::size_t i) const {
+  return std::ldexp(static_cast<double>(mant.at(i)),
+                    shared_exp_unbiased - frac_shift);
+}
+
+int aligned_mant_bits(FpFormat f, int guard_bits) {
+  return 2 + f.man_bits + guard_bits;  // sign + implicit + mantissa + guard
+}
+
+AlignedGroup align_fp_group(std::span<const std::uint32_t> enc, FpFormat f,
+                            int guard_bits) {
+  if (enc.empty()) throw std::invalid_argument("align_fp_group: empty group");
+  if (guard_bits < 0 || guard_bits > 16) {
+    throw std::invalid_argument("align_fp_group: guard_bits out of range");
+  }
+
+  std::vector<SigExp> parts;
+  parts.reserve(enc.size());
+  int max_exp = 1 - f.bias();
+  bool any_nonzero = false;
+  for (const std::uint32_t e : enc) {
+    SigExp p = sig_exp(e, f);
+    if (p.sig != 0) {
+      any_nonzero = true;
+      max_exp = std::max(max_exp, p.exp);
+    }
+    parts.push_back(p);
+  }
+
+  AlignedGroup out;
+  out.frac_shift = f.man_bits + guard_bits;
+  out.shared_exp_unbiased = any_nonzero ? max_exp : 0;
+  out.mant.reserve(parts.size());
+  for (const SigExp& p : parts) {
+    const int shift = out.shared_exp_unbiased - p.exp;
+    std::int64_t m = 0;
+    if (p.sig != 0) {
+      const std::int64_t widened = p.sig << guard_bits;
+      m = shift >= 63 ? 0 : (widened >> shift);  // barrel shifter flush
+    }
+    out.mant.push_back(p.sign ? -m : m);
+  }
+  return out;
+}
+
+}  // namespace syndcim::num

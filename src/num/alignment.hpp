@@ -1,0 +1,36 @@
+#pragma once
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "num/fp_format.hpp"
+
+namespace syndcim::num {
+
+/// Result of the FP&INT Alignment Unit: every value in the group is
+/// expressed as a signed integer mantissa against one shared exponent, the
+/// format consumed by the integer MAC array.
+///
+/// value_i ~= mant[i] * 2^(shared_exp_unbiased - man_bits - guard_bits)
+struct AlignedGroup {
+  std::vector<std::int64_t> mant;
+  int shared_exp_unbiased = 0;  ///< effective exponent of the group maximum
+  int frac_shift = 0;           ///< man_bits + guard_bits of the source format
+
+  /// Real value represented by element `i`.
+  [[nodiscard]] double value(std::size_t i) const;
+};
+
+/// Behavioral reference of the alignment unit's comparator tree + shifters.
+/// Mantissas are truncated on right shift (hardware drops the shifted-out
+/// bits); `guard_bits` extra low bits reduce that truncation loss.
+/// Shifts larger than the mantissa width flush to zero, as the barrel
+/// shifter does.
+[[nodiscard]] AlignedGroup align_fp_group(std::span<const std::uint32_t> enc,
+                                          FpFormat f, int guard_bits);
+
+/// Width in bits of the signed aligned mantissa produced by
+/// `align_fp_group` (sign + implicit bit + man_bits + guard_bits).
+[[nodiscard]] int aligned_mant_bits(FpFormat f, int guard_bits);
+
+}  // namespace syndcim::num

@@ -1,0 +1,99 @@
+#include "num/fp_format.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace syndcim::num {
+
+FpFields fp_split(std::uint32_t enc, FpFormat f) {
+  const std::uint32_t mask = (1u << f.storage_bits()) - 1;
+  if (enc & ~mask) {
+    throw std::invalid_argument("fp_split: encoding wider than format");
+  }
+  FpFields out;
+  out.man_raw = static_cast<int>(enc & ((1u << f.man_bits) - 1));
+  out.exp_raw = static_cast<int>((enc >> f.man_bits) & ((1u << f.exp_bits) - 1));
+  out.sign = static_cast<int>((enc >> (f.man_bits + f.exp_bits)) & 1u);
+  return out;
+}
+
+std::uint32_t fp_join(FpFields fields, FpFormat f) {
+  return (static_cast<std::uint32_t>(fields.sign) << (f.man_bits + f.exp_bits)) |
+         (static_cast<std::uint32_t>(fields.exp_raw) << f.man_bits) |
+         static_cast<std::uint32_t>(fields.man_raw);
+}
+
+double fp_decode(std::uint32_t enc, FpFormat f) {
+  const FpFields v = fp_split(enc, f);
+  const double sign = v.sign ? -1.0 : 1.0;
+  if (v.exp_raw == 0) {
+    // Subnormal: value = man * 2^(1 - bias - man_bits).
+    return sign * std::ldexp(static_cast<double>(v.man_raw),
+                             1 - f.bias() - f.man_bits);
+  }
+  const double sig = static_cast<double>(v.man_raw) +
+                     static_cast<double>(1 << f.man_bits);
+  return sign * std::ldexp(sig, v.exp_raw - f.bias() - f.man_bits);
+}
+
+double fp_max_value(FpFormat f) {
+  FpFields v;
+  v.sign = 0;
+  v.exp_raw = f.max_exp_raw();
+  v.man_raw = (1 << f.man_bits) - 1;
+  return fp_decode(fp_join(v, f), f);
+}
+
+std::uint32_t fp_encode(double x, FpFormat f) {
+  FpFields out;
+  out.sign = std::signbit(x) ? 1 : 0;
+  double mag = std::fabs(x);
+  if (std::isnan(mag)) mag = 0.0;  // formats carry no NaN; flush to zero
+  const double max_v = fp_max_value(f);
+  if (mag >= max_v) {  // saturate (covers inf)
+    out.exp_raw = f.max_exp_raw();
+    out.man_raw = (1 << f.man_bits) - 1;
+    return fp_join(out, f);
+  }
+  if (mag == 0.0) return fp_join(out, f);
+
+  int e = 0;
+  (void)std::frexp(mag, &e);  // mag = frac * 2^e, frac in [0.5, 1)
+  // Unbiased exponent of the leading bit is e-1; biased field would be:
+  int exp_field = e - 1 + f.bias();
+  if (exp_field < 1) exp_field = 0;  // subnormal range
+
+  // Scale so that the mantissa field is an integer count of ULPs.
+  const int ulp_exp = (exp_field == 0 ? 1 : exp_field) - f.bias() - f.man_bits;
+  const double scaled = std::ldexp(mag, -ulp_exp);
+  // Round to nearest even.
+  double r = std::nearbyint(scaled);
+  if (std::fabs(scaled - std::trunc(scaled) - 0.5) < 1e-12) {
+    const double lo = std::floor(scaled);
+    r = (static_cast<std::int64_t>(lo) % 2 == 0) ? lo : lo + 1.0;
+  }
+  auto sig = static_cast<std::int64_t>(r);
+
+  const std::int64_t implicit = std::int64_t{1} << f.man_bits;
+  if (exp_field == 0) {
+    if (sig >= implicit) {  // rounded up into normal range
+      exp_field = 1;
+      sig -= implicit;
+    }
+  } else {
+    if (sig >= 2 * implicit) {  // rounded up a binade
+      exp_field += 1;
+      sig >>= 1;
+    }
+    sig -= implicit;
+    if (exp_field > f.max_exp_raw()) {  // saturate after rounding
+      exp_field = f.max_exp_raw();
+      sig = implicit - 1;
+    }
+  }
+  out.exp_raw = exp_field;
+  out.man_raw = static_cast<int>(sig);
+  return fp_join(out, f);
+}
+
+}  // namespace syndcim::num

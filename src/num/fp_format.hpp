@@ -1,0 +1,54 @@
+#pragma once
+#include <cstdint>
+#include <string>
+
+namespace syndcim::num {
+
+/// Parameterized small floating-point format: 1 sign bit, `exp_bits`
+/// exponent bits (biased), `man_bits` mantissa bits, subnormal support,
+/// no inf/NaN encodings (max-magnitude saturation, as in OCP FP8/FP4 and
+/// typical DCIM hardware).
+struct FpFormat {
+  int exp_bits = 4;
+  int man_bits = 3;
+
+  [[nodiscard]] constexpr int bias() const {
+    return (1 << (exp_bits - 1)) - 1;
+  }
+  [[nodiscard]] constexpr int storage_bits() const {
+    return 1 + exp_bits + man_bits;
+  }
+  [[nodiscard]] constexpr int max_exp_raw() const {
+    return (1 << exp_bits) - 1;
+  }
+  [[nodiscard]] std::string name() const {
+    return "E" + std::to_string(exp_bits) + "M" + std::to_string(man_bits);
+  }
+  [[nodiscard]] constexpr bool operator==(const FpFormat&) const = default;
+};
+
+inline constexpr FpFormat kFp4{2, 1};    // E2M1
+inline constexpr FpFormat kFp8{4, 3};    // E4M3
+inline constexpr FpFormat kFp16{5, 10};  // IEEE half (sans inf/NaN)
+inline constexpr FpFormat kBf16{8, 7};   // bfloat16 (sans inf/NaN)
+
+/// Decoded bit fields of one encoded value.
+struct FpFields {
+  int sign = 0;      ///< 0 or 1
+  int exp_raw = 0;   ///< biased exponent field
+  int man_raw = 0;   ///< mantissa field (no implicit bit)
+};
+
+[[nodiscard]] FpFields fp_split(std::uint32_t enc, FpFormat f);
+[[nodiscard]] std::uint32_t fp_join(FpFields fields, FpFormat f);
+
+/// Exact value of an encoded number.
+[[nodiscard]] double fp_decode(std::uint32_t enc, FpFormat f);
+
+/// Round-to-nearest-even encode with saturation to max magnitude.
+[[nodiscard]] std::uint32_t fp_encode(double x, FpFormat f);
+
+/// Largest finite magnitude of the format.
+[[nodiscard]] double fp_max_value(FpFormat f);
+
+}  // namespace syndcim::num

@@ -1,0 +1,51 @@
+#pragma once
+#include <cstdint>
+#include <stdexcept>
+
+namespace syndcim::num {
+
+/// Fixed-width integer format used by the DCIM datapath (1..32 bits).
+struct IntFormat {
+  int bits = 8;
+  bool is_signed = true;
+
+  [[nodiscard]] std::int64_t min_value() const {
+    if (!is_signed) return 0;
+    return bits == 1 ? -1 : -(std::int64_t{1} << (bits - 1));
+  }
+  [[nodiscard]] std::int64_t max_value() const {
+    if (!is_signed) return (std::int64_t{1} << bits) - 1;
+    return bits == 1 ? 0 : (std::int64_t{1} << (bits - 1)) - 1;
+  }
+};
+
+/// Sign-extends the low `bits` of `v`.
+[[nodiscard]] constexpr std::int64_t sign_extend(std::uint64_t v, int bits) {
+  const std::uint64_t mask = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  v &= mask;
+  const std::uint64_t sign_bit = 1ull << (bits - 1);
+  return (v & sign_bit) ? static_cast<std::int64_t>(v | ~mask)
+                        : static_cast<std::int64_t>(v);
+}
+
+/// Two's-complement bit `k` (LSB = 0) of a signed value in `bits` bits.
+[[nodiscard]] constexpr int ts_bit(std::int64_t v, int k) {
+  return static_cast<int>((static_cast<std::uint64_t>(v) >> k) & 1u);
+}
+
+/// Saturate `v` into the representable range of `f`.
+[[nodiscard]] inline std::int64_t saturate(std::int64_t v, IntFormat f) {
+  if (v < f.min_value()) return f.min_value();
+  if (v > f.max_value()) return f.max_value();
+  return v;
+}
+
+/// Throws unless `v` is representable in `f` (used to validate test vectors
+/// and weight matrices handed to the macro model).
+inline void require_in_range(std::int64_t v, IntFormat f) {
+  if (v < f.min_value() || v > f.max_value()) {
+    throw std::out_of_range("value not representable in IntFormat");
+  }
+}
+
+}  // namespace syndcim::num

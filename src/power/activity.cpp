@@ -1,0 +1,158 @@
+#include "power/activity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace syndcim::power {
+
+using cell::Kind;
+using netlist::FlatNetlist;
+using netlist::NetConst;
+
+namespace {
+constexpr std::uint32_t kNoNet = UINT32_MAX;
+/// Temporal-correlation derating applied to the 2p(1-p) toggle estimate.
+constexpr double kToggleDamp = 0.7;
+
+struct ResolvedGate {
+  const cell::Cell* cell;
+  std::vector<std::uint32_t> in_nets;   // canonical order
+  std::vector<std::uint32_t> out_nets;  // canonical order
+};
+
+std::vector<ResolvedGate> resolve(const FlatNetlist& nl,
+                                  const cell::Library& lib) {
+  std::vector<const cell::Cell*> masters;
+  for (const std::string& m : nl.master_names()) masters.push_back(&lib.get(m));
+  std::vector<ResolvedGate> out;
+  out.reserve(nl.gates().size());
+  for (const auto& fg : nl.gates()) {
+    ResolvedGate rg;
+    rg.cell = masters[fg.master];
+    std::vector<std::uint32_t> by_pin(rg.cell->pins.size(), kNoNet);
+    for (const auto& pc : fg.pins) {
+      const int pi = rg.cell->pin_index(nl.pin_names()[pc.pin_name]);
+      if (pi >= 0) by_pin[static_cast<std::size_t>(pi)] = pc.net;
+    }
+    for (std::size_t i = 0; i < rg.cell->pins.size(); ++i) {
+      (rg.cell->pins[i].is_input ? rg.in_nets : rg.out_nets)
+          .push_back(by_pin[i]);
+    }
+    out.push_back(std::move(rg));
+  }
+  return out;
+}
+}  // namespace
+
+ActivityModel activity_from_sim(const FlatNetlist& nl,
+                                const cell::Library& lib,
+                                const sim::GateSim& gs) {
+  if (gs.cycles() == 0) {
+    throw std::invalid_argument("activity_from_sim: no cycles simulated");
+  }
+  ActivityModel am;
+  const double cycles = static_cast<double>(gs.cycles());
+  am.toggle_rate.resize(nl.net_count());
+  am.p_one.assign(nl.net_count(), 0.5);  // p1 not tracked by the simulator
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    am.toggle_rate[n] = static_cast<double>(gs.net_toggles()[n]) / cycles;
+    am.p_one[n] = gs.net_value(n) ? 1.0 : 0.0;  // final-state approximation
+  }
+  // Clock nets: GateSim's clock is implicit; force 2 transitions/cycle.
+  const auto gates = resolve(nl, lib);
+  for (const auto& g : gates) {
+    for (std::size_t i = 0, in = 0; i < g.cell->pins.size(); ++i) {
+      if (!g.cell->pins[i].is_input) continue;
+      if (g.cell->pins[i].is_clock) {
+        const std::uint32_t net = g.in_nets[in];
+        if (net != kNoNet) am.toggle_rate[net] = 2.0;
+      }
+      ++in;
+    }
+  }
+  return am;
+}
+
+ActivityModel propagate_activity(const FlatNetlist& nl,
+                                 const cell::Library& lib,
+                                 const ActivitySpec& spec) {
+  const auto gates = resolve(nl, lib);
+  ActivityModel am;
+  am.p_one.assign(nl.net_count(), 0.5);
+  am.toggle_rate.assign(nl.net_count(), 0.0);
+
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    if (nl.net_const(n) != NetConst::kNone) {
+      am.p_one[n] = nl.net_const(n) == NetConst::kOne ? 1.0 : 0.0;
+      am.toggle_rate[n] = 0.0;
+    }
+  }
+  for (const auto& io : nl.primary_inputs()) {
+    am.p_one[io.net] = spec.input_p1;
+    am.toggle_rate[io.net] = spec.input_toggle;
+  }
+
+  // Iterate to a fixpoint so register feedback (accumulators) settles.
+  for (int pass = 0; pass < 8; ++pass) {
+    // Sequential outputs first.
+    for (const auto& g : gates) {
+      const cell::TimingRole role = g.cell->timing_role();
+      if (role == cell::TimingRole::kCombinational) continue;
+      const std::uint32_t q = g.out_nets.empty() ? kNoNet : g.out_nets[0];
+      if (q == kNoNet) continue;
+      if (role == cell::TimingRole::kStorage) {
+        am.p_one[q] = spec.weight_p1;
+        am.toggle_rate[q] = 0.0;  // weights static during MAC
+        continue;
+      }
+      const double pd = am.p_one[g.in_nets[0]];  // D pin is first input
+      am.p_one[q] = pd;
+      am.toggle_rate[q] = 2.0 * pd * (1.0 - pd) * kToggleDamp;
+    }
+    // Combinational gates: exact P1 under independence (<= 5 inputs).
+    for (const auto& g : gates) {
+      if (g.cell->timing_role() != cell::TimingRole::kCombinational) {
+        continue;
+      }
+      const int n_in = static_cast<int>(g.in_nets.size());
+      const int combos = 1 << n_in;
+      std::vector<double> pout(g.out_nets.size(), 0.0);
+      std::vector<int> in_vals(static_cast<std::size_t>(n_in));
+      for (int v = 0; v < combos; ++v) {
+        double p = 1.0;
+        for (int i = 0; i < n_in; ++i) {
+          const int bit = (v >> i) & 1;
+          in_vals[static_cast<std::size_t>(i)] = bit;
+          const double p1 = am.p_one[g.in_nets[static_cast<std::size_t>(i)]];
+          p *= bit ? p1 : (1.0 - p1);
+        }
+        if (p == 0.0) continue;
+        const auto outs = cell::eval_kind(g.cell->kind, in_vals);
+        for (std::size_t o = 0; o < pout.size(); ++o) {
+          if (outs[o]) pout[o] += p;
+        }
+      }
+      for (std::size_t o = 0; o < g.out_nets.size(); ++o) {
+        const std::uint32_t net = g.out_nets[o];
+        if (net == kNoNet) continue;
+        am.p_one[net] = pout[o];
+        am.toggle_rate[net] = 2.0 * pout[o] * (1.0 - pout[o]) * kToggleDamp;
+      }
+    }
+  }
+  // Clock nets toggle twice per cycle.
+  for (const auto& g : gates) {
+    std::size_t in = 0;
+    for (const auto& p : g.cell->pins) {
+      if (!p.is_input) continue;
+      if (p.is_clock && g.in_nets[in] != kNoNet) {
+        am.toggle_rate[g.in_nets[in]] = 2.0;
+      }
+      ++in;
+    }
+  }
+  return am;
+}
+
+}  // namespace syndcim::power

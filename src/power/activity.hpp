@@ -1,0 +1,44 @@
+#pragma once
+#include <vector>
+
+#include "cell/library.hpp"
+#include "netlist/flatten.hpp"
+#include "sim/gate_sim.hpp"
+
+namespace syndcim::power {
+
+/// Per-net switching activity: toggles per clock cycle plus static one
+/// probability (used for pass-gate leakage-style corrections and the
+/// probabilistic estimator itself).
+struct ActivityModel {
+  std::vector<double> toggle_rate;  ///< transitions per cycle, per flat net
+  std::vector<double> p_one;        ///< P(net == 1)
+};
+
+/// Extracts measured activity from a finished gate-level simulation run
+/// (toggles / cycles). Clock nets (nets driving CK pins) are forced to two
+/// transitions per cycle since GateSim models an implicit clock.
+[[nodiscard]] ActivityModel activity_from_sim(const netlist::FlatNetlist& nl,
+                                              const cell::Library& lib,
+                                              const sim::GateSim& gs);
+
+/// Workload statistics for the probabilistic estimator.
+struct ActivitySpec {
+  /// P(primary input bit == 1); DCIM inputs follow the workload's bit
+  /// density (e.g. Table II's 12.5% input sparsity point).
+  double input_p1 = 0.5;
+  /// Transitions per cycle on primary inputs.
+  double input_toggle = 0.25;
+  /// P(stored weight bit == 1) — bitcell outputs are static during MAC.
+  double weight_p1 = 0.5;
+};
+
+/// Zero-delay probabilistic activity propagation assuming spatial input
+/// independence: P1 is propagated exactly per gate function under the
+/// independence assumption and the toggle rate is damped through deep
+/// logic. Used at search time, when no netlist-level simulation has run.
+[[nodiscard]] ActivityModel propagate_activity(const netlist::FlatNetlist& nl,
+                                               const cell::Library& lib,
+                                               const ActivitySpec& spec);
+
+}  // namespace syndcim::power

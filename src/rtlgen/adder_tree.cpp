@@ -1,0 +1,246 @@
+#include "rtlgen/adder_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "rtlgen/gates.hpp"
+
+namespace syndcim::rtlgen {
+
+namespace {
+
+/// One signal in the bit heap with an arrival estimate (in parasitic-delay
+/// units mirroring the characterized cells) used for carry reordering.
+struct Sig {
+  NetId net;
+  double arr = 0.0;
+};
+
+// Arrival cost constants track the cell library's parasitic delays.
+constexpr double kFaS = 6.8, kFaCo = 4.2, kFaCiS = 4.8;
+constexpr double kHaS = 4.5, kHaCo = 2.2;
+constexpr double kCmpAbcS = 10.5, kCmpLateS = 5.5;
+constexpr double kCmpAbcC = 8.0, kCmpLateC = 4.4;
+constexpr double kCmpCout = 4.2;
+
+using Heap = std::vector<std::vector<Sig>>;
+
+int max_height(const Heap& h) {
+  std::size_t m = 0;
+  for (const auto& col : h) m = std::max(m, col.size());
+  return static_cast<int>(m);
+}
+
+/// Orders a column so that late-arriving signals are taken last (and thus
+/// land on the fast late ports). Without reorder, keeps FIFO order.
+void order_column(std::vector<Sig>& col, bool reorder) {
+  if (reorder) {
+    std::stable_sort(col.begin(), col.end(),
+                     [](const Sig& a, const Sig& b) { return a.arr < b.arr; });
+  }
+}
+
+/// Deterministic op-mix sequencer: returns true when the op at `index`
+/// should use a full adder instead of a compressor, hitting `fa_fraction`
+/// in the long run (Bresenham-style accumulation).
+struct MixPolicy {
+  double fa_fraction;
+  double acc = 0.0;
+  bool next_is_fa() {
+    acc += fa_fraction;
+    if (acc >= 1.0 - 1e-12) {
+      acc -= 1.0;
+      return true;
+    }
+    return false;
+  }
+};
+
+struct ReductionResult {
+  Heap heap;  // every column reduced to height <= 2
+};
+
+ReductionResult reduce_heap(GateBuilder& gb, Heap heap, double fa_fraction,
+                            bool reorder) {
+  MixPolicy mix{fa_fraction};
+  while (max_height(heap) > 2) {
+    Heap next(heap.size() + 1);
+    // Intra-stage compressor carry chain: COUTs produced in column c feed
+    // CINs of compressors in column c+1 of the same stage.
+    std::vector<std::vector<Sig>> chain(heap.size() + 2);
+    for (std::size_t c = 0; c < heap.size(); ++c) {
+      std::vector<Sig>& col = heap[c];
+      order_column(col, reorder);
+      std::size_t taken = 0;
+      auto remaining = [&] { return col.size() - taken; };
+      std::size_t chain_used = 0;
+
+      while (remaining() >= 4 && !mix.next_is_fa()) {
+        // Compressor: early signals to A,B,C; latest of the four to D.
+        const Sig a = col[taken], b = col[taken + 1], cc = col[taken + 2],
+                  d = col[taken + 3];
+        taken += 4;
+        Sig cin{gb.c0(), 0.0};
+        if (chain_used < chain[c].size()) cin = chain[c][chain_used++];
+        const auto out = gb.cmp42(a.net, b.net, cc.net, d.net, cin.net);
+        const double abc = std::max({a.arr, b.arr, cc.arr});
+        const double late = std::max(d.arr, cin.arr);
+        next[c].push_back(
+            {out.s, std::max(abc + kCmpAbcS, late + kCmpLateS)});
+        next[c + 1].push_back(
+            {out.c, std::max(abc + kCmpAbcC, late + kCmpLateC)});
+        chain[c + 1].push_back({out.cout, abc + kCmpCout});
+      }
+      while (remaining() >= 3) {
+        // Full adder: latest of the three to CI (the fast port).
+        const Sig a = col[taken], b = col[taken + 1], ci = col[taken + 2];
+        taken += 3;
+        const auto out = gb.fa(a.net, b.net, ci.net);
+        const double ab = std::max(a.arr, b.arr);
+        next[c].push_back({out.s, std::max(ab + kFaS, ci.arr + kFaCiS)});
+        next[c + 1].push_back({out.co, std::max(ab + kFaCo, ci.arr + kFaCiS)});
+      }
+      if (remaining() == 2 && col.size() > 2) {
+        // Column still above target: finish with a half adder.
+        const Sig a = col[taken], b = col[taken + 1];
+        taken += 2;
+        const auto out = gb.ha(a.net, b.net);
+        const double ab = std::max(a.arr, b.arr);
+        next[c].push_back({out.s, ab + kHaS});
+        next[c + 1].push_back({out.co, ab + kHaCo});
+      }
+      // Pass through whatever is left (height already <= 2).
+      for (; taken < col.size(); ++taken) next[c].push_back(col[taken]);
+      // Unconsumed chain carries drop into the next stage's heap.
+      for (; chain_used < chain[c].size(); ++chain_used) {
+        next[c].push_back(chain[c][chain_used]);
+      }
+    }
+    // Carries chained past the last processed column.
+    for (std::size_t c = heap.size(); c < chain.size(); ++c) {
+      for (const Sig& s : chain[c]) {
+        if (c >= next.size()) next.resize(c + 1);
+        next[c].push_back(s);
+      }
+    }
+    while (!next.empty() && next.back().empty()) next.pop_back();
+    heap = std::move(next);
+  }
+  return {std::move(heap)};
+}
+
+}  // namespace
+
+netlist::Module gen_adder_tree(const AdderTreeConfig& cfg,
+                               const std::string& module_name) {
+  if (cfg.rows < 2) {
+    throw std::invalid_argument("gen_adder_tree: rows must be >= 2");
+  }
+  netlist::Module m(module_name);
+  GateBuilder gb(m, "t_");
+  const auto in = m.add_port_bus("in", netlist::PortDir::kIn, cfg.rows);
+  const int k = cfg.sum_bits();
+
+  if (cfg.style == AdderTreeStyle::kRcaTree) {
+    // Binary tree of *signed* ripple adders, the conventional DCIM
+    // baseline (paper Sec. II-B): every level adds with sign-extended
+    // operands, one bit wider than strictly necessary for a popcount, so
+    // each level carries the signed-RCA width/depth overhead.
+    std::vector<std::vector<NetId>> vals;
+    vals.reserve(static_cast<std::size_t>(cfg.rows));
+    for (const NetId n : in) vals.push_back({n});
+    while (vals.size() > 1) {
+      std::vector<std::vector<NetId>> next;
+      for (std::size_t i = 0; i + 1 < vals.size(); i += 2) {
+        const int w = static_cast<int>(std::max(vals[i].size(),
+                                                vals[i + 1].size())) +
+                      1;  // sign-extension bit
+        auto a = gb.zext(vals[i], w);
+        auto b = gb.zext(vals[i + 1], w);
+        auto add = gb.rca(a, b);
+        // Signed adders compute the result MSB through the sign XOR
+        // (s = a_sign ^ b_sign ^ carry); with unsigned popcount operands
+        // the sign term is constant but the gate — and its serial delay on
+        // the top-bit chain — is part of the conventional design.
+        add.sum.push_back(gb.xor2(add.cout, gb.c0()));
+        // Template-stitched trees (the conventional compiler flow) compose
+        // per-level adder blocks with buffered block boundaries, which
+        // breaks the carry-overlap a flat ripple chain would enjoy.
+        for (NetId& bit : add.sum) bit = gb.buf(bit, "BUFX1");
+        next.push_back(std::move(add.sum));
+      }
+      if (vals.size() % 2 == 1) next.push_back(vals.back());
+      vals = std::move(next);
+    }
+    const auto sum = m.add_port_bus("sum", netlist::PortDir::kOut, k);
+    auto result = gb.zext(vals[0], std::max<int>(k, vals[0].size()));
+    for (int i = 0; i < k; ++i) {
+      // Port nets alias the result by a buffer-free connection: emit a
+      // plain BUF to keep single-driver semantics simple and cheap.
+      m.add_cell("out_buf_" + std::to_string(i), "BUFX1",
+                 {{"A", result[static_cast<std::size_t>(i)]}, {"Y", sum[i]}});
+    }
+    return m;
+  }
+
+  const double fa_frac =
+      cfg.style == AdderTreeStyle::kCompressor ? 0.0 : cfg.fa_fraction;
+  Heap heap(1);
+  heap[0].reserve(static_cast<std::size_t>(cfg.rows));
+  for (const NetId n : in) heap[0].push_back({n, 0.0});
+  ReductionResult red = reduce_heap(gb, std::move(heap), fa_frac,
+                                    cfg.carry_reorder);
+
+  // Assemble the two redundant vectors over the first k columns (higher
+  // columns are provably zero for a popcount of `rows` inputs).
+  std::vector<NetId> sv, cv;
+  for (int c = 0; c < k; ++c) {
+    const auto& col = static_cast<std::size_t>(c) < red.heap.size()
+                          ? red.heap[static_cast<std::size_t>(c)]
+                          : std::vector<Sig>{};
+    // Late signal goes to the carry vector (CPA's B input / S&A FA row).
+    sv.push_back(col.size() > 0 ? col[0].net : gb.c0());
+    cv.push_back(col.size() > 1 ? col[1].net : gb.c0());
+  }
+
+  if (cfg.external_cpa) {
+    const auto sv_p = m.add_port_bus("sv", netlist::PortDir::kOut, k);
+    const auto cv_p = m.add_port_bus("cv", netlist::PortDir::kOut, k);
+    for (int i = 0; i < k; ++i) {
+      m.add_cell("sv_buf_" + std::to_string(i), "BUFX1",
+                 {{"A", sv[static_cast<std::size_t>(i)]}, {"Y", sv_p[i]}});
+      m.add_cell("cv_buf_" + std::to_string(i), "BUFX1",
+                 {{"A", cv[static_cast<std::size_t>(i)]}, {"Y", cv_p[i]}});
+    }
+    return m;
+  }
+
+  const auto cpa = gb.rca(sv, cv);
+  const auto sum = m.add_port_bus("sum", netlist::PortDir::kOut, k);
+  for (int i = 0; i < k; ++i) {
+    m.add_cell("out_buf_" + std::to_string(i), "BUFX1",
+               {{"A", cpa.sum[static_cast<std::size_t>(i)]}, {"Y", sum[i]}});
+  }
+  return m;
+}
+
+int estimate_adder_tree_cells(const AdderTreeConfig& cfg) {
+  const int k = cfg.sum_bits();
+  if (cfg.style == AdderTreeStyle::kRcaTree) {
+    // Sum over levels of pair adders of growing width.
+    int cells = 0, count = cfg.rows, width = 1;
+    while (count > 1) {
+      cells += (count / 2) * width;
+      count = (count + 1) / 2;
+      ++width;
+    }
+    return cells + k;
+  }
+  // Heap reduction does ~rows-2 bit reductions per output column weight;
+  // a compressor removes 2 of a column, an FA removes 1.
+  const double per_op = cfg.fa_fraction + (1.0 - cfg.fa_fraction) * 2.0;
+  return static_cast<int>(cfg.rows * 1.9 / per_op) + k;
+}
+
+}  // namespace syndcim::rtlgen

@@ -1,0 +1,36 @@
+#pragma once
+#include "netlist/module.hpp"
+#include "rtlgen/arch.hpp"
+
+namespace syndcim::rtlgen {
+
+/// Generates a combinational adder tree that sums `cfg.rows` one-bit
+/// partial products.
+///
+/// Ports:
+///   in[0..rows)            : product bits
+///   sum[0..sum_bits)       : completed sum         (external_cpa = false)
+///   sv[0..sum_bits), cv[.] : redundant carry-save vectors with
+///                            sv + cv == popcount   (external_cpa = true)
+///
+/// Styles:
+///  - kRcaTree:    binary tree of ripple-carry adders (the conventional
+///                 baseline the paper compares against);
+///  - kCompressor: Wallace-style bit-heap reduction using 4-2 compressors
+///                 with an intra-stage COUT->CIN chain, FAs/HAs for the
+///                 remainder, and a final ripple CPA;
+///  - kMixed:      same, but a `fa_fraction` share of the 4-bit reduction
+///                 ops use full adders instead of compressors, trading
+///                 power/area for a shorter critical path.
+///
+/// With `carry_reorder`, signals within a heap column are assigned to
+/// compressor/FA input ports by estimated arrival time: late signals go to
+/// the fast late ports (D/CIN/CI), early signals to the slow ports.
+[[nodiscard]] netlist::Module gen_adder_tree(const AdderTreeConfig& cfg,
+                                             const std::string& module_name);
+
+/// Rough cell count estimate used by the subcircuit library before
+/// elaboration (compressors + FAs + HAs + CPA).
+[[nodiscard]] int estimate_adder_tree_cells(const AdderTreeConfig& cfg);
+
+}  // namespace syndcim::rtlgen

@@ -1,0 +1,186 @@
+#include "rtlgen/alignment_unit.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "num/alignment.hpp"
+#include "rtlgen/gates.hpp"
+
+namespace syndcim::rtlgen {
+
+namespace {
+[[nodiscard]] int ceil_log2(int v) {
+  return std::bit_width(static_cast<unsigned>(v - 1));
+}
+}  // namespace
+
+int AlignmentConfig::latency_cycles() const {
+  if (!pipelined) return 0;
+  const int levels = lanes > 1 ? ceil_log2(lanes) : 0;
+  const int lps = levels_per_stage();
+  const int tree_stages = levels > 0 ? (levels + lps - 1) / lps : 0;
+  // input reg + tree stages + shifter stage + negate/output stage
+  return 1 + tree_stages + 2;
+}
+
+netlist::Module gen_alignment_unit(const AlignmentConfig& cfg,
+                                   const std::string& module_name) {
+  if (cfg.lanes < 1) {
+    throw std::invalid_argument("gen_alignment_unit: lanes must be >= 1");
+  }
+  const int eb = cfg.format.exp_bits;
+  const int mb = cfg.format.man_bits;
+  const int w = mb + 1 + cfg.guard_bits;           // unsigned aligned width
+  const int out_w = num::aligned_mant_bits(cfg.format, cfg.guard_bits);
+  const int levels = cfg.lanes > 1 ? ceil_log2(cfg.lanes) : 0;
+  const int lps = cfg.levels_per_stage();
+  const int tree_stages =
+      cfg.pipelined && levels > 0 ? (levels + lps - 1) / lps : 0;
+
+  netlist::Module m(module_name);
+  GateBuilder gb(m, "al_");
+  const NetId clk = cfg.pipelined
+                        ? m.add_port("clk", netlist::PortDir::kIn)
+                        : NetId{};
+
+  // The shared exponent is declared up front and driven by the comparator
+  // tree generated *after* the lane blocks: this keeps each lane's cells
+  // contiguous in placement order (input logic, delay registers, shifter,
+  // negate), which is how the SDP flow lays the unit out.
+  const auto maxe = m.add_bus("maxe_i", eb);
+
+  struct Lane {
+    std::vector<NetId> eff_exp;  // subnormal-adjusted exponent (undelayed)
+    NetId sgn;
+  };
+  std::vector<Lane> lanes;
+  lanes.reserve(static_cast<std::size_t>(cfg.lanes));
+
+  for (int l = 0; l < cfg.lanes; ++l) {
+    const auto exp = m.add_port_bus("exp" + std::to_string(l),
+                                    netlist::PortDir::kIn, eb);
+    const auto man = m.add_port_bus("man" + std::to_string(l),
+                                    netlist::PortDir::kIn, mb);
+    const NetId sgn = m.add_port("sgn" + std::to_string(l),
+                                 netlist::PortDir::kIn);
+    // implicit = OR(exp bits); subnormals use effective exponent 1.
+    NetId implicit = exp[0];
+    for (int i = 1; i < eb; ++i) {
+      implicit = gb.or2(implicit, exp[static_cast<std::size_t>(i)]);
+    }
+    Lane lane;
+    lane.sgn = sgn;
+    lane.eff_exp = exp;
+    lane.eff_exp[0] = gb.or2(exp[0], gb.inv(implicit));
+    // Input register stage: isolates the lane-local decode from the
+    // tree's long level-1 wires.
+    if (cfg.pipelined) lane.eff_exp = gb.dff_bus(lane.eff_exp, clk);
+    lanes.push_back(lane);
+
+    // The input fields are held stable in the operand latches while the
+    // tree pipeline settles (the load protocol guarantees it), so the
+    // shifter reads them directly — no per-lane delay chains needed.
+    const std::vector<NetId>& d_exp = lane.eff_exp;
+    std::vector<NetId> d_sig = man;
+    d_sig.push_back(implicit);
+    NetId d_sgn = sgn;
+
+    // shift = maxe - eff_exp (always >= 0).
+    const auto shift = gb.rca(maxe, gb.inv_bus(d_exp), gb.c1()).sum;
+    // Widened significand: sig << guard (wiring only).
+    std::vector<NetId> val = gb.zext(gb.shl(d_sig, cfg.guard_bits), w);
+    // Logarithmic right shifter; stages whose stride exceeds the width
+    // flush to zero instead. Stage selects drive a whole word: buffered.
+    for (int b = 0; b < eb; ++b) {
+      const NetId sb = gb.buf(shift[static_cast<std::size_t>(b)], "BUFX2");
+      const int stride = 1 << b;
+      if (stride >= w) {
+        const NetId nsb = gb.inv(sb);
+        val = gb.and_bus(val, nsb);
+      } else {
+        std::vector<NetId> shifted;
+        shifted.reserve(val.size());
+        for (int i = 0; i < w; ++i) {
+          const NetId hi = (i + stride < w)
+                               ? val[static_cast<std::size_t>(i + stride)]
+                               : gb.c0();
+          shifted.push_back(
+              gb.mux2(val[static_cast<std::size_t>(i)], hi, sb));
+        }
+        val = std::move(shifted);
+      }
+    }
+    // Pipeline boundary between the barrel shifter and the negate stage.
+    if (cfg.pipelined) {
+      val = gb.dff_bus(val, clk);
+      d_sgn = gb.dff(d_sgn, clk);
+    }
+    // Two's complement: am = sgn ? -val : val  (xor row + increment).
+    const NetId sgn_b = gb.buf(d_sgn, "BUFX2");
+    auto x = gb.xor_bus(gb.zext(val, out_w), sgn_b);
+    std::vector<NetId> am;
+    am.reserve(static_cast<std::size_t>(out_w));
+    NetId carry = sgn_b;
+    for (int i = 0; i < out_w; ++i) {
+      const auto h = gb.ha(x[static_cast<std::size_t>(i)], carry);
+      am.push_back(h.s);
+      carry = h.co;
+    }
+    if (cfg.pipelined) am = gb.dff_bus(am, clk);  // output register stage
+    const auto p = m.add_port_bus("am" + std::to_string(l),
+                                  netlist::PortDir::kOut, out_w);
+    for (int i = 0; i < out_w; ++i) {
+      m.add_cell("am" + std::to_string(l) + "_buf" + std::to_string(i),
+                 "BUFX1",
+                 {{"A", am[static_cast<std::size_t>(i)]}, {"Y", p[i]}});
+    }
+  }
+
+  // Comparator (max) tree, pipelined every `lps` levels; one register
+  // boundary at the tree's end aligns it with the lane delay chains.
+  std::vector<std::vector<NetId>> cur;
+  for (const Lane& l : lanes) cur.push_back(l.eff_exp);
+  int level = 0;
+  int regs_used = 0;
+  while (cur.size() > 1) {
+    std::vector<std::vector<NetId>> next;
+    for (std::size_t i = 0; i + 1 < cur.size(); i += 2) {
+      const auto nb = gb.inv_bus(cur[i + 1]);
+      const NetId ge = gb.rca(cur[i], nb, gb.c1()).cout;
+      next.push_back(gb.mux_bus(cur[i + 1], cur[i], ge));
+    }
+    if (cur.size() % 2 == 1) next.push_back(cur.back());
+    cur = std::move(next);
+    ++level;
+    if (cfg.pipelined && level % lps == 0 && cur.size() > 1) {
+      for (auto& bus : cur) bus = gb.dff_bus(bus, clk);
+      ++regs_used;
+    }
+  }
+  if (cfg.pipelined) {
+    // Pad to exactly tree_stages register boundaries.
+    while (regs_used < tree_stages) {
+      for (auto& bus : cur) bus = gb.dff_bus(bus, clk);
+      ++regs_used;
+    }
+  }
+  // Drive the pre-declared shared-exponent bus (strongly: it fans out to
+  // every lane's subtractor).
+  const char* drv = cfg.lanes > 32 ? "BUFX16"
+                                   : (cfg.lanes > 4 ? "BUFX4" : "BUFX1");
+  for (int i = 0; i < eb; ++i) {
+    m.add_cell("maxe_drv" + std::to_string(i), drv,
+               {{"A", cur[0][static_cast<std::size_t>(i)]},
+                {"Y", maxe[static_cast<std::size_t>(i)]}});
+  }
+  {
+    const auto p = m.add_port_bus("maxe", netlist::PortDir::kOut, eb);
+    for (int i = 0; i < eb; ++i) {
+      m.add_cell("maxe_obuf" + std::to_string(i), "BUFX1",
+                 {{"A", maxe[static_cast<std::size_t>(i)]}, {"Y", p[i]}});
+    }
+  }
+  return m;
+}
+
+}  // namespace syndcim::rtlgen

@@ -1,0 +1,41 @@
+#pragma once
+#include "netlist/module.hpp"
+#include "num/fp_format.hpp"
+
+namespace syndcim::rtlgen {
+
+/// FP&INT Alignment Unit (paper Sec. II-B): converts a group of `lanes`
+/// floating-point inputs into integer mantissas against the group's
+/// maximum exponent, via a comparator (max) tree, per-lane exponent
+/// subtractors, right barrel shifters and two's-complement conversion.
+/// Matches the behavioral reference num::align_fp_group (truncating
+/// shifts, flush on overshift, subnormal support).
+///
+/// Ports (combinational):
+///   exp{l}[exp_bits], man{l}[man_bits], sgn{l}  : lane l input fields
+///   am{l}[0..aligned_mant_bits)                 : aligned signed mantissa
+///   maxe[exp_bits]                              : shared (effective) exponent
+struct AlignmentConfig {
+  num::FpFormat format = num::kFp8;
+  int lanes = 64;
+  int guard_bits = 2;
+  /// Pipeline the comparator tree and shifter (adds a clk port and
+  /// matching lane-delay registers); required for wide arrays where the
+  /// whole unit cannot settle in one MAC cycle.
+  bool pipelined = false;
+
+  /// Comparator-tree levels registered per pipeline stage (wide exponents
+  /// and wide arrays need a register every level: the level-to-level
+  /// wiring spans the whole lane block).
+  [[nodiscard]] int levels_per_stage() const {
+    return (format.exp_bits >= 6 || lanes > 16) ? 1 : 2;
+  }
+  /// Total register stages between inputs and the aligned outputs
+  /// (0 when not pipelined).
+  [[nodiscard]] int latency_cycles() const;
+};
+
+[[nodiscard]] netlist::Module gen_alignment_unit(
+    const AlignmentConfig& cfg, const std::string& module_name);
+
+}  // namespace syndcim::rtlgen

@@ -1,0 +1,165 @@
+#include "rtlgen/arch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "num/alignment.hpp"
+
+namespace syndcim::rtlgen {
+
+std::string to_string(AdderTreeStyle s) {
+  switch (s) {
+    case AdderTreeStyle::kRcaTree:
+      return "rca_tree";
+    case AdderTreeStyle::kCompressor:
+      return "compressor_csa";
+    case AdderTreeStyle::kMixed:
+      return "mixed_csa";
+  }
+  return "?";
+}
+
+std::string to_string(MuxStyle s) {
+  switch (s) {
+    case MuxStyle::kPassGate1T:
+      return "pass_gate_1t";
+    case MuxStyle::kTGateNor:
+      return "tgate_nor";
+    case MuxStyle::kOai22Fused:
+      return "oai22_fused";
+  }
+  return "?";
+}
+
+std::string to_string(BitcellKind k) {
+  switch (k) {
+    case BitcellKind::k6T:
+      return "6T";
+    case BitcellKind::k8T:
+      return "8T";
+    case BitcellKind::k12T:
+      return "12T";
+  }
+  return "?";
+}
+
+const char* bitcell_cell_name(BitcellKind k) {
+  switch (k) {
+    case BitcellKind::k6T:
+      return "SRAM6T";
+    case BitcellKind::k8T:
+      return "SRAM8T";
+    case BitcellKind::k12T:
+      return "SRAM12T";
+  }
+  throw std::logic_error("bitcell_cell_name: bad kind");
+}
+
+namespace {
+[[nodiscard]] bool is_pow2(int v) {
+  return v > 0 && (v & (v - 1)) == 0;
+}
+[[nodiscard]] int log2i(int v) {
+  return std::bit_width(static_cast<unsigned>(v)) - 1;
+}
+}  // namespace
+
+int AdderTreeConfig::sum_bits() const {
+  // Popcount of `rows` one-bit inputs needs log2(rows)+1 bits.
+  return log2i(rows) + 1;
+}
+
+int MacroConfig::max_input_bits() const {
+  int m = 1;
+  for (const int b : input_bits) m = std::max(m, b);
+  for (const num::FpFormat& f : fp_formats) {
+    m = std::max(m, num::aligned_mant_bits(f, fp_guard_bits));
+  }
+  return m;
+}
+
+int MacroConfig::max_weight_bits() const {
+  int m = 1;
+  for (const int b : weight_bits) m = std::max(m, b);
+  for (const num::FpFormat& f : fp_formats) {
+    // Weights are stored pre-aligned with the same mantissa width,
+    // sign-extended to the next power-of-two column-group width.
+    m = std::max(m, num::aligned_mant_bits(f, fp_guard_bits));
+  }
+  m = static_cast<int>(std::bit_ceil(static_cast<unsigned>(m)));
+  // Weight precision cannot exceed the column count.
+  return std::min(m, cols);
+}
+
+int MacroConfig::sa_width() const {
+  // Split segments are recombined before the S&A, so the partial sum is
+  // always log2(rows)+1 bits; signed accumulation over max_input_bits
+  // serial slices plus one guard bit.
+  return log2i(rows) + 1 + max_input_bits() + 1;
+}
+
+void MacroConfig::validate() const {
+  if (!is_pow2(rows) || rows < 8 || rows > 1024) {
+    throw std::invalid_argument("MacroConfig: rows must be 8..1024, pow2");
+  }
+  if (!is_pow2(cols) || cols < 8 || cols > 1024) {
+    throw std::invalid_argument("MacroConfig: cols must be 8..1024, pow2");
+  }
+  if (mcr < 1 || mcr > 8 || !is_pow2(mcr)) {
+    throw std::invalid_argument("MacroConfig: mcr must be 1,2,4,8");
+  }
+  if (mux == MuxStyle::kOai22Fused && mcr > 2) {
+    // Paper Sec. II-B: the fused OAI22 mux-multiplier does not scale
+    // beyond MCR=2.
+    throw std::invalid_argument(
+        "MacroConfig: OAI22 fused mux style requires MCR <= 2");
+  }
+  if (input_bits.empty() && fp_formats.empty()) {
+    throw std::invalid_argument("MacroConfig: no precisions configured");
+  }
+  for (const int b : input_bits) {
+    if (b < 1 || b > 16) {
+      throw std::invalid_argument("MacroConfig: input precision out of range");
+    }
+  }
+  for (const int b : weight_bits) {
+    if (b < 1 || b > 16 || !is_pow2(b)) {
+      throw std::invalid_argument(
+          "MacroConfig: weight precision must be pow2 in 1..16");
+    }
+    if (b > cols) {
+      throw std::invalid_argument("MacroConfig: weight precision > cols");
+    }
+  }
+  if (column_split < 1 || !is_pow2(column_split) ||
+      rows / column_split < 8) {
+    throw std::invalid_argument(
+        "MacroConfig: column_split must be pow2 with >= 8 rows/segment");
+  }
+  if (pipe.retime_tree_cpa && !pipe.reg_after_tree) {
+    throw std::invalid_argument(
+        "MacroConfig: retime_tree_cpa requires reg_after_tree");
+  }
+  if (pipe.retime_tree_cpa && column_split > 1) {
+    throw std::invalid_argument(
+        "MacroConfig: retime_tree_cpa is incompatible with column_split");
+  }
+  if (ofu.retime_stage1 && !ofu.input_reg) {
+    throw std::invalid_argument(
+        "MacroConfig: ofu.retime_stage1 requires ofu.input_reg");
+  }
+  if (tree.style == AdderTreeStyle::kRcaTree &&
+      (tree.external_cpa || pipe.retime_tree_cpa)) {
+    throw std::invalid_argument(
+        "MacroConfig: RCA tree has no separable final CPA");
+  }
+  if (tree.fa_fraction < 0.0 || tree.fa_fraction > 1.0) {
+    throw std::invalid_argument("MacroConfig: fa_fraction must be in [0,1]");
+  }
+  if (fp_guard_bits < 0 || fp_guard_bits > 8) {
+    throw std::invalid_argument("MacroConfig: fp_guard_bits out of range");
+  }
+}
+
+}  // namespace syndcim::rtlgen

@@ -1,0 +1,112 @@
+#pragma once
+#include <string>
+#include <vector>
+
+#include "num/fp_format.hpp"
+
+namespace syndcim::rtlgen {
+
+/// Adder tree topology (paper Sec. III-B).
+enum class AdderTreeStyle {
+  kRcaTree,     ///< conventional tree of signed ripple-carry adders
+  kCompressor,  ///< bit-wise 4-2 compressor CSA
+  kMixed,       ///< mixed compressor / full-adder CSA (the paper's design)
+};
+
+/// Multiplier + multiplexer circuit style (paper Sec. II-B).
+enum class MuxStyle {
+  kPassGate1T,  ///< AutoDCIM-style 1T pass gate: smallest, slow, leaky
+  kTGateNor,    ///< 2T transmission gate + NOR multiply (common choice)
+  kOai22Fused,  ///< OAI22 fused mux-multiplier; not scalable beyond MCR=2
+};
+
+enum class BitcellKind { k6T, k8T, k12T };
+
+[[nodiscard]] std::string to_string(AdderTreeStyle s);
+[[nodiscard]] std::string to_string(MuxStyle s);
+[[nodiscard]] std::string to_string(BitcellKind k);
+[[nodiscard]] const char* bitcell_cell_name(BitcellKind k);
+
+struct AdderTreeConfig {
+  int rows = 64;  ///< number of 1-bit partial products to accumulate
+  AdderTreeStyle style = AdderTreeStyle::kMixed;
+  /// Mixed style: fraction of the reduction performed by full adders
+  /// instead of 4-2 compressors (0 = compressor-only, 1 = FA-only).
+  /// Strict timing wants more FAs; loose timing wants more compressors.
+  double fa_fraction = 0.0;
+  /// Route fast carry outputs into slow compressor inputs (the paper's
+  /// connection-reorder optimization).
+  bool carry_reorder = true;
+  /// When true the final carry-propagate stage is omitted and the module
+  /// exposes the redundant sum/carry vectors — used by the tt2 retiming
+  /// move that pushes the CPA into the S&A stage.
+  bool external_cpa = false;
+
+  [[nodiscard]] int sum_bits() const;  ///< width of the completed sum
+};
+
+/// Per-column pipeline arrangement chosen by the searcher.
+struct ColumnPipeline {
+  /// Register between adder tree and S&A (false = tree fused into the S&A
+  /// cycle — the step-3 latency optimization).
+  bool reg_after_tree = true;
+  /// tt2: register holds the redundant CSA vectors; the final CPA is
+  /// retimed into the S&A stage. Requires reg_after_tree.
+  bool retime_tree_cpa = false;
+};
+
+/// Output fusion unit arrangement. Register chain:
+///   S&A acc -> [input capture reg] -> fusion stages with pipeline regs
+struct OfuConfig {
+  /// Capture register between S&A and OFU (false = OFU fused with S&A,
+  /// the step-3 latency optimization).
+  bool input_reg = true;
+  /// tt5, applied repeatedly: number of fusion stages whose outputs are
+  /// registered, starting from the widest (last) stage. 0 = fully
+  /// combinational OFU after the capture register.
+  int pipeline_regs = 0;
+  /// tt4: retime the first fusion stage into the S&A clock stage (it then
+  /// computes before the capture register). Requires input_reg.
+  bool retime_stage1 = false;
+};
+
+/// Complete architecture of one DCIM macro.
+struct MacroConfig {
+  int rows = 64;  ///< H: inputs per column dot-product
+  int cols = 64;  ///< W: compute columns (1-bit weight columns)
+  int mcr = 2;    ///< memory-compute ratio: storage banks per compute bit
+
+  /// Supported serial-input precisions (bits); the widest sizes the S&A.
+  std::vector<int> input_bits = {4, 8};
+  /// Supported weight precisions; the widest sizes the OFU. Weights of
+  /// precision p occupy p adjacent columns (two's complement, MSB column
+  /// carries negative weight).
+  std::vector<int> weight_bits = {4, 8};
+  /// FP formats handled by the alignment unit (empty = INT only).
+  std::vector<num::FpFormat> fp_formats = {};
+  int fp_guard_bits = 2;
+
+  BitcellKind bitcell = BitcellKind::k6T;
+  MuxStyle mux = MuxStyle::kTGateNor;
+  AdderTreeConfig tree = {};
+  ColumnPipeline pipe = {};
+  OfuConfig ofu = {};
+  /// tt3: columns physically split into `column_split` segments of
+  /// rows/column_split each, recombined by an extra adder stage.
+  int column_split = 1;
+
+  [[nodiscard]] int max_input_bits() const;
+  [[nodiscard]] int max_weight_bits() const;
+  [[nodiscard]] int segment_rows() const { return rows / column_split; }
+  /// S&A accumulator width for one column segment.
+  [[nodiscard]] int sa_width() const;
+  /// Storage capacity in bits.
+  [[nodiscard]] long storage_bits() const {
+    return static_cast<long>(rows) * cols * mcr;
+  }
+  /// Throws if the configuration is structurally invalid (non-power-of-two
+  /// dims, OAI22 mux with MCR>2, split below 8 rows, ...).
+  void validate() const;
+};
+
+}  // namespace syndcim::rtlgen

@@ -1,0 +1,181 @@
+#include "rtlgen/drivers.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "rtlgen/gates.hpp"
+
+namespace syndcim::rtlgen {
+
+namespace {
+[[nodiscard]] int log2i(int v) {
+  return std::bit_width(static_cast<unsigned>(v)) - 1;
+}
+}  // namespace
+
+netlist::Module gen_wl_driver(const WlDriverConfig& cfg,
+                              const std::string& module_name) {
+  if (cfg.rows < 1 || cfg.piso_bits < 1) {
+    throw std::invalid_argument("gen_wl_driver: bad dimensions");
+  }
+  if (cfg.am_bits > cfg.piso_bits) {
+    throw std::invalid_argument("gen_wl_driver: am_bits > piso_bits");
+  }
+  netlist::Module m(module_name);
+  GateBuilder gb(m, "wl_");
+  const NetId clk = m.add_port("clk", netlist::PortDir::kIn);
+  const NetId load = m.add_port("load", netlist::PortDir::kIn);
+  const bool fp = cfg.am_bits > 0;
+  const NetId fp_sel = fp ? m.add_port("fp_sel", netlist::PortDir::kIn)
+                          : NetId{};
+  std::vector<NetId> selh;
+  if (cfg.oai22_gating) {
+    selh = m.add_port_bus("selh", netlist::PortDir::kIn, cfg.mcr);
+  }
+  const auto act = m.add_port_bus("act", netlist::PortDir::kOut, cfg.rows);
+  std::vector<NetId> gseln;
+  if (cfg.oai22_gating) {
+    gseln = m.add_port_bus("gseln", netlist::PortDir::kOut,
+                           cfg.rows * cfg.mcr);
+  }
+
+  // `load` (and `fp_sel`) fan out to every PISO mux: distribution tree.
+  const NetId load_root = gb.buf(load, "BUFX16");
+  const NetId fps_root = fp ? gb.buf(fp_sel, "BUFX16") : NetId{};
+
+  for (int r = 0; r < cfg.rows; ++r) {
+    const NetId load_r = gb.buf(load_root, "BUFX2");
+    const NetId fps_r = fp ? gb.buf(fps_root, "BUFX2") : NetId{};
+    const auto din = m.add_port_bus("din" + std::to_string(r),
+                                    netlist::PortDir::kIn, cfg.piso_bits);
+    std::vector<NetId> par(din.begin(), din.end());
+    if (fp) {
+      const auto am = m.add_port_bus("am" + std::to_string(r),
+                                     netlist::PortDir::kIn, cfg.am_bits);
+      // Aligned mantissa is placed MSB-aligned in the PISO; bits below it
+      // stay zero in FP mode.
+      const int lo = cfg.piso_bits - cfg.am_bits;
+      for (int i = 0; i < cfg.piso_bits; ++i) {
+        const NetId fp_bit =
+            i >= lo ? am[static_cast<std::size_t>(i - lo)] : gb.c0();
+        par[static_cast<std::size_t>(i)] =
+            gb.mux2(par[static_cast<std::size_t>(i)], fp_bit, fps_r);
+      }
+    }
+    // PISO: shift left each cycle, load on `load`.
+    std::vector<NetId> q = m.add_bus("piso" + std::to_string(r),
+                                     cfg.piso_bits);
+    for (int i = 0; i < cfg.piso_bits; ++i) {
+      const NetId shift_in =
+          i == 0 ? gb.c0() : q[static_cast<std::size_t>(i - 1)];
+      const NetId d = gb.mux2(shift_in, par[static_cast<std::size_t>(i)],
+                              load_r);
+      m.add_cell("piso_reg_" + std::to_string(r) + "_" + std::to_string(i),
+                 "DFFX1",
+                 {{"D", d}, {"CK", clk},
+                  {"Q", q[static_cast<std::size_t>(i)]}});
+    }
+    const NetId top = q[static_cast<std::size_t>(cfg.piso_bits - 1)];
+    // Two-stage row driver for wide arrays.
+    const char* drv = cfg.row_fanout > 96 ? "BUFX16" : "BUFX8";
+    const NetId pre = cfg.row_fanout > 96
+                          ? gb.buf(top, "BUFX4")
+                          : top;
+    m.add_cell("act_buf_" + std::to_string(r), drv,
+               {{"A", pre}, {"Y", act[r]}});
+    if (cfg.oai22_gating) {
+      // The gated selects drive one OAI22 per compute column: buffer the
+      // row line like the activation line.
+      for (int k = 0; k < cfg.mcr; ++k) {
+        const NetId raw = gb.nand2(selh[static_cast<std::size_t>(k)], top,
+                                   "NAND2X2");
+        m.add_cell(
+            "gsel_buf_" + std::to_string(r) + "_" + std::to_string(k),
+            cfg.row_fanout > 96 ? "BUFX16" : "BUFX8",
+            {{"A", raw},
+             {"Y", gseln[static_cast<std::size_t>(r * cfg.mcr + k)]}});
+      }
+    }
+  }
+  return m;
+}
+
+netlist::Module gen_write_port(const WritePortConfig& cfg,
+                               const std::string& module_name) {
+  if (cfg.rows < 2 || cfg.cols < 1 || cfg.mcr < 1) {
+    throw std::invalid_argument("gen_write_port: bad dimensions");
+  }
+  netlist::Module m(module_name);
+  GateBuilder gb(m, "wp_");
+  const NetId clk = m.add_port("clk", netlist::PortDir::kIn);
+  const NetId wen = m.add_port("wen", netlist::PortDir::kIn);
+  const int abits = log2i(cfg.rows);
+  const int bbits = cfg.mcr > 1 ? log2i(cfg.mcr) : 0;
+  const auto waddr = m.add_port_bus("waddr", netlist::PortDir::kIn, abits);
+  std::vector<NetId> wbank;
+  if (bbits > 0) {
+    wbank = m.add_port_bus("wbank", netlist::PortDir::kIn, bbits);
+  }
+  const auto wd = m.add_port_bus("wd", netlist::PortDir::kIn, cfg.cols);
+  const auto wl = m.add_port_bus("wl", netlist::PortDir::kOut,
+                                 cfg.rows * cfg.mcr);
+  const auto wdata = m.add_port_bus("wdata", netlist::PortDir::kOut,
+                                    cfg.cols);
+
+  // Register the write command (one-cycle write pipeline).
+  const NetId wen_q = gb.dff(wen, clk);
+  std::vector<NetId> a_q = gb.dff_bus({waddr.begin(), waddr.end()}, clk);
+  std::vector<NetId> b_q;
+  if (bbits > 0) b_q = gb.dff_bus(wbank, clk);
+
+  // Address literals drive half the row decoders each: buffer them.
+  std::vector<NetId> a_n = gb.inv_bus(a_q);
+  for (NetId& n : a_q) n = gb.buf(n, "BUFX8");
+  for (NetId& n : a_n) n = gb.buf(n, "BUFX8");
+  auto decode = [&](const std::vector<NetId>& q, const std::vector<NetId>& n,
+                    int value, int bits) {
+    std::vector<NetId> lits;
+    lits.reserve(static_cast<std::size_t>(bits));
+    for (int i = 0; i < bits; ++i) {
+      lits.push_back(((value >> i) & 1) ? q[static_cast<std::size_t>(i)]
+                                        : n[static_cast<std::size_t>(i)]);
+    }
+    while (lits.size() > 1) {
+      std::vector<NetId> next;
+      for (std::size_t i = 0; i + 1 < lits.size(); i += 2) {
+        next.push_back(gb.and2(lits[i], lits[i + 1]));
+      }
+      if (lits.size() % 2 == 1) next.push_back(lits.back());
+      lits = std::move(next);
+    }
+    return lits[0];
+  };
+
+  std::vector<NetId> bank_en(static_cast<std::size_t>(cfg.mcr));
+  std::vector<NetId> b_n = gb.inv_bus(b_q);
+  for (int k = 0; k < cfg.mcr; ++k) {
+    const NetId bsel =
+        cfg.mcr == 1 ? gb.c1() : decode(b_q, b_n, k, bbits);
+    // Bank enables gate every row's wordline AND: buffered.
+    bank_en[static_cast<std::size_t>(k)] =
+        gb.buf(gb.and2(bsel, wen_q), "BUFX8");
+  }
+  for (int r = 0; r < cfg.rows; ++r) {
+    const NetId row = decode(a_q, a_n, r, abits);
+    for (int k = 0; k < cfg.mcr; ++k) {
+      const NetId en = gb.and2(row, bank_en[static_cast<std::size_t>(k)]);
+      m.add_cell("wl_buf_" + std::to_string(r) + "_" + std::to_string(k),
+                 "BUFX8",
+                 {{"A", en}, {"Y", wl[static_cast<std::size_t>(r * cfg.mcr + k)]}});
+    }
+  }
+  for (int c = 0; c < cfg.cols; ++c) {
+    NetId d = gb.dff(wd[static_cast<std::size_t>(c)], clk);
+    if (cfg.invert_data) d = gb.inv(d);
+    m.add_cell("bl_buf_" + std::to_string(c), "BUFX8",
+               {{"A", d}, {"Y", wdata[static_cast<std::size_t>(c)]}});
+  }
+  return m;
+}
+
+}  // namespace syndcim::rtlgen

@@ -1,0 +1,52 @@
+#pragma once
+#include "netlist/module.hpp"
+#include "rtlgen/arch.hpp"
+
+namespace syndcim::rtlgen {
+
+/// WL driver + input buffer: one parallel-in serial-out (PISO) register
+/// per row feeding the row's activation line MSB-first through a strong
+/// buffer. With FP support, a per-bit mux selects between the raw integer
+/// input and the (left-placed) aligned mantissa from the alignment unit.
+/// For the OAI22 fused mux-multiplier style it also produces the per-row
+/// active-low gated bank selects gseln[r*mcr+k] = !(selh[k] & act[r]).
+///
+/// Ports:
+///   clk, load                      : PISO capture control
+///   din{r}[0..piso_bits)           : integer input, MSB-aligned
+///   am{r}[0..am_bits), fp_sel      : aligned mantissa + select (fp only)
+///   selh[0..mcr), gseln[...]       : one-hot bank select (OAI22 only)
+///   act[0..rows)                   : buffered activation bits
+struct WlDriverConfig {
+  int rows = 64;
+  int piso_bits = 8;
+  int am_bits = 0;  ///< 0 = integer-only (no fp mux)
+  int mcr = 2;
+  bool oai22_gating = false;
+  /// Loads on each activation line (one multiplier per compute column);
+  /// sizes the row buffer.
+  int row_fanout = 64;
+};
+
+[[nodiscard]] netlist::Module gen_wl_driver(const WlDriverConfig& cfg,
+                                            const std::string& module_name);
+
+/// BL driver + write port: registers the write command, decodes the row
+/// address and bank select into per-(row,bank) write wordlines, and
+/// drives the per-column write bitlines.
+///
+/// Ports:
+///   clk, wen, waddr[log2 rows], wbank[log2 mcr], wd[0..cols)
+///   wl[0..rows*mcr), wdata[0..cols)
+struct WritePortConfig {
+  int rows = 64;
+  int cols = 64;
+  int mcr = 2;
+  /// OAI22 style stores complemented weights: invert the bitline data.
+  bool invert_data = false;
+};
+
+[[nodiscard]] netlist::Module gen_write_port(const WritePortConfig& cfg,
+                                             const std::string& module_name);
+
+}  // namespace syndcim::rtlgen

@@ -1,0 +1,264 @@
+#include "rtlgen/gates.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace syndcim::rtlgen {
+
+std::string GateBuilder::uniq(const char* stem) {
+  return prefix_ + stem + "_" + std::to_string(counter_++);
+}
+
+NetId GateBuilder::inv(NetId a, const std::string& cell) {
+  const NetId y = m_.add_net(uniq("inv"));
+  m_.add_cell(m_.net(y).name, cell, {{"A", a}, {"Y", y}});
+  return y;
+}
+
+NetId GateBuilder::buf(NetId a, const std::string& cell) {
+  const NetId y = m_.add_net(uniq("buf"));
+  m_.add_cell(m_.net(y).name, cell, {{"A", a}, {"Y", y}});
+  return y;
+}
+
+NetId GateBuilder::and2(NetId a, NetId b, const std::string& cell) {
+  const NetId y = m_.add_net(uniq("and"));
+  m_.add_cell(m_.net(y).name, cell, {{"A", a}, {"B", b}, {"Y", y}});
+  return y;
+}
+
+NetId GateBuilder::or2(NetId a, NetId b, const std::string& cell) {
+  const NetId y = m_.add_net(uniq("or"));
+  m_.add_cell(m_.net(y).name, cell, {{"A", a}, {"B", b}, {"Y", y}});
+  return y;
+}
+
+NetId GateBuilder::nand2(NetId a, NetId b, const std::string& cell) {
+  const NetId y = m_.add_net(uniq("nand"));
+  m_.add_cell(m_.net(y).name, cell, {{"A", a}, {"B", b}, {"Y", y}});
+  return y;
+}
+
+NetId GateBuilder::nor2(NetId a, NetId b, const std::string& cell) {
+  const NetId y = m_.add_net(uniq("nor"));
+  m_.add_cell(m_.net(y).name, cell, {{"A", a}, {"B", b}, {"Y", y}});
+  return y;
+}
+
+NetId GateBuilder::xor2(NetId a, NetId b, const std::string& cell) {
+  const NetId y = m_.add_net(uniq("xor"));
+  m_.add_cell(m_.net(y).name, cell, {{"A", a}, {"B", b}, {"Y", y}});
+  return y;
+}
+
+NetId GateBuilder::mux2(NetId a, NetId b, NetId s, const std::string& cell) {
+  const NetId y = m_.add_net(uniq("mux"));
+  m_.add_cell(m_.net(y).name, cell,
+              {{"A", a}, {"B", b}, {"S", s}, {"Y", y}});
+  return y;
+}
+
+NetId GateBuilder::oai22(NetId a, NetId b, NetId c, NetId d) {
+  const NetId y = m_.add_net(uniq("oai22"));
+  m_.add_cell(m_.net(y).name, "OAI22X1",
+              {{"A", a}, {"B", b}, {"C", c}, {"D", d}, {"Y", y}});
+  return y;
+}
+
+GateBuilder::HaOut GateBuilder::ha(NetId a, NetId b) {
+  const NetId s = m_.add_net(uniq("ha_s"));
+  const NetId co = m_.add_net(uniq("ha_co"));
+  m_.add_cell(uniq("ha"), "HAX1", {{"A", a}, {"B", b}, {"S", s}, {"CO", co}});
+  return {s, co};
+}
+
+GateBuilder::FaOut GateBuilder::fa(NetId a, NetId b, NetId ci,
+                                   const std::string& cell) {
+  const NetId s = m_.add_net(uniq("fa_s"));
+  const NetId co = m_.add_net(uniq("fa_co"));
+  m_.add_cell(uniq("fa"), cell,
+              {{"A", a}, {"B", b}, {"CI", ci}, {"S", s}, {"CO", co}});
+  return {s, co};
+}
+
+GateBuilder::CmpOut GateBuilder::cmp42(NetId a, NetId b, NetId c, NetId d,
+                                       NetId cin, const std::string& cell) {
+  const NetId s = m_.add_net(uniq("cmp_s"));
+  const NetId co = m_.add_net(uniq("cmp_c"));
+  const NetId cout = m_.add_net(uniq("cmp_cout"));
+  m_.add_cell(uniq("cmp"), cell,
+              {{"A", a},
+               {"B", b},
+               {"C", c},
+               {"D", d},
+               {"CIN", cin},
+               {"S", s},
+               {"CO", co},
+               {"COUT", cout}});
+  return {s, co, cout};
+}
+
+NetId GateBuilder::dff(NetId d, NetId clk, const std::string& cell) {
+  const NetId q = m_.add_net(uniq("q"));
+  m_.add_cell(uniq("reg"), cell, {{"D", d}, {"CK", clk}, {"Q", q}});
+  return q;
+}
+
+NetId GateBuilder::dffe(NetId d, NetId e, NetId clk) {
+  const NetId q = m_.add_net(uniq("qe"));
+  m_.add_cell(uniq("rege"), "DFFEX1",
+              {{"D", d}, {"E", e}, {"CK", clk}, {"Q", q}});
+  return q;
+}
+
+std::vector<NetId> GateBuilder::dff_bus(const std::vector<NetId>& d,
+                                        NetId clk) {
+  std::vector<NetId> q;
+  q.reserve(d.size());
+  for (const NetId n : d) q.push_back(dff(n, clk));
+  return q;
+}
+
+std::vector<NetId> GateBuilder::dffe_bus(const std::vector<NetId>& d,
+                                         NetId e, NetId clk) {
+  std::vector<NetId> q;
+  q.reserve(d.size());
+  for (const NetId n : d) q.push_back(dffe(n, e, clk));
+  return q;
+}
+
+std::vector<NetId> GateBuilder::inv_bus(const std::vector<NetId>& a) {
+  std::vector<NetId> y;
+  y.reserve(a.size());
+  for (const NetId n : a) y.push_back(inv(n));
+  return y;
+}
+
+std::vector<NetId> GateBuilder::xor_bus(const std::vector<NetId>& a,
+                                        NetId ctrl) {
+  std::vector<NetId> y;
+  y.reserve(a.size());
+  for (const NetId n : a) y.push_back(xor2(n, ctrl));
+  return y;
+}
+
+std::vector<NetId> GateBuilder::and_bus(const std::vector<NetId>& a,
+                                        NetId ctrl) {
+  std::vector<NetId> y;
+  y.reserve(a.size());
+  for (const NetId n : a) y.push_back(and2(n, ctrl));
+  return y;
+}
+
+std::vector<NetId> GateBuilder::mux_bus(const std::vector<NetId>& a,
+                                        const std::vector<NetId>& b,
+                                        NetId s) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("GateBuilder::mux_bus: width mismatch");
+  }
+  std::vector<NetId> y;
+  y.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    y.push_back(mux2(a[i], b[i], s));
+  }
+  return y;
+}
+
+GateBuilder::AddOut GateBuilder::rca(const std::vector<NetId>& a,
+                                     const std::vector<NetId>& b, NetId cin,
+                                     const std::string& fa_cell) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("GateBuilder::rca: width mismatch");
+  }
+  AddOut out;
+  out.sum.reserve(a.size());
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i == 0 && !carry.valid()) {
+      const HaOut h = ha(a[0], b[0]);
+      out.sum.push_back(h.s);
+      carry = h.co;
+    } else {
+      const FaOut f = fa(a[i], b[i], carry, fa_cell);
+      out.sum.push_back(f.s);
+      carry = f.co;
+    }
+  }
+  out.cout = carry;
+  return out;
+}
+
+GateBuilder::AddOut GateBuilder::add_sub(const std::vector<NetId>& a,
+                                         const std::vector<NetId>& b,
+                                         NetId sub,
+                                         const std::string& fa_cell) {
+  return rca(a, xor_bus(b, sub), sub, fa_cell);
+}
+
+GateBuilder::AddOut GateBuilder::csel(const std::vector<NetId>& a,
+                                      const std::vector<NetId>& b, NetId cin,
+                                      int block) {
+  if (a.size() != b.size() || a.empty() || block < 2) {
+    throw std::invalid_argument("GateBuilder::csel: bad operands");
+  }
+  const int w = static_cast<int>(a.size());
+  AddOut out;
+  out.sum.reserve(a.size());
+  // First block ripples directly from cin.
+  const int first = std::min(block, w);
+  {
+    std::vector<NetId> ba(a.begin(), a.begin() + first);
+    std::vector<NetId> bb(b.begin(), b.begin() + first);
+    AddOut r = rca(ba, bb, cin);
+    out.sum.insert(out.sum.end(), r.sum.begin(), r.sum.end());
+    out.cout = r.cout;
+  }
+  for (int lo = first; lo < w; lo += block) {
+    const int hi = std::min(lo + block, w);
+    std::vector<NetId> ba(a.begin() + lo, a.begin() + hi);
+    std::vector<NetId> bb(b.begin() + lo, b.begin() + hi);
+    const AddOut r0 = rca(ba, bb, c0());
+    const AddOut r1 = rca(ba, bb, c1());
+    const NetId carry = out.cout;
+    auto sel = mux_bus(r0.sum, r1.sum, carry);
+    out.sum.insert(out.sum.end(), sel.begin(), sel.end());
+    // The carry chain is the critical path: strong select muxes.
+    out.cout = mux2(r0.cout, r1.cout, carry, "MUX2X2");
+  }
+  return out;
+}
+
+GateBuilder::AddOut GateBuilder::add_sub_fast(const std::vector<NetId>& a,
+                                              const std::vector<NetId>& b,
+                                              NetId sub) {
+  return csel(a, xor_bus(b, sub), sub);
+}
+
+std::vector<NetId> GateBuilder::sext(const std::vector<NetId>& a,
+                                     int width) {
+  if (a.empty() || static_cast<int>(a.size()) > width) {
+    throw std::invalid_argument("GateBuilder::sext: bad width");
+  }
+  std::vector<NetId> y = a;
+  while (static_cast<int>(y.size()) < width) y.push_back(a.back());
+  return y;
+}
+
+std::vector<NetId> GateBuilder::zext(const std::vector<NetId>& a,
+                                     int width) {
+  if (static_cast<int>(a.size()) > width) {
+    throw std::invalid_argument("GateBuilder::zext: bad width");
+  }
+  std::vector<NetId> y = a;
+  while (static_cast<int>(y.size()) < width) y.push_back(c0());
+  return y;
+}
+
+std::vector<NetId> GateBuilder::shl(const std::vector<NetId>& a, int k) {
+  if (k < 0) throw std::invalid_argument("GateBuilder::shl: negative shift");
+  std::vector<NetId> y(static_cast<std::size_t>(k), c0());
+  y.insert(y.end(), a.begin(), a.end());
+  return y;
+}
+
+}  // namespace syndcim::rtlgen

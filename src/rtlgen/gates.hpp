@@ -1,0 +1,105 @@
+#pragma once
+#include <string>
+#include <vector>
+
+#include "netlist/module.hpp"
+
+namespace syndcim::rtlgen {
+
+using netlist::Conn;
+using netlist::Module;
+using netlist::NetId;
+
+/// Convenience layer for emitting gates into a Module with unique instance
+/// names. Word-level helpers implement the shared datapath idioms (ripple
+/// adders, add/sub, registers, mux trees); shifts and sign extension are
+/// pure wiring and cost no gates.
+class GateBuilder {
+ public:
+  GateBuilder(Module& m, std::string prefix) : m_(m), prefix_(std::move(prefix)) {}
+
+  [[nodiscard]] Module& module() { return m_; }
+  [[nodiscard]] NetId c0() { return m_.const0(); }
+  [[nodiscard]] NetId c1() { return m_.const1(); }
+
+  // --- single-gate helpers (return the output net) ---
+  NetId inv(NetId a, const std::string& cell = "INVX1");
+  NetId buf(NetId a, const std::string& cell = "BUFX4");
+  NetId and2(NetId a, NetId b, const std::string& cell = "AND2X1");
+  NetId or2(NetId a, NetId b, const std::string& cell = "OR2X1");
+  NetId nand2(NetId a, NetId b, const std::string& cell = "NAND2X1");
+  NetId nor2(NetId a, NetId b, const std::string& cell = "NOR2X1");
+  NetId xor2(NetId a, NetId b, const std::string& cell = "XOR2X1");
+  NetId mux2(NetId a, NetId b, NetId s, const std::string& cell = "MUX2X1");
+  NetId oai22(NetId a, NetId b, NetId c, NetId d);
+
+  struct HaOut {
+    NetId s, co;
+  };
+  HaOut ha(NetId a, NetId b);
+  struct FaOut {
+    NetId s, co;
+  };
+  FaOut fa(NetId a, NetId b, NetId ci, const std::string& cell = "FAX1");
+  struct CmpOut {
+    NetId s, c, cout;
+  };
+  CmpOut cmp42(NetId a, NetId b, NetId c, NetId d, NetId cin,
+               const std::string& cell = "CMP42X1");
+
+  NetId dff(NetId d, NetId clk, const std::string& cell = "DFFX1");
+  NetId dffe(NetId d, NetId e, NetId clk);
+
+  // --- word-level helpers ---
+  std::vector<NetId> dff_bus(const std::vector<NetId>& d, NetId clk);
+  std::vector<NetId> dffe_bus(const std::vector<NetId>& d, NetId e,
+                              NetId clk);
+  std::vector<NetId> inv_bus(const std::vector<NetId>& a);
+  /// Per-bit XOR with one control net (conditional invert for add/sub).
+  std::vector<NetId> xor_bus(const std::vector<NetId>& a, NetId ctrl);
+  std::vector<NetId> and_bus(const std::vector<NetId>& a, NetId ctrl);
+  std::vector<NetId> mux_bus(const std::vector<NetId>& a,
+                             const std::vector<NetId>& b, NetId s);
+
+  struct AddOut {
+    std::vector<NetId> sum;
+    NetId cout;
+  };
+  /// Ripple-carry add; operands must have equal width (extend first).
+  /// `cin` may be invalid (treated as 0; the first stage then uses an HA).
+  AddOut rca(const std::vector<NetId>& a, const std::vector<NetId>& b,
+             NetId cin = NetId{}, const std::string& fa_cell = "FAX1");
+  /// a + (b ^ sub) + sub : add/sub under control of `sub`.
+  AddOut add_sub(const std::vector<NetId>& a, const std::vector<NetId>& b,
+                 NetId sub, const std::string& fa_cell = "FAX1");
+
+  /// Carry-select adder: 4-bit ripple blocks computed for both carry
+  /// values, selected by a fast mux chain. ~2x the area of an RCA but the
+  /// carry crosses each block in one mux delay — used for the wide S&A
+  /// and OFU adders.
+  AddOut csel(const std::vector<NetId>& a, const std::vector<NetId>& b,
+              NetId cin = NetId{}, int block = 4);
+  /// add/sub on the carry-select adder.
+  AddOut add_sub_fast(const std::vector<NetId>& a,
+                      const std::vector<NetId>& b, NetId sub);
+
+  /// Width threshold above which the datapath generators switch from
+  /// ripple to carry-select adders.
+  static constexpr int kFastAdderWidth = 12;
+
+  // --- wiring-only helpers ---
+  /// Sign-extend by repeating the MSB net (no gates).
+  static std::vector<NetId> sext(const std::vector<NetId>& a, int width);
+  /// Zero-extend with the module's const0.
+  std::vector<NetId> zext(const std::vector<NetId>& a, int width);
+  /// Shift left by k: k zeros below (drops nothing).
+  std::vector<NetId> shl(const std::vector<NetId>& a, int k);
+
+ private:
+  std::string uniq(const char* stem);
+  Module& m_;
+  std::string prefix_;
+  int counter_ = 0;
+};
+
+}  // namespace syndcim::rtlgen

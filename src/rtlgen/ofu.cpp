@@ -1,0 +1,144 @@
+#include "rtlgen/ofu.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "rtlgen/gates.hpp"
+
+namespace syndcim::rtlgen {
+
+namespace {
+[[nodiscard]] int log2i(int v) {
+  return std::bit_width(static_cast<unsigned>(v)) - 1;
+}
+}  // namespace
+
+int OfuModuleConfig::n_stages() const { return log2i(group_cols); }
+
+int OfuModuleConfig::stage_width(int s) const {
+  return s == 0 ? col_width : col_width + (1 << s);
+}
+
+bool OfuModuleConfig::stage_registered(int s) const {
+  const int n = n_stages();
+  const int p = std::min(arrangement.pipeline_regs, n);
+  const int first = arrangement.retime_stage1 ? 2 : 1;
+  return s >= first && (n - s) < p;
+}
+
+int OfuModuleConfig::regs_through(int s) const {
+  int r = 0;
+  for (int k = 1; k <= s; ++k) r += stage_registered(k) ? 1 : 0;
+  return r;
+}
+
+netlist::Module gen_ofu(const OfuModuleConfig& cfg,
+                        const std::string& module_name) {
+  if (cfg.group_cols < 1 || (cfg.group_cols & (cfg.group_cols - 1)) != 0) {
+    throw std::invalid_argument("gen_ofu: group_cols must be a power of 2");
+  }
+  if (cfg.col_width < 2) {
+    throw std::invalid_argument("gen_ofu: col_width too small");
+  }
+  netlist::Module m(module_name);
+  GateBuilder gb(m, "ofu_");
+  const int n = cfg.n_stages();
+  const NetId clk = m.add_port("clk", netlist::PortDir::kIn);
+  const NetId cap_pin = m.add_port("cap", netlist::PortDir::kIn);
+  // Capture enable fans out to every DFFE in the group: buffer tree.
+  const NetId cap = gb.buf(cap_pin, "BUFX8");
+  std::vector<NetId> mode;
+  if (n > 0) mode = m.add_port_bus("mode", netlist::PortDir::kIn, n);
+
+  std::vector<std::vector<NetId>> raw(
+      static_cast<std::size_t>(cfg.group_cols));
+  for (int j = 0; j < cfg.group_cols; ++j) {
+    raw[static_cast<std::size_t>(j)] = m.add_port_bus(
+        "r" + std::to_string(j), netlist::PortDir::kIn, cfg.col_width);
+  }
+
+  auto expose = [&](int s, int j, const std::vector<NetId>& bus) {
+    const std::string base = "s" + std::to_string(s) + "_r" +
+                             std::to_string(j);
+    const auto ports = m.add_port_bus(base, netlist::PortDir::kOut,
+                                      static_cast<int>(bus.size()));
+    for (std::size_t i = 0; i < bus.size(); ++i) {
+      m.add_cell(base + "_buf" + std::to_string(i), "BUFX1",
+                 {{"A", bus[i]}, {"Y", ports[i]}});
+    }
+  };
+
+  // Stage-1 subtract control for pair j: the hi element r_{2j+1} is the
+  // two's-complement sign column of a precision-2^s weight group iff
+  // (j+1) is a multiple of 2^(s-1); the controls OR the applicable
+  // one-hot mode bits. Stages >= 2 combine already-signed sub-results and
+  // always add.
+  auto stage1_sub = [&](int j) -> NetId {
+    NetId sub;  // invalid = constant 0
+    for (int s = 1; s <= n; ++s) {
+      const int half = 1 << (s - 1);
+      if ((j + 1) % half != 0) continue;
+      const NetId m_bit = mode[static_cast<std::size_t>(s - 1)];
+      sub = sub.valid() ? gb.or2(sub, m_bit) : m_bit;
+    }
+    return sub.valid() ? sub : gb.c0();
+  };
+
+  auto fuse = [&](const std::vector<NetId>& lo, const std::vector<NetId>& hi,
+                  int s, NetId sub) {
+    const int w = cfg.stage_width(s);
+    const bool fast = w >= GateBuilder::kFastAdderWidth;
+    const auto lo_e = GateBuilder::sext(lo, w);
+    const auto hi_e = GateBuilder::sext(gb.shl(hi, 1 << (s - 1)), w);
+    if (sub.valid()) {
+      // The subtract control fans out across the whole word: buffer it.
+      const NetId sb = gb.buf(sub, "BUFX2");
+      return (fast ? gb.add_sub_fast(lo_e, hi_e, sb)
+                   : gb.add_sub(lo_e, hi_e, sb))
+          .sum;
+    }
+    return (fast ? gb.csel(lo_e, hi_e) : gb.rca(lo_e, hi_e)).sum;
+  };
+
+  const OfuConfig& a = cfg.arrangement;
+  std::vector<std::vector<NetId>> vals;
+  int first_stage = 1;
+
+  if (a.retime_stage1 && n >= 1) {
+    // Stage 1 computed in the S&A clock stage, then captured.
+    for (int j = 0; j < cfg.group_cols; ++j) {
+      expose(0, j, raw[static_cast<std::size_t>(j)]);  // uncaptured tap
+    }
+    for (int j = 0; j < cfg.group_cols / 2; ++j) {
+      auto sum = fuse(raw[static_cast<std::size_t>(2 * j)],
+                      raw[static_cast<std::size_t>(2 * j + 1)], 1,
+                      stage1_sub(j));
+      vals.push_back(gb.dffe_bus(sum, gb.buf(cap, "BUFX2"), clk));
+      expose(1, j, vals.back());
+    }
+    first_stage = 2;
+  } else {
+    for (int j = 0; j < cfg.group_cols; ++j) {
+      std::vector<NetId> v = raw[static_cast<std::size_t>(j)];
+      if (a.input_reg) v = gb.dffe_bus(v, gb.buf(cap, "BUFX2"), clk);
+      expose(0, j, v);
+      vals.push_back(std::move(v));
+    }
+  }
+
+  for (int s = first_stage; s <= n; ++s) {
+    std::vector<std::vector<NetId>> next;
+    for (std::size_t j = 0; j + 1 < vals.size(); j += 2) {
+      auto sum = fuse(vals[j], vals[j + 1], s,
+                      s == 1 ? stage1_sub(static_cast<int>(j / 2)) : NetId{});
+      if (cfg.stage_registered(s)) sum = gb.dff_bus(sum, clk);
+      expose(s, static_cast<int>(j / 2), sum);
+      next.push_back(std::move(sum));
+    }
+    vals = std::move(next);
+  }
+  return m;
+}
+
+}  // namespace syndcim::rtlgen

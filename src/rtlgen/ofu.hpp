@@ -1,0 +1,44 @@
+#pragma once
+#include "netlist/module.hpp"
+#include "rtlgen/arch.hpp"
+
+namespace syndcim::rtlgen {
+
+/// Output Fusion Unit: fuses the S&A results of `group_cols` adjacent
+/// weight-bit columns into multi-bit-weight MAC results, stage by stage
+/// from lower to higher weight precision (paper Sec. II-B).
+///
+/// Stage s (1-based) combines adjacent sub-results with
+///     out = lo + (hi << 2^(s-1))          when the active weight
+///     out = lo - (hi << 2^(s-1))          precision equals 2^s (the hi
+///                                         block is then the two's-
+///                                         complement sign column group)
+/// controlled by the one-hot `mode[s-1]` input.
+///
+/// Ports:
+///   clk, cap                 : capture enable for the input register
+///   mode[0..n_stages)        : one-hot subtract select (see above)
+///   r{j}[0..col_width)       : S&A result of column j, j < group_cols
+///   s{s}_r{j}[...]           : fused result of sub-group j at stage s
+///                              (stage 0 = captured inputs); all stages are
+///                              exposed so every supported precision has a
+///                              tap.
+struct OfuModuleConfig {
+  int group_cols = 8;  ///< max weight precision fused by this unit
+  int col_width = 13;  ///< S&A accumulator width
+  OfuConfig arrangement = {};
+
+  [[nodiscard]] int n_stages() const;
+  /// Width of a stage-s result (s=0 -> col_width).
+  [[nodiscard]] int stage_width(int s) const;
+  /// True if stage s's output goes through a tt5 pipeline register.
+  [[nodiscard]] bool stage_registered(int s) const;
+  /// Number of pipeline registers a value crosses to reach stage `s`'s
+  /// exposed output (excluding the input capture register).
+  [[nodiscard]] int regs_through(int s) const;
+};
+
+[[nodiscard]] netlist::Module gen_ofu(const OfuModuleConfig& cfg,
+                                      const std::string& module_name);
+
+}  // namespace syndcim::rtlgen

@@ -1,0 +1,92 @@
+#include "rtlgen/shift_adder.hpp"
+
+#include <stdexcept>
+
+#include "rtlgen/gates.hpp"
+
+namespace syndcim::rtlgen {
+
+netlist::Module gen_shift_adder(const ShiftAdderConfig& cfg,
+                                const std::string& module_name) {
+  if (cfg.psum_bits < 1 || cfg.width <= cfg.psum_bits) {
+    throw std::invalid_argument("gen_shift_adder: bad widths");
+  }
+  netlist::Module m(module_name);
+  GateBuilder gb(m, "sa_");
+  const NetId clk = m.add_port("clk", netlist::PortDir::kIn);
+  const NetId neg = m.add_port("neg", netlist::PortDir::kIn);
+  const NetId clr = m.add_port("clr", netlist::PortDir::kIn);
+  const auto acc_out = m.add_port_bus("acc", netlist::PortDir::kOut,
+                                      cfg.width);
+  const int w = cfg.width;
+
+  // The accumulator register bank: nets declared first so the shifted
+  // feedback can reference them; DFFs added at the end.
+  const auto acc = m.add_bus("acc_q", w);
+  // Control signals fan out across the whole word: buffer them.
+  const NetId negb = gb.buf(neg, "BUFX4");
+  const NetId nclr = gb.inv(clr, "INVX4");
+
+  // Shifted, clear-gated accumulator: V1[i] = acc[i-1] & ~clr; V1[0] is 0
+  // in the plain form and carries the +neg injection in the redundant one.
+  std::vector<NetId> v1;
+  v1.reserve(static_cast<std::size_t>(w));
+  v1.push_back(gb.c0());  // placeholder, fixed below per variant
+  for (int i = 1; i < w; ++i) {
+    v1.push_back(gb.and2(acc[static_cast<std::size_t>(i - 1)], nclr));
+  }
+
+  std::vector<NetId> next;
+  if (!cfg.redundant_psum) {
+    const auto p = m.add_port_bus("p", netlist::PortDir::kIn, cfg.psum_bits);
+    // acc' = V1 + (zext(p) ^ neg) + neg   (add/sub); carry-select for
+    // wide accumulators.
+    const auto b = gb.zext(p, w);
+    next = w >= GateBuilder::kFastAdderWidth
+               ? gb.add_sub_fast(v1, b, negb).sum
+               : gb.add_sub(v1, b, negb).sum;
+  } else {
+    const auto sv = m.add_port_bus("sv", netlist::PortDir::kIn,
+                                   cfg.psum_bits);
+    const auto cv = m.add_port_bus("cv", netlist::PortDir::kIn,
+                                   cfg.psum_bits);
+    // -(sv+cv) = (~sv) + (~cv) + 2, so with conditional inversion the
+    // two +neg injections land at bit 0: one in the FA row's free slot
+    // (V1[0] is the shifted-in zero) and one as the CPA's B[0].
+    v1[0] = negb;
+    const auto v2 = gb.xor_bus(gb.zext(sv, w), negb);
+    const auto v3 = gb.xor_bus(gb.zext(cv, w), negb);
+    std::vector<NetId> s_row, c_row;
+    s_row.reserve(static_cast<std::size_t>(w));
+    c_row.reserve(static_cast<std::size_t>(w));
+    for (int i = 0; i < w; ++i) {
+      const auto f = gb.fa(v1[static_cast<std::size_t>(i)],
+                           v2[static_cast<std::size_t>(i)],
+                           v3[static_cast<std::size_t>(i)]);
+      s_row.push_back(f.s);
+      c_row.push_back(f.co);
+    }
+    std::vector<NetId> b;
+    b.reserve(static_cast<std::size_t>(w));
+    b.push_back(negb);
+    for (int i = 0; i + 1 < w; ++i) {
+      b.push_back(c_row[static_cast<std::size_t>(i)]);
+    }
+    next = w >= GateBuilder::kFastAdderWidth ? gb.csel(s_row, b).sum
+                                             : gb.rca(s_row, b).sum;
+  }
+
+  for (int i = 0; i < w; ++i) {
+    m.add_cell("acc_reg_" + std::to_string(i), "DFFX1",
+               {{"D", next[static_cast<std::size_t>(i)]},
+                {"CK", clk},
+                {"Q", acc[static_cast<std::size_t>(i)]}});
+    // Strong output buffer: the accumulator crosses the array to the OFU.
+    m.add_cell("acc_obuf_" + std::to_string(i), "BUFX4",
+               {{"A", acc[static_cast<std::size_t>(i)]},
+                {"Y", acc_out[static_cast<std::size_t>(i)]}});
+  }
+  return m;
+}
+
+}  // namespace syndcim::rtlgen

@@ -1,0 +1,31 @@
+#pragma once
+#include "netlist/module.hpp"
+#include "rtlgen/arch.hpp"
+
+namespace syndcim::rtlgen {
+
+/// Bit-serial shift-and-add accumulator (paper Sec. II-B, "S&A").
+///
+/// Input bits are processed MSB-first; each cycle the accumulator computes
+///   acc' = (acc << 1) [cleared by clr] +/- psum   (− when neg=1)
+/// so after IB cycles acc = sum_t (+/-)psum_t * 2^(IB-1-t), which is the
+/// signed dot product for two's-complement serial inputs (neg asserted on
+/// the sign-bit cycle, clr on the first cycle).
+///
+/// Ports:
+///   clk, neg, clr                         : controls
+///   p[0..psum_bits)                       : completed partial sum, or
+///   sv[0..psum_bits), cv[0..psum_bits)    : redundant vectors when
+///                                           `redundant_psum` (tt2 retiming:
+///                                           the tree's CPA lives here)
+///   acc[0..width)                         : accumulator register outputs
+struct ShiftAdderConfig {
+  int psum_bits = 7;
+  int width = 13;
+  bool redundant_psum = false;
+};
+
+[[nodiscard]] netlist::Module gen_shift_adder(const ShiftAdderConfig& cfg,
+                                              const std::string& module_name);
+
+}  // namespace syndcim::rtlgen

@@ -1,0 +1,66 @@
+#include "sim/equivalence.hpp"
+
+#include <map>
+#include <random>
+
+#include "sim/gate_sim.hpp"
+
+namespace syndcim::sim {
+
+std::string check_equivalence(
+    const netlist::FlatNetlist& a, const netlist::FlatNetlist& b,
+    const cell::Library& lib, int n_vectors, unsigned seed,
+    const std::vector<std::pair<std::string, std::string>>& port_map) {
+  std::map<std::string, std::string> in_map, out_map;
+  for (const auto& [an, bn] : port_map) {
+    in_map[an] = bn;
+    out_map[an] = bn;
+  }
+  auto b_name = [&](const std::map<std::string, std::string>& m,
+                    const std::string& an) {
+    const auto it = m.find(an);
+    return it == m.end() ? an : it->second;
+  };
+
+  // Port compatibility first.
+  for (const auto& io : a.primary_inputs()) {
+    const std::string bn = b_name(in_map, io.name);
+    bool found = false;
+    for (const auto& bio : b.primary_inputs()) found |= bio.name == bn;
+    if (!found) return "input '" + io.name + "' has no counterpart '" + bn +
+                       "' in B";
+  }
+  for (const auto& io : a.primary_outputs()) {
+    const std::string bn = b_name(out_map, io.name);
+    bool found = false;
+    for (const auto& bio : b.primary_outputs()) found |= bio.name == bn;
+    if (!found) return "output '" + io.name + "' has no counterpart '" +
+                       bn + "' in B";
+  }
+
+  GateSim sa(a, lib), sb(b, lib);
+  std::mt19937_64 rng(seed);
+  for (int v = 0; v < n_vectors; ++v) {
+    for (const auto& io : a.primary_inputs()) {
+      const int bit = static_cast<int>(rng() & 1);
+      sa.set_input(io.name, bit);
+      sb.set_input(b_name(in_map, io.name), bit);
+    }
+    sa.step();
+    sb.step();
+    sa.eval();
+    sb.eval();
+    for (const auto& io : a.primary_outputs()) {
+      const int va = sa.output(io.name);
+      const int vb = sb.output(b_name(out_map, io.name));
+      if (va != vb) {
+        return "vector " + std::to_string(v) + ": output '" + io.name +
+               "' differs (A=" + std::to_string(va) +
+               ", B=" + std::to_string(vb) + ")";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace syndcim::sim

@@ -1,0 +1,23 @@
+#pragma once
+#include <string>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "netlist/flatten.hpp"
+
+namespace syndcim::sim {
+
+/// Random-simulation combinational equivalence check between two
+/// flattened netlists (a lightweight LEC): ports are matched through
+/// `port_map` (name in A -> name in B; identity for unmapped names), both
+/// designs are driven with the same random vectors and all mapped outputs
+/// are compared. Sequential state is stepped identically in both.
+///
+/// Returns an empty string on success, otherwise a description of the
+/// first mismatch. `n_vectors` random input assignments are tried.
+[[nodiscard]] std::string check_equivalence(
+    const netlist::FlatNetlist& a, const netlist::FlatNetlist& b,
+    const cell::Library& lib, int n_vectors, unsigned seed = 1,
+    const std::vector<std::pair<std::string, std::string>>& port_map = {});
+
+}  // namespace syndcim::sim

@@ -1,0 +1,193 @@
+#include "sim/macro_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace syndcim::sim {
+
+using num::AlignedGroup;
+using num::FpFormat;
+
+DcimMacroModel::DcimMacroModel(rtlgen::MacroConfig cfg)
+    : cfg_(std::move(cfg)) {
+  cfg_.validate();
+  bits_.assign(static_cast<std::size_t>(cfg_.rows) * cfg_.cols * cfg_.mcr,
+               0);
+}
+
+void DcimMacroModel::write_bit(int col, int row, int bank, int bit) {
+  if (col < 0 || col >= cfg_.cols || row < 0 || row >= cfg_.rows ||
+      bank < 0 || bank >= cfg_.mcr) {
+    throw std::out_of_range("DcimMacroModel::write_bit");
+  }
+  bits_[(static_cast<std::size_t>(col) * cfg_.rows + row) * cfg_.mcr +
+        bank] = bit ? 1 : 0;
+}
+
+int DcimMacroModel::read_bit(int col, int row, int bank) const {
+  return bits_[(static_cast<std::size_t>(col) * cfg_.rows + row) * cfg_.mcr +
+               bank];
+}
+
+void DcimMacroModel::load_weights_int(
+    int bank, int wp,
+    const std::vector<std::vector<std::int64_t>>& weights) {
+  const int n_out = cfg_.cols / wp;
+  if (static_cast<int>(weights.size()) != n_out) {
+    throw std::invalid_argument("load_weights_int: wrong output count");
+  }
+  const num::IntFormat f{wp, wp > 1};
+  for (int o = 0; o < n_out; ++o) {
+    if (static_cast<int>(weights[static_cast<std::size_t>(o)].size()) !=
+        cfg_.rows) {
+      throw std::invalid_argument("load_weights_int: wrong row count");
+    }
+    for (int r = 0; r < cfg_.rows; ++r) {
+      const std::int64_t w = weights[static_cast<std::size_t>(o)]
+                                    [static_cast<std::size_t>(r)];
+      num::require_in_range(w, f);
+      for (int k = 0; k < wp; ++k) {
+        write_bit(o * wp + k, r, bank, num::ts_bit(w, k));
+      }
+    }
+  }
+}
+
+std::vector<int> DcimMacroModel::load_weights_fp(
+    int bank, FpFormat fmt,
+    const std::vector<std::vector<std::uint32_t>>& weights) {
+  const int wp = cfg_.max_weight_bits();
+  const int n_out = cfg_.cols / wp;
+  if (static_cast<int>(weights.size()) != n_out) {
+    throw std::invalid_argument("load_weights_fp: wrong output count");
+  }
+  std::vector<int> shared;
+  shared.reserve(static_cast<std::size_t>(n_out));
+  for (int o = 0; o < n_out; ++o) {
+    const auto& group = weights[static_cast<std::size_t>(o)];
+    if (static_cast<int>(group.size()) != cfg_.rows) {
+      throw std::invalid_argument("load_weights_fp: wrong row count");
+    }
+    const AlignedGroup a =
+        num::align_fp_group(group, fmt, cfg_.fp_guard_bits);
+    shared.push_back(a.shared_exp_unbiased);
+    for (int r = 0; r < cfg_.rows; ++r) {
+      const std::int64_t m = a.mant[static_cast<std::size_t>(r)];
+      for (int k = 0; k < wp; ++k) {
+        // Sign extension fills the columns above the mantissa width.
+        write_bit(o * wp + k, r, bank, num::ts_bit(m, k));
+      }
+    }
+  }
+  fp_weight_exp_ = shared;
+  return shared;
+}
+
+std::int64_t DcimMacroModel::column_weight(int col, int row, int bank) const {
+  return read_bit(col, row, bank);
+}
+
+std::vector<std::int64_t> DcimMacroModel::mac_int(
+    const std::vector<std::int64_t>& inputs, int ib, int wp, int bank,
+    bool signed_inputs) const {
+  if (static_cast<int>(inputs.size()) != cfg_.rows) {
+    throw std::invalid_argument("mac_int: wrong input count");
+  }
+  const num::IntFormat inf{ib, signed_inputs};
+  for (const std::int64_t v : inputs) num::require_in_range(v, inf);
+  const int n_out = cfg_.cols / wp;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n_out), 0);
+  for (int o = 0; o < n_out; ++o) {
+    std::int64_t acc = 0;
+    for (int r = 0; r < cfg_.rows; ++r) {
+      // Reconstruct the stored weight from column bits (two's complement
+      // across the group; wp==1 unsigned).
+      std::int64_t w = 0;
+      for (int k = 0; k < wp; ++k) {
+        const std::int64_t b = column_weight(o * wp + k, r, bank);
+        if (wp > 1 && k == wp - 1) {
+          w -= b << k;
+        } else {
+          w += b << k;
+        }
+      }
+      acc += inputs[static_cast<std::size_t>(r)] * w;
+    }
+    out[static_cast<std::size_t>(o)] = acc;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> DcimMacroModel::mac_int_serial(
+    const std::vector<std::int64_t>& inputs, int ib, int wp, int bank,
+    bool signed_inputs) const {
+  if (static_cast<int>(inputs.size()) != cfg_.rows) {
+    throw std::invalid_argument("mac_int_serial: wrong input count");
+  }
+  // Per-column bit-serial S&A accumulation, MSB-first with subtract on the
+  // sign-bit cycle — exactly the gate-level pipeline's arithmetic.
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(cfg_.cols), 0);
+  for (int t = 0; t < ib; ++t) {
+    const int bit_pos = ib - 1 - t;  // MSB first
+    const bool neg = signed_inputs && t == 0;
+    for (int c = 0; c < cfg_.cols; ++c) {
+      std::int64_t psum = 0;
+      for (int r = 0; r < cfg_.rows; ++r) {
+        psum += num::ts_bit(inputs[static_cast<std::size_t>(r)], bit_pos) &
+                column_weight(c, r, bank);
+      }
+      auto& a = acc[static_cast<std::size_t>(c)];
+      a = (t == 0 ? 0 : a * 2) + (neg ? -psum : psum);
+    }
+  }
+  // OFU fusion: the stage-1 pair containing the group's sign column
+  // subtracts its hi element; all later stages add already-signed values.
+  const int n_out = cfg_.cols / wp;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n_out), 0);
+  for (int o = 0; o < n_out; ++o) {
+    std::vector<std::int64_t> vals(
+        acc.begin() + o * wp, acc.begin() + (o + 1) * wp);
+    if (wp > 1) vals.back() = -vals.back();  // two's-complement sign column
+    int stage = 1;
+    while (vals.size() > 1) {
+      std::vector<std::int64_t> next;
+      for (std::size_t j = 0; j + 1 < vals.size(); j += 2) {
+        next.push_back(vals[j] + (vals[j + 1] << (1 << (stage - 1))));
+      }
+      vals = std::move(next);
+      ++stage;
+    }
+    out[static_cast<std::size_t>(o)] = vals[0];
+  }
+  return out;
+}
+
+num::AlignedGroup DcimMacroModel::align_inputs(
+    const std::vector<std::uint32_t>& inputs, FpFormat fmt) const {
+  return num::align_fp_group(inputs, fmt, cfg_.fp_guard_bits);
+}
+
+double DcimMacroModel::FpMacResult::value(std::size_t o) const {
+  return std::ldexp(static_cast<double>(raw.at(o)),
+                    input_shared_exp - in_frac + weight_shared_exp.at(o) -
+                        w_frac);
+}
+
+DcimMacroModel::FpMacResult DcimMacroModel::mac_fp(
+    const std::vector<std::uint32_t>& inputs, FpFormat fmt, int bank) const {
+  if (fp_weight_exp_.empty()) {
+    throw std::logic_error("mac_fp: no FP weights loaded");
+  }
+  const AlignedGroup a = align_inputs(inputs, fmt);
+  const int wp = cfg_.max_weight_bits();
+  FpMacResult res;
+  res.input_shared_exp = a.shared_exp_unbiased;
+  res.weight_shared_exp = fp_weight_exp_;
+  res.in_frac = a.frac_shift;
+  res.w_frac = fmt.man_bits + cfg_.fp_guard_bits;
+  res.raw = mac_int(a.mant, num::aligned_mant_bits(fmt, cfg_.fp_guard_bits),
+                    wp, bank);
+  return res;
+}
+
+}  // namespace syndcim::sim

@@ -1,0 +1,82 @@
+#pragma once
+#include <cstdint>
+#include <vector>
+
+#include "num/alignment.hpp"
+#include "num/fp_format.hpp"
+#include "num/int_ops.hpp"
+#include "rtlgen/macro.hpp"
+
+namespace syndcim::sim {
+
+/// Bit-accurate behavioral model of a generated DCIM macro. Serves as the
+/// golden reference for the gate-level netlist and as the fast functional
+/// simulator for workload-level experiments.
+///
+/// Weight layout follows MacroDesign: a weight of precision `wp` for
+/// (output o, row r) occupies columns o*wp+k, bit k in column o*wp+k,
+/// two's complement with the MSB column negative. FP weights are aligned
+/// per output group at load time (shared exponent per output).
+class DcimMacroModel {
+ public:
+  explicit DcimMacroModel(rtlgen::MacroConfig cfg);
+
+  [[nodiscard]] const rtlgen::MacroConfig& cfg() const { return cfg_; }
+
+  // --- weight storage ---
+  void write_bit(int col, int row, int bank, int bit);
+  [[nodiscard]] int read_bit(int col, int row, int bank) const;
+
+  /// Loads an integer weight matrix into `bank`: weights[o][r] is the
+  /// weight of output o at row r, `wp` bits two's complement
+  /// (wp==1: unsigned 0/1). Number of outputs = cols/wp.
+  void load_weights_int(int bank, int wp,
+                        const std::vector<std::vector<std::int64_t>>& weights);
+
+  /// Loads FP weights (encodings of `fmt`); each output group is aligned
+  /// to its own shared exponent and stored sign-extended over the group's
+  /// columns. Returns the per-output shared (unbiased) exponents.
+  std::vector<int> load_weights_fp(
+      int bank, num::FpFormat fmt,
+      const std::vector<std::vector<std::uint32_t>>& weights);
+
+  // --- MAC (golden, direct arithmetic) ---
+  /// inputs[r]: `ib`-bit two's complement (or unsigned when
+  /// !signed_inputs); returns cols/wp outputs.
+  [[nodiscard]] std::vector<std::int64_t> mac_int(
+      const std::vector<std::int64_t>& inputs, int ib, int wp, int bank,
+      bool signed_inputs = true) const;
+
+  struct FpMacResult {
+    std::vector<std::int64_t> raw;  ///< integer MAC of aligned mantissas
+    int input_shared_exp = 0;       ///< unbiased
+    std::vector<int> weight_shared_exp;
+    int in_frac = 0, w_frac = 0;
+    /// Real value of output o implied by the fixed-point result.
+    [[nodiscard]] double value(std::size_t o) const;
+  };
+  /// FP MAC: aligns `inputs` (encodings of `fmt`) through the behavioral
+  /// alignment unit and multiplies against the FP weights previously
+  /// loaded with load_weights_fp (same fmt/bank).
+  [[nodiscard]] FpMacResult mac_fp(const std::vector<std::uint32_t>& inputs,
+                                   num::FpFormat fmt, int bank) const;
+
+  // --- cycle-accurate emulation (mirrors the gate-level pipeline) ---
+  /// Same result as mac_int but computed through the bit-serial
+  /// popcount/S&A/OFU pipeline, cycle by cycle.
+  [[nodiscard]] std::vector<std::int64_t> mac_int_serial(
+      const std::vector<std::int64_t>& inputs, int ib, int wp, int bank,
+      bool signed_inputs = true) const;
+
+  /// The aligned integer inputs the macro would feed serially in FP mode.
+  [[nodiscard]] num::AlignedGroup align_inputs(
+      const std::vector<std::uint32_t>& inputs, num::FpFormat fmt) const;
+
+ private:
+  [[nodiscard]] std::int64_t column_weight(int col, int row, int bank) const;
+  rtlgen::MacroConfig cfg_;
+  std::vector<std::uint8_t> bits_;  // (col, row, bank)
+  std::vector<int> fp_weight_exp_;  // per output group of last fp load
+};
+
+}  // namespace syndcim::sim

@@ -1,0 +1,57 @@
+#pragma once
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "netlist/flatten.hpp"
+#include "rtlgen/macro.hpp"
+#include "sim/gate_sim.hpp"
+#include "sim/macro_model.hpp"
+
+namespace syndcim::sim {
+
+/// Gate-level testbench for a generated macro: owns the flattened netlist
+/// and a GateSim, and drives the cycle protocol documented on MacroDesign.
+/// Used for functional verification against DcimMacroModel and for
+/// activity extraction feeding the power engine.
+class MacroTestbench {
+ public:
+  MacroTestbench(const rtlgen::MacroDesign& md, const cell::Library& lib);
+
+  [[nodiscard]] const netlist::FlatNetlist& netlist() const { return flat_; }
+  [[nodiscard]] GateSim& sim() { return *sim_; }
+
+  /// Copies the model's weight storage straight into the bitcell states
+  /// (complemented for the OAI22 mux style, mirroring the write port's
+  /// inverting bitline driver).
+  void preload_weights(const DcimMacroModel& model);
+
+  /// Writes one row of one bank through the real write port (2 cycles).
+  void write_row_via_port(int row, int bank, const std::vector<int>& bits);
+
+  /// Full MAC through the gate-level pipeline; returns cols/wp outputs.
+  [[nodiscard]] std::vector<std::int64_t> run_mac_int(
+      const std::vector<std::int64_t>& inputs, int ib, int wp, int bank,
+      bool signed_inputs = true);
+
+  /// FP MAC: drives the alignment unit with raw encodings; returns the
+  /// integer mantissa results (compare with DcimMacroModel::mac_fp().raw).
+  [[nodiscard]] std::vector<std::int64_t> run_mac_fp(
+      const std::vector<std::uint32_t>& inputs, num::FpFormat fmt, int bank);
+
+  /// Total cycles consumed so far (activity normalization).
+  [[nodiscard]] std::uint64_t cycles() const { return sim_->cycles(); }
+
+ private:
+  void set_bank_select(int bank);
+  void set_mode(int wp);
+  void idle_controls();
+  [[nodiscard]] std::vector<std::int64_t> read_outputs(int wp);
+
+  const rtlgen::MacroDesign& md_;
+  netlist::FlatNetlist flat_;
+  std::unique_ptr<GateSim> sim_;
+};
+
+}  // namespace syndcim::sim

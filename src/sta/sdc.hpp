@@ -1,0 +1,15 @@
+#pragma once
+#include <iosfwd>
+
+#include "sta/sta.hpp"
+
+namespace syndcim::sta {
+
+/// Emits the timing constraints of an analysis setup as an SDC script —
+/// the "circuit constraints" output of Algorithm 1: MAC clock, the
+/// weight-update clock as a second (exclusive) clock on the same port,
+/// case analysis on the static configuration inputs, the input/output
+/// budgets and the max-transition design rule.
+void write_sdc(const StaOptions& opt, std::ostream& os);
+
+}  // namespace syndcim::sta

@@ -1,0 +1,392 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace syndcim::sta {
+
+using netlist::FlatNetlist;
+using netlist::NetConst;
+
+namespace {
+constexpr std::uint32_t kNoNet = UINT32_MAX;
+constexpr double kStorageQSlewPs = 80.0;  // weak bitcell read transition
+constexpr double kClockSlewPs = 40.0;
+}  // namespace
+
+double TimingReport::group_wns(std::string_view g) const {
+  for (const GroupSlack& gs : groups) {
+    if (gs.group == g) return gs.wns_ps;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+StaEngine::StaEngine(const FlatNetlist& nl, const cell::Library& lib)
+    : nl_(nl), lib_(lib) {
+  const auto& flat_gates = nl.gates();
+  gates_.reserve(flat_gates.size());
+
+  // Resolve masters and pin name ids once.
+  std::vector<const cell::Cell*> master_cells;
+  master_cells.reserve(nl.master_names().size());
+  for (const std::string& m : nl.master_names()) {
+    master_cells.push_back(&lib.get(m));
+  }
+  // pin name id -> string (interned); resolved per (cell, pin id) lazily.
+  const auto& pin_names = nl.pin_names();
+
+  pin_cap_sum_.assign(nl.net_count(), 0.0);
+  fanout_.assign(nl.net_count(), 0);
+  driver_gate_.assign(nl.net_count(), -1);
+  driver_pin_.assign(nl.net_count(), -1);
+
+  for (const auto& fg : flat_gates) {
+    GateInfo gi;
+    gi.cell = master_cells[fg.master];
+    gi.group = fg.group;
+    gi.pin_nets.assign(gi.cell->pins.size(), kNoNet);
+    for (const auto& pc : fg.pins) {
+      const int pi = gi.cell->pin_index(pin_names[pc.pin_name]);
+      if (pi < 0) {
+        throw std::invalid_argument("StaEngine: cell " + gi.cell->name +
+                                    " has no pin " + pin_names[pc.pin_name]);
+      }
+      gi.pin_nets[static_cast<std::size_t>(pi)] = pc.net;
+    }
+    const std::uint32_t g = static_cast<std::uint32_t>(gates_.size());
+    for (std::size_t pi = 0; pi < gi.cell->pins.size(); ++pi) {
+      const std::uint32_t net = gi.pin_nets[pi];
+      if (net == kNoNet) {
+        if (gi.cell->pins[pi].is_input) {
+          throw std::invalid_argument("StaEngine: unconnected input pin " +
+                                      gi.cell->pins[pi].name + " on " +
+                                      gi.cell->name);
+        }
+        continue;
+      }
+      if (gi.cell->pins[pi].is_input) {
+        pin_cap_sum_[net] += gi.cell->pins[pi].cap_ff;
+        ++fanout_[net];
+      } else {
+        if (driver_gate_[net] >= 0) {
+          throw std::invalid_argument("StaEngine: net has multiple drivers");
+        }
+        if (nl.net_const(net) != NetConst::kNone) {
+          throw std::invalid_argument("StaEngine: gate drives constant net");
+        }
+        driver_gate_[net] = static_cast<std::int32_t>(g);
+        driver_pin_[net] = static_cast<std::int8_t>(pi);
+      }
+    }
+    gates_.push_back(std::move(gi));
+  }
+  for (const auto& io : nl.primary_inputs()) {
+    if (driver_gate_[io.net] >= 0) {
+      throw std::invalid_argument("StaEngine: primary input " + io.name +
+                                  " also driven by a gate");
+    }
+  }
+
+  // Levelize combinational gates. A net is initially "resolved" if it is a
+  // primary input, a constant, dangling, or driven by a register/storage Q.
+  std::vector<std::uint8_t> resolved(nl.net_count(), 0);
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    const std::int32_t dg = driver_gate_[n];
+    if (dg < 0 || nl.net_const(n) != NetConst::kNone) {
+      resolved[n] = 1;
+    } else if (gates_[static_cast<std::size_t>(dg)].cell->timing_role() !=
+               cell::TimingRole::kCombinational) {
+      resolved[n] = 1;
+    }
+  }
+  // Count unresolved timed inputs per combinational gate.
+  std::vector<std::uint32_t> pending(gates_.size(), 0);
+  std::vector<std::vector<std::uint32_t>> net_comb_loads(nl.net_count());
+  std::size_t comb_total = 0;
+  for (std::uint32_t g = 0; g < gates_.size(); ++g) {
+    const GateInfo& gi = gates_[g];
+    if (gi.cell->timing_role() != cell::TimingRole::kCombinational) continue;
+    ++comb_total;
+    for (std::size_t pi = 0; pi < gi.cell->pins.size(); ++pi) {
+      if (!gi.cell->pins[pi].is_input) continue;
+      const std::uint32_t net = gi.pin_nets[pi];
+      if (!resolved[net]) {
+        ++pending[g];
+        net_comb_loads[net].push_back(g);
+      }
+    }
+  }
+  std::vector<std::uint32_t> frontier;
+  for (std::uint32_t g = 0; g < gates_.size(); ++g) {
+    const GateInfo& gi = gates_[g];
+    if (gi.cell->timing_role() == cell::TimingRole::kCombinational &&
+        pending[g] == 0) {
+      frontier.push_back(g);
+    }
+  }
+  std::size_t scheduled = 0;
+  while (!frontier.empty()) {
+    gate_order_.push_back(frontier);
+    scheduled += frontier.size();
+    std::vector<std::uint32_t> next;
+    for (const std::uint32_t g : gate_order_.back()) {
+      const GateInfo& gi = gates_[g];
+      for (std::size_t pi = 0; pi < gi.cell->pins.size(); ++pi) {
+        if (gi.cell->pins[pi].is_input) continue;
+        const std::uint32_t net = gi.pin_nets[pi];
+        if (net == kNoNet || resolved[net]) continue;
+        resolved[net] = 1;
+        for (const std::uint32_t lg : net_comb_loads[net]) {
+          if (--pending[lg] == 0) next.push_back(lg);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (scheduled != comb_total) {
+    throw std::invalid_argument(
+        "StaEngine: combinational loop detected (" +
+        std::to_string(comb_total - scheduled) + " gates unschedulable)");
+  }
+}
+
+double StaEngine::net_load_ff(std::uint32_t net, const WireModel& wire) const {
+  return pin_cap_sum_[net] + wire.net_cap(net, fanout_[net]);
+}
+
+double VariationReport::yield_at(double freq_mhz) const {
+  if (fmax_samples_mhz.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const double f : fmax_samples_mhz) ok += f >= freq_mhz ? 1 : 0;
+  return static_cast<double>(ok) / fmax_samples_mhz.size();
+}
+
+TimingReport StaEngine::analyze(const StaOptions& opt) const {
+  return analyze_impl(opt, nullptr);
+}
+
+VariationReport StaEngine::analyze_variation(const StaOptions& opt,
+                                             double delay_sigma,
+                                             double global_sigma,
+                                             int samples,
+                                             unsigned seed) const {
+  if (samples < 1 || delay_sigma < 0 || global_sigma < 0) {
+    throw std::invalid_argument("analyze_variation: bad parameters");
+  }
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> n01;
+  VariationReport rep;
+  rep.fmax_samples_mhz.reserve(static_cast<std::size_t>(samples));
+  std::vector<float> derate(gates_.size());
+  for (int s = 0; s < samples; ++s) {
+    // Global corner shift shared by the die, plus independent local
+    // variation per gate (lognormal keeps derates positive).
+    const double global = std::exp(global_sigma * n01(rng));
+    for (float& d : derate) {
+      d = static_cast<float>(global * std::exp(delay_sigma * n01(rng)));
+    }
+    rep.fmax_samples_mhz.push_back(
+        analyze_impl(opt, derate.data()).fmax_mhz);
+  }
+  double sum = 0, sq = 0;
+  for (const double f : rep.fmax_samples_mhz) {
+    sum += f;
+    sq += f * f;
+  }
+  rep.mean_fmax_mhz = sum / samples;
+  rep.sigma_fmax_mhz = std::sqrt(
+      std::max(0.0, sq / samples - rep.mean_fmax_mhz * rep.mean_fmax_mhz));
+  return rep;
+}
+
+TimingReport StaEngine::analyze_impl(const StaOptions& opt,
+                                     const float* gate_derate) const {
+  const tech::TechNode& node = lib_.node();
+  if (!node.vdd_in_range(opt.vdd)) {
+    throw std::invalid_argument("StaEngine::analyze: vdd out of range");
+  }
+  // Voltage/temperature scaling: propagate in the nominal domain (delays
+  // AND slews scale together, so relative waveforms are invariant) and
+  // scale the reported times at the end. Equivalently, clock periods
+  // shrink by 1/ds during analysis.
+  const double ds = node.delay_scale(opt.vdd, opt.temp_c);
+
+  const std::size_t nnets = nl_.net_count();
+  std::vector<double> at(nnets, -std::numeric_limits<double>::infinity());
+  std::vector<double> slew(nnets, opt.input_slew_ps);
+  // Traceback: previous net and gate on the worst path into each net.
+  std::vector<std::uint32_t> prev_net(nnets, kNoNet);
+  std::vector<std::int32_t> via_gate(nnets, -1);
+
+  for (std::uint32_t n = 0; n < nnets; ++n) {
+    if (driver_gate_[n] < 0 || nl_.net_const(n) != NetConst::kNone) {
+      at[n] = 0.0;  // dangling or constant
+    }
+  }
+  for (const auto& io : nl_.primary_inputs()) {
+    at[io.net] = opt.input_delay_ps;
+    slew[io.net] = opt.input_slew_ps;
+  }
+  // Case analysis: static configuration inputs do not launch transitions.
+  std::vector<std::uint8_t> untimed(nnets, 0);
+  for (const std::string& name : opt.static_inputs) {
+    for (const auto& io : nl_.primary_inputs()) {
+      if (io.name == name) untimed[io.net] = 1;
+    }
+  }
+
+  // Launch points: register CK->Q and storage Q.
+  for (std::uint32_t g = 0; g < gates_.size(); ++g) {
+    const GateInfo& gi = gates_[g];
+    const cell::TimingRole role = gi.cell->timing_role();
+    if (role == cell::TimingRole::kCombinational) continue;
+    for (std::size_t pi = 0; pi < gi.cell->pins.size(); ++pi) {
+      if (gi.cell->pins[pi].is_input) continue;
+      const std::uint32_t qnet = gi.pin_nets[pi];
+      if (qnet == kNoNet) continue;
+      if (role == cell::TimingRole::kStorage) {
+        at[qnet] = 0.0;
+        slew[qnet] = kStorageQSlewPs;
+        continue;
+      }
+      const double load = net_load_ff(qnet, opt.wire);
+      double d = 0.0, s = kClockSlewPs;
+      for (const auto& arc : gi.cell->arcs) {
+        if (static_cast<std::size_t>(arc.to_pin) != pi) continue;
+        d = std::max(d, arc.delay_ps.eval(kClockSlewPs, load));
+        s = std::max(s, arc.out_slew_ps.eval(kClockSlewPs, load));
+      }
+      if (gate_derate) d *= gate_derate[g];
+      at[qnet] = d;
+      slew[qnet] = s;
+      via_gate[qnet] = static_cast<std::int32_t>(g);
+    }
+  }
+
+  // Propagate through levels.
+  for (const auto& level : gate_order_) {
+    for (const std::uint32_t g : level) {
+      const GateInfo& gi = gates_[g];
+      for (const auto& arc : gi.cell->arcs) {
+        const std::uint32_t in_net =
+            gi.pin_nets[static_cast<std::size_t>(arc.from_pin)];
+        const std::uint32_t out_net =
+            gi.pin_nets[static_cast<std::size_t>(arc.to_pin)];
+        if (in_net == kNoNet || out_net == kNoNet) continue;
+        if (nl_.net_const(in_net) != NetConst::kNone) continue;
+        if (untimed[in_net]) continue;
+        const double load = net_load_ff(out_net, opt.wire);
+        double d = arc.delay_ps.eval(slew[in_net], load);
+        if (gate_derate) d *= gate_derate[g];
+        const double cand = at[in_net] + d;
+        if (cand > at[out_net]) {
+          at[out_net] = cand;
+          slew[out_net] = std::min(
+              arc.out_slew_ps.eval(slew[in_net], load), opt.max_slew_ps);
+          prev_net[out_net] = in_net;
+          via_gate[out_net] = static_cast<std::int32_t>(g);
+        }
+      }
+    }
+  }
+
+  // Collect endpoints.
+  struct Endpoint {
+    std::uint32_t net;
+    double arrival;
+    double required;
+    std::uint32_t group;
+    std::string desc;
+    bool write_domain = false;
+  };
+  std::vector<Endpoint> eps;
+  double min_period = 0.0, min_write_period = 0.0;
+
+  for (std::uint32_t g = 0; g < gates_.size(); ++g) {
+    const GateInfo& gi = gates_[g];
+    const cell::TimingRole role = gi.cell->timing_role();
+    if (role == cell::TimingRole::kCombinational) continue;
+    const bool write_domain = role == cell::TimingRole::kStorage;
+    const double period =
+        (write_domain ? opt.write_period_ps : opt.clock_period_ps) / ds;
+    for (std::size_t pi = 0; pi < gi.cell->pins.size(); ++pi) {
+      const cell::Pin& p = gi.cell->pins[pi];
+      if (!p.is_input || p.is_clock) continue;
+      const std::uint32_t net = gi.pin_nets[pi];
+      if (nl_.net_const(net) != NetConst::kNone) continue;
+      const double need = at[net] + gi.cell->setup_ps;
+      (write_domain ? min_write_period : min_period) =
+          std::max(write_domain ? min_write_period : min_period, need);
+      eps.push_back({net, at[net], period - gi.cell->setup_ps, gi.group,
+                     gi.cell->name + "/" + p.name, write_domain});
+    }
+  }
+  for (const auto& io : nl_.primary_outputs()) {
+    const double need = at[io.net] + opt.output_margin_ps;
+    min_period = std::max(min_period, need);
+    eps.push_back({io.net, at[io.net],
+                   opt.clock_period_ps / ds - opt.output_margin_ps, 0,
+                   "<out>/" + io.name});
+  }
+
+  TimingReport rep;
+  rep.min_period_ps = min_period * ds;
+  rep.min_write_period_ps = min_write_period * ds;
+  rep.fmax_mhz = min_period > 0 ? 1.0e6 / rep.min_period_ps : 0.0;
+
+  rep.wns_ps = std::numeric_limits<double>::infinity();
+  const Endpoint* worst = nullptr;
+  std::vector<GroupSlack> groups(nl_.group_names().size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    groups[i].group = nl_.group_names()[i];
+  }
+  for (const Endpoint& e : eps) {
+    const double slack = (e.required - e.arrival) * ds;
+    if (slack < rep.wns_ps) {
+      rep.wns_ps = slack;
+      worst = &e;
+    }
+    if (slack < 0) rep.tns_ps += slack;
+    // Group slacks classify MAC-domain endpoints only; the write domain is
+    // summarized by min_write_period_ps.
+    if (e.write_domain) continue;
+    GroupSlack& gs = groups[e.group];
+    if (slack < gs.wns_ps) {
+      gs.wns_ps = slack;
+      gs.worst_arrival_ps = e.arrival * ds;
+    }
+  }
+  if (eps.empty()) rep.wns_ps = std::numeric_limits<double>::infinity();
+  for (GroupSlack& gs : groups) {
+    if (std::isfinite(gs.wns_ps)) rep.groups.push_back(std::move(gs));
+  }
+
+  if (worst != nullptr) {
+    rep.critical.arrival_ps = worst->arrival * ds;
+    rep.critical.required_ps = worst->required * ds;
+    rep.critical.endpoint = worst->desc;
+    // Trace back the worst path.
+    std::uint32_t n = worst->net;
+    int guard = 0;
+    while (n != kNoNet && guard++ < 4096) {
+      PathStage st;
+      st.arrival_ps = at[n] * ds;
+      if (via_gate[n] >= 0) {
+        const GateInfo& gi = gates_[static_cast<std::size_t>(via_gate[n])];
+        st.master = gi.cell->name;
+        st.group = nl_.group_names()[gi.group];
+      } else {
+        st.master = "<source>";
+        st.group = "";
+      }
+      rep.critical.stages.push_back(std::move(st));
+      n = prev_net[n];
+    }
+    std::reverse(rep.critical.stages.begin(), rep.critical.stages.end());
+  }
+  return rep;
+}
+
+}  // namespace syndcim::sta

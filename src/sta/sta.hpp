@@ -1,0 +1,146 @@
+#pragma once
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "netlist/flatten.hpp"
+
+namespace syndcim::sta {
+
+/// Wire parasitics added on top of pin capacitance. Before placement a
+/// fanout-based estimate is used; after placement the layout engine
+/// back-annotates per-net capacitance.
+struct WireModel {
+  double cap_per_fanout_ff = 0.25;
+  /// Optional per-net capacitance (indexed by flat net id); overrides the
+  /// fanout estimate where the entry is >= 0.
+  std::vector<double> per_net_cap_ff;
+
+  [[nodiscard]] double net_cap(std::uint32_t net, int fanout) const {
+    if (net < per_net_cap_ff.size() && per_net_cap_ff[net] >= 0.0) {
+      return per_net_cap_ff[net];
+    }
+    return cap_per_fanout_ff * fanout;
+  }
+};
+
+struct StaOptions {
+  double clock_period_ps = 1250.0;  ///< MAC clock (800 MHz default)
+  /// Weight-update clock period; SRAM write endpoints are checked against
+  /// this instead of the MAC clock.
+  double write_period_ps = 1250.0;
+  double vdd = 0.9;
+  double temp_c = 25.0;  ///< junction temperature (PVT corner)
+  double input_slew_ps = 20.0;
+  double input_delay_ps = 0.0;
+  double output_margin_ps = 0.0;
+  /// Max-transition design rule (nominal-domain ps): APR tools repair
+  /// slew violations with repeaters, so propagated slews are clamped here.
+  double max_slew_ps = 400.0;
+  WireModel wire;
+  /// Primary inputs held static during operation (bank selects, precision
+  /// mode, FP select): excluded from timing like a case analysis, exactly
+  /// as a constraints file would declare them. Names must match primary
+  /// input ports; unknown names are ignored.
+  std::vector<std::string> static_inputs;
+};
+
+/// One stage of a reported path, already resolved to names.
+struct PathStage {
+  std::string master;  ///< cell name, or "<port>" at the endpoints
+  std::string group;   ///< depth-1 instance the gate belongs to
+  double arrival_ps = 0.0;
+};
+
+struct TimingPath {
+  double arrival_ps = 0.0;
+  double required_ps = 0.0;
+  [[nodiscard]] double slack_ps() const { return required_ps - arrival_ps; }
+  std::string endpoint;  ///< description of the endpoint
+  std::vector<PathStage> stages;
+};
+
+/// Worst slack per depth-1 instance group (endpoint classification).
+struct GroupSlack {
+  std::string group;
+  double wns_ps = std::numeric_limits<double>::infinity();
+  double worst_arrival_ps = 0.0;
+};
+
+struct TimingReport {
+  double wns_ps = 0.0;  ///< worst negative slack (positive if met)
+  double tns_ps = 0.0;  ///< total negative slack (<= 0)
+  /// Minimum feasible clock period (max arrival + setup over MAC-clocked
+  /// endpoints) and the corresponding fmax.
+  double min_period_ps = 0.0;
+  double fmax_mhz = 0.0;
+  /// Minimum feasible weight-update period.
+  double min_write_period_ps = 0.0;
+  std::vector<GroupSlack> groups;
+  TimingPath critical;
+
+  [[nodiscard]] bool met() const { return wns_ps >= 0.0; }
+  /// Worst slack among endpoints whose group name is `g`; +inf if none.
+  [[nodiscard]] double group_wns(std::string_view g) const;
+};
+
+/// Monte-Carlo process-variation results (paper Sec. I: DCIM's robustness
+/// against PVT variation): fmax distribution over random per-gate delay
+/// derates.
+struct VariationReport {
+  std::vector<double> fmax_samples_mhz;
+  double mean_fmax_mhz = 0.0;
+  double sigma_fmax_mhz = 0.0;
+  /// Fraction of samples meeting the target frequency.
+  [[nodiscard]] double yield_at(double freq_mhz) const;
+};
+
+/// Levelized static timing engine over a flattened netlist.
+///
+/// Roles: DFF/latch CK->Q launches at clk-to-q, D is a setup endpoint;
+/// SRAM bitcell Q launches at t=0 (weights are static during MAC) and its
+/// D/WL pins are endpoints in the weight-update clock domain; primary
+/// inputs launch at input_delay, primary outputs are endpoints. Clock pins
+/// see an ideal zero-skew clock.
+class StaEngine {
+ public:
+  StaEngine(const netlist::FlatNetlist& nl, const cell::Library& lib);
+
+  [[nodiscard]] TimingReport analyze(const StaOptions& opt) const;
+
+  /// Monte-Carlo corner analysis: `samples` STA runs with independent
+  /// lognormal-ish per-gate delay derates of relative sigma
+  /// `delay_sigma` (e.g. 0.05 for 5% local variation) plus a global
+  /// corner shift `global_sigma` shared by all gates of a sample.
+  [[nodiscard]] VariationReport analyze_variation(const StaOptions& opt,
+                                                  double delay_sigma,
+                                                  double global_sigma,
+                                                  int samples,
+                                                  unsigned seed = 1) const;
+
+  /// Total capacitance (pins + wire) on a net, as seen by its driver.
+  [[nodiscard]] double net_load_ff(std::uint32_t net,
+                                   const WireModel& wire) const;
+
+ private:
+  [[nodiscard]] TimingReport analyze_impl(const StaOptions& opt,
+                                          const float* gate_derate) const;
+  struct GateInfo {
+    const cell::Cell* cell;
+    std::vector<std::uint32_t> pin_nets;  // by cell pin index
+    std::uint32_t group;
+  };
+
+  const netlist::FlatNetlist& nl_;
+  const cell::Library& lib_;
+  std::vector<GateInfo> gates_;
+  std::vector<double> pin_cap_sum_;  // per net
+  std::vector<int> fanout_;          // per net (input pin count)
+  std::vector<std::int32_t> driver_gate_;  // per net; -1 = none/PI
+  std::vector<std::int8_t> driver_pin_;    // cell pin index of driver
+  std::vector<std::vector<std::uint32_t>> gate_order_;  // levels
+};
+
+}  // namespace syndcim::sta

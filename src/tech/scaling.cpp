@@ -1,0 +1,47 @@
+#include "tech/scaling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace syndcim::tech::scaling {
+
+const std::vector<double>& node_ladder() {
+  static const std::vector<double> kLadder = {3,  4,  5,  7,  10, 16,
+                                              22, 28, 40, 55, 65, 90};
+  return kLadder;
+}
+
+namespace {
+int ladder_index(double nm) {
+  const auto& l = node_ladder();
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    if (std::abs(l[i] - nm) < 1e-9) return static_cast<int>(i);
+  }
+  throw std::invalid_argument("scaling: node not on ladder");
+}
+}  // namespace
+
+int node_steps(double from_nm, double to_nm) {
+  return ladder_index(to_nm) - ladder_index(from_nm);
+}
+
+double area_efficiency_factor(double from_nm, double to_nm) {
+  // Moving to a coarser node loses 80% area efficiency per step.
+  return std::pow(1.8, -node_steps(from_nm, to_nm));
+}
+
+double energy_efficiency_factor(double from_nm, double to_nm) {
+  return std::pow(1.3, -node_steps(from_nm, to_nm));
+}
+
+double tops_to_reference(double tops, double array_kb, int input_bits,
+                         int weight_bits) {
+  if (array_kb <= 0 || input_bits <= 0 || weight_bits <= 0) {
+    throw std::invalid_argument("scaling: non-positive normalization input");
+  }
+  // A 1b x 1b MAC array performs input_bits * weight_bits more primitive
+  // binary MACs per cycle than a multi-bit configuration of the same array.
+  return tops * (4.0 / array_kb) * input_bits * weight_bits;
+}
+
+}  // namespace syndcim::tech::scaling

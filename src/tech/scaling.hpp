@@ -1,0 +1,35 @@
+#pragma once
+#include <vector>
+
+namespace syndcim::tech {
+
+/// Cross-node normalization rules used by Table II of the paper:
+/// when comparing macros fabricated in different nodes, area efficiency
+/// (TOPS/mm^2) is assumed to improve 80% per technology node and energy
+/// efficiency (TOPS/W) 30% per node. Throughput is additionally normalized
+/// to a 4Kb array and 1b x 1b precision.
+namespace scaling {
+
+/// Ordered ladder of technology nodes (nm), finest first.
+[[nodiscard]] const std::vector<double>& node_ladder();
+
+/// Number of ladder steps between two nodes (positive when `from_nm` is a
+/// finer node than `to_nm`). Throws if either node is not on the ladder.
+[[nodiscard]] int node_steps(double from_nm, double to_nm);
+
+/// Factor by which to multiply a TOPS/mm^2 measured at `from_nm` to express
+/// it at `to_nm` (assumes 80% improvement per node, i.e. /1.8 per step when
+/// moving to a coarser node).
+[[nodiscard]] double area_efficiency_factor(double from_nm, double to_nm);
+
+/// Same for TOPS/W with 30% improvement per node.
+[[nodiscard]] double energy_efficiency_factor(double from_nm, double to_nm);
+
+/// Normalize a throughput measured on an `array_kb` Kb array at
+/// `input_bits` x `weight_bits` precision to the Table II reference point
+/// (4Kb, 1b x 1b).
+[[nodiscard]] double tops_to_reference(double tops, double array_kb,
+                                       int input_bits, int weight_bits);
+
+}  // namespace scaling
+}  // namespace syndcim::tech

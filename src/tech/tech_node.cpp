@@ -1,0 +1,52 @@
+#include "tech/tech_node.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace syndcim::tech {
+
+namespace {
+/// Alpha-power-law drive-current factor, proportional to (V - Vth)^alpha.
+double drive(const TechNode& t, double vdd) {
+  if (vdd <= t.vth) {
+    throw std::invalid_argument("TechNode: vdd at or below threshold voltage");
+  }
+  return std::pow(vdd - t.vth, t.alpha);
+}
+}  // namespace
+
+double TechNode::delay_scale(double vdd) const {
+  // t_d ~ C*V / I_drive with I_drive ~ (V - Vth)^alpha.
+  const double nom = vdd_nominal / drive(*this, vdd_nominal);
+  const double cur = vdd / drive(*this, vdd);
+  return cur / nom;
+}
+
+double TechNode::delay_scale(double vdd, double temp_c) const {
+  // Mobility degradation dominates at super-threshold: ~ +0.12%/°C.
+  return delay_scale(vdd) * (1.0 + 0.0012 * (temp_c - temp_nominal_c));
+}
+
+double TechNode::energy_scale(double vdd) const {
+  const double r = vdd / vdd_nominal;
+  return r * r;
+}
+
+double TechNode::leakage_scale(double vdd) const {
+  // Sub-threshold leakage grows roughly exponentially with VDD via DIBL;
+  // a mild exponential around nominal captures the trend.
+  constexpr double kDiblPerVolt = 2.3;
+  return std::exp(kDiblPerVolt * (vdd - vdd_nominal));
+}
+
+double TechNode::leakage_scale(double vdd, double temp_c) const {
+  // Subthreshold leakage roughly doubles every 25°C.
+  return leakage_scale(vdd) *
+         std::exp2((temp_c - temp_nominal_c) / 25.0);
+}
+
+TechNode make_default_40nm() {
+  return TechNode{};  // defaults are the calibrated 40nm values
+}
+
+}  // namespace syndcim::tech

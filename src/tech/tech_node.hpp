@@ -1,0 +1,63 @@
+#pragma once
+#include <string>
+
+namespace syndcim::tech {
+
+/// Process technology model.
+///
+/// Delay scaling across supply voltage follows the alpha-power law
+/// (Sakurai-Newton): t_d(V) ~ V / (V - Vth)^alpha. All cell libraries are
+/// characterized at `vdd_nominal`; STA and power scale with the factors
+/// below.
+struct TechNode {
+  std::string name = "generic40";
+  double feature_nm = 40.0;
+
+  double vdd_nominal = 0.9;  ///< characterization voltage (paper spec point)
+  double vdd_min = 0.6;
+  double vdd_max = 1.2;
+  // Calibrated so f(1.2V)/f(0.7V) ~ 3.7, matching the paper's shmoo
+  // anchors (1.1 GHz @ 1.2 V vs 300 MHz @ 0.7 V).
+  double vth = 0.50;   ///< effective threshold voltage
+  double alpha = 1.5;  ///< velocity-saturation exponent
+
+  // Electrical unit parameters at vdd_nominal (used by the characterizer).
+  double unit_r_kohm = 5.8;      ///< drive resistance of a 1x inverter
+  double unit_cin_ff = 1.5;      ///< input cap of a 1x inverter
+  double unit_leak_nw = 1.8;     ///< leakage of a 1x inverter at nominal V
+  double wire_c_ff_per_um = 0.14;  ///< routed wire capacitance
+  double wire_r_kohm_per_um = 0.0021;
+
+  // Layout grid parameters (40nm-like).
+  double track_pitch_um = 0.14;     ///< metal routing pitch
+  double std_row_height_um = 1.4;   ///< standard cell row height
+  double sram6t_w_um = 0.95;        ///< 6T bitcell width
+  double sram6t_h_um = 0.62;        ///< 6T bitcell height
+
+  double temp_nominal_c = 25.0;  ///< characterization temperature
+
+  /// Delay at `vdd` relative to delay at `vdd_nominal` (>1 below nominal).
+  [[nodiscard]] double delay_scale(double vdd) const;
+  /// Voltage + temperature delay derate: mobility degradation slows logic
+  /// ~0.12%/°C above nominal at super-threshold voltages.
+  [[nodiscard]] double delay_scale(double vdd, double temp_c) const;
+
+  /// Dynamic energy at `vdd` relative to nominal: (V/Vnom)^2.
+  [[nodiscard]] double energy_scale(double vdd) const;
+
+  /// Leakage power at `vdd` relative to nominal (approx. linear-exponential).
+  [[nodiscard]] double leakage_scale(double vdd) const;
+  /// Leakage with the subthreshold temperature exponential (~2x / 25°C).
+  [[nodiscard]] double leakage_scale(double vdd, double temp_c) const;
+
+  /// True if `vdd` lies in the node's validated operating range.
+  [[nodiscard]] bool vdd_in_range(double vdd) const {
+    return vdd >= vdd_min && vdd <= vdd_max;
+  }
+};
+
+/// 40nm bulk CMOS model calibrated against the paper's silicon anchor points
+/// (1.1 GHz @ 1.2 V, 300 MHz @ 0.7 V for the 64x64 test macro).
+[[nodiscard]] TechNode make_default_40nm();
+
+}  // namespace syndcim::tech

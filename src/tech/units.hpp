@@ -1,0 +1,34 @@
+#pragma once
+// Unit conventions used across the whole code base.
+//
+//   time         : picoseconds (ps)
+//   capacitance  : femtofarads (fF)
+//   resistance   : kilo-ohms (kOhm)          -> kOhm * fF = ps
+//   energy       : femtojoules (fJ)
+//   power        : microwatts (uW)           -> fJ * GHz = uW
+//   area         : square micrometers (um^2)
+//   length       : micrometers (um)
+//   voltage      : volts (V)
+//   frequency    : megahertz (MHz) in user-facing specs, GHz internally
+//                  where noted.
+
+namespace syndcim::units {
+
+inline constexpr double kPsPerNs = 1000.0;
+
+/// Clock period in ps for a frequency given in MHz.
+[[nodiscard]] constexpr double period_ps_from_mhz(double mhz) {
+  return 1.0e6 / mhz;
+}
+
+/// Frequency in MHz for a clock period given in ps.
+[[nodiscard]] constexpr double mhz_from_period_ps(double ps) {
+  return 1.0e6 / ps;
+}
+
+/// Dynamic power in uW for energy-per-cycle in fJ at a frequency in MHz.
+[[nodiscard]] constexpr double uw_from_fj_mhz(double fj_per_cycle, double mhz) {
+  return fj_per_cycle * mhz * 1.0e-3;  // fJ * MHz = nW; /1e3 -> uW
+}
+
+}  // namespace syndcim::units

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <bitset>
+#include <random>
+
+#include "cell/characterize.hpp"
+#include "netlist/design.hpp"
+#include "netlist/flatten.hpp"
+#include "rtlgen/adder_tree.hpp"
+#include "sim/gate_sim.hpp"
+#include "tech/tech_node.hpp"
+
+namespace {
+using namespace syndcim;
+using rtlgen::AdderTreeConfig;
+using rtlgen::AdderTreeStyle;
+
+const cell::Library& lib() {
+  static const cell::Library l =
+      cell::characterize_default_library(tech::make_default_40nm());
+  return l;
+}
+
+struct TreeCase {
+  int rows;
+  AdderTreeStyle style;
+  double fa_fraction;
+  bool reorder;
+};
+
+class AdderTreeCorrectness : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(AdderTreeCorrectness, MatchesPopcount) {
+  const TreeCase tc = GetParam();
+  AdderTreeConfig cfg;
+  cfg.rows = tc.rows;
+  cfg.style = tc.style;
+  cfg.fa_fraction = tc.fa_fraction;
+  cfg.carry_reorder = tc.reorder;
+  netlist::Design d;
+  d.add_module(rtlgen::gen_adder_tree(cfg, "tree"));
+  const auto flat = netlist::flatten(d, "tree");
+  sim::GateSim gs(flat, lib());
+  const int k = cfg.sum_bits();
+
+  std::mt19937_64 rng(0xC0FFEE ^ tc.rows);
+  const int trials = tc.rows <= 16 ? 200 : 60;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t popcount = 0;
+    for (int i = 0; i < tc.rows; ++i) {
+      const int b = (t == 0) ? 0 : (t == 1 ? 1 : static_cast<int>(rng() & 1));
+      popcount += static_cast<std::uint64_t>(b);
+      gs.set_input(netlist::bus_name("in", i), b);
+    }
+    gs.eval();
+    EXPECT_EQ(gs.output_bus("sum", k), popcount)
+        << "rows=" << tc.rows << " style=" << to_string(tc.style)
+        << " fa=" << tc.fa_fraction << " reorder=" << tc.reorder;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AdderTreeCorrectness,
+    ::testing::Values(
+        TreeCase{8, AdderTreeStyle::kRcaTree, 0, false},
+        TreeCase{16, AdderTreeStyle::kRcaTree, 0, false},
+        TreeCase{64, AdderTreeStyle::kRcaTree, 0, false},
+        TreeCase{8, AdderTreeStyle::kCompressor, 0, true},
+        TreeCase{16, AdderTreeStyle::kCompressor, 0, true},
+        TreeCase{64, AdderTreeStyle::kCompressor, 0, true},
+        TreeCase{64, AdderTreeStyle::kCompressor, 0, false},
+        TreeCase{128, AdderTreeStyle::kCompressor, 0, true},
+        TreeCase{16, AdderTreeStyle::kMixed, 0.25, true},
+        TreeCase{64, AdderTreeStyle::kMixed, 0.25, true},
+        TreeCase{64, AdderTreeStyle::kMixed, 0.5, true},
+        TreeCase{64, AdderTreeStyle::kMixed, 0.5, false},
+        TreeCase{64, AdderTreeStyle::kMixed, 0.75, true},
+        TreeCase{64, AdderTreeStyle::kMixed, 1.0, true},
+        TreeCase{32, AdderTreeStyle::kMixed, 0.33, true}));
+
+TEST(AdderTreeExhaustive, EightRowsAllInputs) {
+  AdderTreeConfig cfg;
+  cfg.rows = 8;
+  cfg.style = AdderTreeStyle::kCompressor;
+  netlist::Design d;
+  d.add_module(rtlgen::gen_adder_tree(cfg, "tree"));
+  const auto flat = netlist::flatten(d, "tree");
+  sim::GateSim gs(flat, lib());
+  for (unsigned v = 0; v < 256; ++v) {
+    for (int i = 0; i < 8; ++i) {
+      gs.set_input(netlist::bus_name("in", i),
+                   static_cast<int>((v >> i) & 1));
+    }
+    gs.eval();
+    EXPECT_EQ(gs.output_bus("sum", 4), std::bitset<8>(v).count()) << v;
+  }
+}
+
+TEST(AdderTreeExternalCpa, RedundantVectorsSumToPopcount) {
+  for (const double fa : {0.0, 0.5}) {
+    AdderTreeConfig cfg;
+    cfg.rows = 32;
+    cfg.style = AdderTreeStyle::kMixed;
+    cfg.fa_fraction = fa;
+    cfg.external_cpa = true;
+    netlist::Design d;
+    d.add_module(rtlgen::gen_adder_tree(cfg, "tree"));
+    const auto flat = netlist::flatten(d, "tree");
+    sim::GateSim gs(flat, lib());
+    const int k = cfg.sum_bits();
+    std::mt19937_64 rng(7);
+    for (int t = 0; t < 100; ++t) {
+      std::uint64_t popcount = 0;
+      for (int i = 0; i < 32; ++i) {
+        const int b = static_cast<int>(rng() & 1);
+        popcount += static_cast<std::uint64_t>(b);
+        gs.set_input(netlist::bus_name("in", i), b);
+      }
+      gs.eval();
+      EXPECT_EQ(gs.output_bus("sv", k) + gs.output_bus("cv", k), popcount);
+    }
+  }
+}
+
+TEST(AdderTreeStructure, StyleCellMix) {
+  auto count_kind = [](const netlist::Module& m, const char* prefix) {
+    std::size_t n = 0;
+    for (const auto& inst : m.instances()) {
+      if (inst.master.rfind(prefix, 0) == 0) ++n;
+    }
+    return n;
+  };
+  AdderTreeConfig cfg;
+  cfg.rows = 64;
+  cfg.style = AdderTreeStyle::kCompressor;
+  const auto comp = rtlgen::gen_adder_tree(cfg, "t1");
+  EXPECT_GT(count_kind(comp, "CMP42"), 10u);
+
+  cfg.style = AdderTreeStyle::kMixed;
+  cfg.fa_fraction = 1.0;
+  const auto fa_only = rtlgen::gen_adder_tree(cfg, "t2");
+  EXPECT_EQ(count_kind(fa_only, "CMP42"), 0u);
+  EXPECT_GT(count_kind(fa_only, "FA"), 30u);
+
+  cfg.fa_fraction = 0.5;
+  const auto mixed = rtlgen::gen_adder_tree(cfg, "t3");
+  EXPECT_GT(count_kind(mixed, "CMP42"), 0u);
+  EXPECT_GT(count_kind(mixed, "FA"), count_kind(comp, "FA"));
+
+  cfg.style = AdderTreeStyle::kRcaTree;
+  const auto rca = rtlgen::gen_adder_tree(cfg, "t4");
+  EXPECT_EQ(count_kind(rca, "CMP42"), 0u);
+}
+
+TEST(AdderTreeStructure, MixedUsesFewerCellsThanRca) {
+  AdderTreeConfig cfg;
+  cfg.rows = 64;
+  cfg.style = AdderTreeStyle::kRcaTree;
+  const auto rca = rtlgen::gen_adder_tree(cfg, "t1");
+  cfg.style = AdderTreeStyle::kCompressor;
+  const auto comp = rtlgen::gen_adder_tree(cfg, "t2");
+  EXPECT_LT(comp.cell_count(), rca.cell_count());
+  // The cheap estimate should be within 2x of reality.
+  const int est = rtlgen::estimate_adder_tree_cells(cfg);
+  EXPECT_GT(est, static_cast<int>(comp.cell_count()) / 3);
+}
+
+TEST(AdderTree, RejectsTinyTree) {
+  AdderTreeConfig cfg;
+  cfg.rows = 1;
+  EXPECT_THROW((void)rtlgen::gen_adder_tree(cfg, "t"),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cell/characterize.hpp"
+#include "cell/liberty.hpp"
+#include "cell/library.hpp"
+#include "tech/tech_node.hpp"
+
+namespace {
+using namespace syndcim;
+using cell::Kind;
+
+class CellLibTest : public ::testing::Test {
+ protected:
+  static const cell::Library& lib() {
+    static const cell::Library l =
+        cell::characterize_default_library(tech::make_default_40nm());
+    return l;
+  }
+};
+
+TEST_F(CellLibTest, CoreCellsPresent) {
+  for (const char* name :
+       {"INVX1", "INVX2", "INVX4", "BUFX8", "BUFX16", "NAND2X1", "NOR2X1",
+        "XOR2X1", "OAI22X1", "MUX2X1", "HAX1", "FAX1", "FAX2", "CMP42X1",
+        "CMP42X2", "DFFX1", "DFFEX1", "LATCHX1", "SRAM6T", "SRAM8T",
+        "SRAM12T", "PGMUXX1", "TGMUXX1"}) {
+    EXPECT_TRUE(lib().has(name)) << name;
+  }
+  EXPECT_FALSE(lib().has("NAND3X1"));
+  EXPECT_THROW((void)lib().get("NAND3X1"), std::out_of_range);
+}
+
+TEST_F(CellLibTest, PinStructure) {
+  const cell::Cell& fa = lib().get("FAX1");
+  EXPECT_EQ(fa.input_count(), 3);
+  EXPECT_EQ(fa.output_count(), 2);
+  EXPECT_EQ(fa.pin("A").cap_ff, fa.pin("B").cap_ff);
+  EXPECT_LT(fa.pin("CI").cap_ff, fa.pin("A").cap_ff);
+  EXPECT_EQ(fa.pin_index("S"), 3);
+  EXPECT_EQ(fa.pin_index("nope"), -1);
+  const cell::Cell& dff = lib().get("DFFX1");
+  EXPECT_TRUE(dff.pin("CK").is_clock);
+  EXPECT_FALSE(dff.pin("D").is_clock);
+}
+
+TEST_F(CellLibTest, TimingRoles) {
+  EXPECT_EQ(lib().get("FAX1").timing_role(), cell::TimingRole::kCombinational);
+  EXPECT_EQ(lib().get("DFFX1").timing_role(), cell::TimingRole::kRegister);
+  EXPECT_EQ(lib().get("SRAM6T").timing_role(), cell::TimingRole::kStorage);
+  EXPECT_TRUE(lib().get("SRAM8T").is_bitcell());
+  EXPECT_FALSE(lib().get("DFFX1").is_bitcell());
+}
+
+TEST_F(CellLibTest, CarryFasterThanSum) {
+  // The searcher's carry-reorder optimization relies on CO arcs being
+  // faster than S arcs (paper Sec. III-B).
+  const cell::Cell& fa = lib().get("FAX1");
+  double s_delay = 0, co_delay = 0;
+  for (const auto& a : fa.arcs) {
+    if (fa.pins[a.to_pin].name == "S" && fa.pins[a.from_pin].name == "A") {
+      s_delay = a.delay_ps.eval(20, 6);
+    }
+    if (fa.pins[a.to_pin].name == "CO" && fa.pins[a.from_pin].name == "A") {
+      co_delay = a.delay_ps.eval(20, 6);
+    }
+  }
+  EXPECT_GT(s_delay, co_delay);
+}
+
+TEST_F(CellLibTest, CompressorSlowerButCheaperThanTwoFAs) {
+  // Paper: 4-2 compressors are power- and area-efficient but slower than
+  // full adders.
+  const cell::Cell& fa = lib().get("FAX1");
+  const cell::Cell& cmp = lib().get("CMP42X1");
+  auto worst_arc = [](const cell::Cell& c, const char* out) {
+    double w = 0;
+    for (const auto& a : c.arcs) {
+      if (c.pins[a.to_pin].name == out) {
+        w = std::max(w, a.delay_ps.eval(20, 6));
+      }
+    }
+    return w;
+  };
+  EXPECT_GT(worst_arc(cmp, "S"), worst_arc(fa, "S"));
+  EXPECT_LT(cmp.area_um2, 2 * fa.area_um2);
+  EXPECT_LT(cmp.internal_energy_fj, 2 * fa.internal_energy_fj);
+}
+
+TEST_F(CellLibTest, CompressorCoutIndependentOfLateInputs) {
+  const cell::Cell& cmp = lib().get("CMP42X1");
+  for (const auto& a : cmp.arcs) {
+    if (cmp.pins[a.to_pin].name == "COUT") {
+      const std::string& from = cmp.pins[a.from_pin].name;
+      EXPECT_TRUE(from == "A" || from == "B" || from == "C") << from;
+    }
+  }
+}
+
+TEST_F(CellLibTest, DriveVariantsFasterUnderLoad) {
+  const cell::Cell& x1 = lib().get("INVX1");
+  const cell::Cell& x4 = lib().get("INVX4");
+  EXPECT_LT(x4.arcs[0].delay_ps.eval(20, 40), x1.arcs[0].delay_ps.eval(20, 40));
+  EXPECT_GT(x4.pin("A").cap_ff, x1.pin("A").cap_ff);
+  EXPECT_GT(x4.area_um2, x1.area_um2);
+  const auto variants = lib().variants_of(Kind::kBuf);
+  ASSERT_EQ(variants.size(), 5u);
+  EXPECT_EQ(variants.front()->name, "BUFX1");
+  EXPECT_EQ(variants.back()->name, "BUFX16");
+}
+
+TEST_F(CellLibTest, PassGateMuxTradeoff) {
+  // AutoDCIM-style 1T pass gate: smallest area but slow and power-hungry
+  // (voltage drop), vs. the TG mux (paper Sec. II-B).
+  const cell::Cell& pg = lib().get("PGMUXX1");
+  const cell::Cell& tg = lib().get("TGMUXX1");
+  EXPECT_LT(pg.area_um2, tg.area_um2);
+  EXPECT_GT(pg.internal_energy_fj, tg.internal_energy_fj);
+  auto delay = [](const cell::Cell& c) {
+    double w = 0;
+    for (const auto& a : c.arcs) w = std::max(w, a.delay_ps.eval(60, 6));
+    return w;
+  };
+  EXPECT_GT(delay(pg), delay(tg));
+}
+
+TEST_F(CellLibTest, BitcellAreasOrdered) {
+  EXPECT_LT(lib().get("SRAM6T").area_um2, lib().get("SRAM8T").area_um2);
+  EXPECT_LT(lib().get("SRAM8T").area_um2, lib().get("SRAM12T").area_um2);
+  // 40nm-like 6T bitcell: around 0.6 um^2.
+  EXPECT_NEAR(lib().get("SRAM6T").area_um2, 0.589, 0.1);
+}
+
+TEST_F(CellLibTest, DelayMonotoneInLoadAndSlew) {
+  for (const char* name : {"INVX1", "NAND2X1", "FAX1", "CMP42X1", "TGMUXX1"}) {
+    const cell::Cell& c = lib().get(name);
+    for (const auto& a : c.arcs) {
+      EXPECT_LT(a.delay_ps.eval(20, 2), a.delay_ps.eval(20, 50)) << name;
+      EXPECT_LT(a.delay_ps.eval(10, 6), a.delay_ps.eval(300, 6)) << name;
+      EXPECT_GT(a.delay_ps.eval(5, 0.5), 0.0) << name;
+      EXPECT_LT(a.out_slew_ps.eval(20, 2), a.out_slew_ps.eval(20, 50));
+    }
+  }
+}
+
+TEST(Lut2d, InterpolationAndClamping) {
+  const cell::Lut2d lut({10, 20}, {1, 3}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(lut.eval(10, 1), 1.0);
+  EXPECT_DOUBLE_EQ(lut.eval(20, 3), 4.0);
+  EXPECT_DOUBLE_EQ(lut.eval(15, 2), 2.5);   // center
+  EXPECT_DOUBLE_EQ(lut.eval(0, 0), 1.0);    // clamped low
+  EXPECT_DOUBLE_EQ(lut.eval(99, 99), 4.0);  // clamped high
+  EXPECT_DOUBLE_EQ(cell::Lut2d::constant(7.5).eval(123, 456), 7.5);
+  EXPECT_DOUBLE_EQ(lut.scaled(2.0).eval(15, 2), 5.0);
+}
+
+TEST(Lut2d, RejectsBadConstruction) {
+  EXPECT_THROW(cell::Lut2d({1, 2}, {1}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(cell::Lut2d({2, 1}, {1}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(EvalKind, CombinationalTruthTables) {
+  using cell::eval_kind;
+  EXPECT_EQ(eval_kind(Kind::kInv, {0})[0], 1);
+  EXPECT_EQ(eval_kind(Kind::kNand2, {1, 1})[0], 0);
+  EXPECT_EQ(eval_kind(Kind::kNor2, {0, 0})[0], 1);
+  EXPECT_EQ(eval_kind(Kind::kXor2, {1, 0})[0], 1);
+  EXPECT_EQ(eval_kind(Kind::kOai22, {1, 0, 0, 1})[0], 0);
+  EXPECT_EQ(eval_kind(Kind::kOai22, {0, 0, 1, 1})[0], 1);
+  EXPECT_EQ(eval_kind(Kind::kMux2, {1, 0, 0})[0], 1);
+  EXPECT_EQ(eval_kind(Kind::kMux2, {1, 0, 1})[0], 0);
+  EXPECT_THROW((void)eval_kind(Kind::kDff, {0, 0}), std::logic_error);
+  EXPECT_THROW((void)eval_kind(Kind::kInv, {0, 1}), std::invalid_argument);
+}
+
+TEST(EvalKind, AddersCountCorrectly) {
+  using cell::eval_kind;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const auto ha = eval_kind(Kind::kHalfAdder, {a, b});
+      EXPECT_EQ(ha[0] + 2 * ha[1], a + b);
+      for (int ci = 0; ci < 2; ++ci) {
+        const auto fa = eval_kind(Kind::kFullAdder, {a, b, ci});
+        EXPECT_EQ(fa[0] + 2 * fa[1], a + b + ci);
+      }
+    }
+  }
+}
+
+TEST(EvalKind, Compressor42PreservesCount) {
+  // S + 2*C + 2*COUT == A+B+C+D+CIN for all 32 input combinations.
+  for (int v = 0; v < 32; ++v) {
+    const std::vector<int> in = {(v >> 0) & 1, (v >> 1) & 1, (v >> 2) & 1,
+                                 (v >> 3) & 1, (v >> 4) & 1};
+    const auto out = cell::eval_kind(Kind::kCompressor42, in);
+    const int total = in[0] + in[1] + in[2] + in[3] + in[4];
+    EXPECT_EQ(out[0] + 2 * out[1] + 2 * out[2], total) << "v=" << v;
+  }
+}
+
+TEST_F(CellLibTest, LibertyWriterEmitsAllCells) {
+  std::ostringstream os;
+  cell::write_liberty(lib(), os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("library (syndcim_generic40)"), std::string::npos);
+  for (const cell::Cell& c : lib().all()) {
+    EXPECT_NE(s.find("cell (" + c.name + ")"), std::string::npos) << c.name;
+  }
+  EXPECT_NE(s.find("related_pin : \"CI\""), std::string::npos);
+  EXPECT_NE(s.find("clock : true"), std::string::npos);
+}
+
+TEST_F(CellLibTest, DuplicateCellRejected) {
+  cell::Library l(tech::make_default_40nm());
+  cell::Cell c;
+  c.name = "X";
+  l.add(c);
+  EXPECT_THROW(l.add(c), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// GateBuilder datapath primitives: ripple adders, add/sub, carry-select
+// adders, mux/register buses — exhaustive at small widths, randomized
+// property sweeps at realistic widths.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cell/characterize.hpp"
+#include "netlist/design.hpp"
+#include "netlist/flatten.hpp"
+#include "num/int_ops.hpp"
+#include "rtlgen/gates.hpp"
+#include "sim/gate_sim.hpp"
+#include "sta/sta.hpp"
+#include "tech/tech_node.hpp"
+
+namespace {
+using namespace syndcim;
+using rtlgen::GateBuilder;
+
+const cell::Library& lib() {
+  static const cell::Library l =
+      cell::characterize_default_library(tech::make_default_40nm());
+  return l;
+}
+
+enum class AdderKind { kRca, kCsel, kAddSub, kAddSubFast };
+
+/// Builds a module computing a[w] op b[w] (+cin / sub) and exposes sum+co.
+netlist::Design adder_design(AdderKind kind, int w, bool with_cin) {
+  netlist::Design d;
+  netlist::Module m("dut");
+  GateBuilder gb(m, "g_");
+  const auto a = m.add_port_bus("a", netlist::PortDir::kIn, w);
+  const auto b = m.add_port_bus("b", netlist::PortDir::kIn, w);
+  const auto ctl = m.add_port("ctl", netlist::PortDir::kIn);
+  const auto s = m.add_port_bus("s", netlist::PortDir::kOut, w);
+  const auto co = m.add_port("co", netlist::PortDir::kOut);
+  std::vector<netlist::NetId> av(a.begin(), a.end()),
+      bv(b.begin(), b.end());
+  GateBuilder::AddOut out;
+  switch (kind) {
+    case AdderKind::kRca:
+      out = gb.rca(av, bv, with_cin ? ctl : netlist::NetId{});
+      break;
+    case AdderKind::kCsel:
+      out = gb.csel(av, bv, with_cin ? ctl : netlist::NetId{});
+      break;
+    case AdderKind::kAddSub:
+      out = gb.add_sub(av, bv, ctl);
+      break;
+    case AdderKind::kAddSubFast:
+      out = gb.add_sub_fast(av, bv, ctl);
+      break;
+  }
+  for (int i = 0; i < w; ++i) {
+    m.add_cell("ob" + std::to_string(i), "BUFX1",
+               {{"A", out.sum[static_cast<std::size_t>(i)]}, {"Y", s[i]}});
+  }
+  m.add_cell("obc", "BUFX1", {{"A", out.cout}, {"Y", co}});
+  d.add_module(std::move(m));
+  return d;
+}
+
+std::uint64_t expected(AdderKind kind, std::uint64_t a, std::uint64_t b,
+                       int ctl, int w) {
+  const std::uint64_t mask = (w >= 64) ? ~0ull : ((1ull << w) - 1);
+  switch (kind) {
+    case AdderKind::kRca:
+    case AdderKind::kCsel:
+      return (a + b + static_cast<std::uint64_t>(ctl)) & ((mask << 1) | 1);
+    case AdderKind::kAddSub:
+    case AdderKind::kAddSubFast:
+      return (a + ((b ^ (ctl ? mask : 0)) & mask) +
+              static_cast<std::uint64_t>(ctl)) &
+             ((mask << 1) | 1);
+  }
+  return 0;
+}
+
+class AdderParam
+    : public ::testing::TestWithParam<std::tuple<AdderKind, int /*w*/>> {};
+
+TEST_P(AdderParam, MatchesArithmetic) {
+  const auto [kind, w] = GetParam();
+  const bool with_cin =
+      kind == AdderKind::kAddSub || kind == AdderKind::kAddSubFast || true;
+  const auto d = adder_design(kind, w, with_cin);
+  const auto flat = netlist::flatten(d, "dut");
+  sim::GateSim gs(flat, lib());
+  const std::uint64_t mask = (1ull << w) - 1;
+
+  if (w <= 5) {  // exhaustive
+    for (std::uint64_t a = 0; a <= mask; ++a) {
+      for (std::uint64_t b = 0; b <= mask; ++b) {
+        for (int ctl = 0; ctl < 2; ++ctl) {
+          gs.set_input_bus("a", a, w);
+          gs.set_input_bus("b", b, w);
+          gs.set_input("ctl", ctl);
+          gs.eval();
+          const std::uint64_t got =
+              gs.output_bus("s", w) |
+              (static_cast<std::uint64_t>(gs.output("co")) << w);
+          EXPECT_EQ(got, expected(kind, a, b, ctl, w))
+              << "a=" << a << " b=" << b << " ctl=" << ctl;
+        }
+      }
+    }
+  } else {  // randomized
+    std::mt19937_64 rng(0x5EED ^ static_cast<unsigned>(w));
+    for (int t = 0; t < 300; ++t) {
+      const std::uint64_t a = rng() & mask, b = rng() & mask;
+      const int ctl = static_cast<int>(rng() & 1);
+      gs.set_input_bus("a", a, w);
+      gs.set_input_bus("b", b, w);
+      gs.set_input("ctl", ctl);
+      gs.eval();
+      const std::uint64_t got =
+          gs.output_bus("s", w) |
+          (static_cast<std::uint64_t>(gs.output("co")) << w);
+      EXPECT_EQ(got, expected(kind, a, b, ctl, w))
+          << "a=" << a << " b=" << b << " ctl=" << ctl << " w=" << w;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AdderParam,
+    ::testing::Combine(::testing::Values(AdderKind::kRca, AdderKind::kCsel,
+                                         AdderKind::kAddSub,
+                                         AdderKind::kAddSubFast),
+                       ::testing::Values(3, 4, 5, 9, 13, 16, 21, 24)));
+
+TEST(CarrySelect, FasterThanRippleAtWideWidths) {
+  auto period = [&](AdderKind kind, int w) {
+    const auto d = adder_design(kind, w, true);
+    const auto flat = netlist::flatten(d, "dut");
+    sta::StaEngine eng(flat, lib());
+    return eng.analyze({}).min_period_ps;
+  };
+  EXPECT_LT(period(AdderKind::kCsel, 21), period(AdderKind::kRca, 21));
+  EXPECT_LT(period(AdderKind::kCsel, 13), period(AdderKind::kRca, 13));
+}
+
+TEST(CarrySelect, CostsMoreAreaThanRipple) {
+  auto cells = [&](AdderKind kind, int w) {
+    const auto d = adder_design(kind, w, true);
+    return netlist::flatten(d, "dut").gates().size();
+  };
+  EXPECT_GT(cells(AdderKind::kCsel, 16), cells(AdderKind::kRca, 16));
+}
+
+TEST(GateBuilderHelpers, WiringOnly) {
+  netlist::Module m("t");
+  GateBuilder gb(m, "g_");
+  const auto a = m.add_bus("a", 3);
+  // sext repeats the MSB net, costs no gates.
+  const auto s = GateBuilder::sext(a, 6);
+  ASSERT_EQ(s.size(), 6u);
+  EXPECT_EQ(s[3], a[2]);
+  EXPECT_EQ(s[5], a[2]);
+  EXPECT_EQ(m.instances().size(), 0u);
+  // shl prepends const0 nets.
+  const auto sh = gb.shl({a.begin(), a.end()}, 2);
+  ASSERT_EQ(sh.size(), 5u);
+  EXPECT_EQ(m.net(sh[0]).tie, netlist::NetConst::kZero);
+  EXPECT_EQ(sh[2], a[0]);
+  EXPECT_EQ(m.instances().size(), 0u);
+  // zext appends const0.
+  const auto z = gb.zext({a.begin(), a.end()}, 5);
+  EXPECT_EQ(m.net(z[4]).tie, netlist::NetConst::kZero);
+  EXPECT_THROW((void)GateBuilder::sext(a, 2), std::invalid_argument);
+  EXPECT_THROW((void)gb.zext({a.begin(), a.end()}, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)gb.shl({a.begin(), a.end()}, -1),
+               std::invalid_argument);
+}
+
+TEST(GateBuilderHelpers, RejectsBadOperands) {
+  netlist::Module m("t");
+  GateBuilder gb(m, "g_");
+  const auto a = m.add_bus("a", 3);
+  const auto b = m.add_bus("b", 2);
+  EXPECT_THROW((void)gb.rca({a.begin(), a.end()}, {b.begin(), b.end()}),
+               std::invalid_argument);
+  EXPECT_THROW((void)gb.mux_bus({a.begin(), a.end()}, {b.begin(), b.end()},
+                                a[0]),
+               std::invalid_argument);
+  EXPECT_THROW((void)gb.csel({a.begin(), a.end()}, {b.begin(), b.end()}),
+               std::invalid_argument);
+}
+
+}  // namespace

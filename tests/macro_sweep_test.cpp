@@ -1,0 +1,96 @@
+// Parameterized architecture sweep: gate-level macro vs behavioral model
+// across the (rows, cols, mcr, split, mux) grid — one randomized MAC per
+// supported precision per configuration.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cell/characterize.hpp"
+#include "rtlgen/macro.hpp"
+#include "sim/macro_model.hpp"
+#include "sim/macro_tb.hpp"
+#include "tech/tech_node.hpp"
+
+namespace {
+using namespace syndcim;
+
+const cell::Library& lib() {
+  static const cell::Library l =
+      cell::characterize_default_library(tech::make_default_40nm());
+  return l;
+}
+
+struct SweepCase {
+  int rows, cols, mcr, split;
+  rtlgen::MuxStyle mux;
+};
+
+class MacroSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MacroSweep, GateLevelMatchesModelAcrossPrecisions) {
+  const SweepCase sc = GetParam();
+  rtlgen::MacroConfig cfg;
+  cfg.rows = sc.rows;
+  cfg.cols = sc.cols;
+  cfg.mcr = sc.mcr;
+  cfg.column_split = sc.split;
+  cfg.mux = sc.mux;
+  cfg.input_bits = {2, 4, 8};
+  cfg.weight_bits = {2, 4};
+  const auto md = rtlgen::gen_macro(cfg);
+  sim::DcimMacroModel model(cfg);
+  sim::MacroTestbench tb(md, lib());
+
+  std::mt19937 rng(0xAB ^ static_cast<unsigned>(sc.rows * 131 + sc.cols));
+  for (const int wp : {1, 2, 4}) {
+    const int n_out = cfg.cols / wp;
+    const num::IntFormat wf{wp, wp > 1};
+    std::vector<std::vector<std::int64_t>> w(
+        static_cast<std::size_t>(n_out));
+    for (auto& g : w) {
+      g.resize(static_cast<std::size_t>(cfg.rows));
+      for (auto& v : g) {
+        v = wf.min_value() +
+            static_cast<std::int64_t>(
+                rng() % static_cast<unsigned>(wf.max_value() -
+                                              wf.min_value() + 1));
+      }
+    }
+    const int bank =
+        static_cast<int>(rng() % static_cast<unsigned>(cfg.mcr));
+    model.load_weights_int(bank, wp, w);
+    tb.preload_weights(model);
+    for (const int ib : {2, 8}) {
+      std::vector<std::int64_t> in(static_cast<std::size_t>(cfg.rows));
+      const num::IntFormat inf{ib, true};
+      for (auto& v : in) {
+        v = inf.min_value() +
+            static_cast<std::int64_t>(
+                rng() % static_cast<unsigned>(inf.max_value() -
+                                              inf.min_value() + 1));
+      }
+      EXPECT_EQ(tb.run_mac_int(in, ib, wp, bank),
+                model.mac_int(in, ib, wp, bank))
+          << "rows=" << sc.rows << " cols=" << sc.cols << " mcr=" << sc.mcr
+          << " split=" << sc.split << " wp=" << wp << " ib=" << ib;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MacroSweep,
+    ::testing::Values(SweepCase{8, 8, 1, 1, rtlgen::MuxStyle::kTGateNor},
+                      SweepCase{16, 8, 2, 1, rtlgen::MuxStyle::kTGateNor},
+                      SweepCase{16, 8, 4, 1, rtlgen::MuxStyle::kTGateNor},
+                      SweepCase{16, 16, 2, 2, rtlgen::MuxStyle::kTGateNor},
+                      SweepCase{32, 8, 1, 1, rtlgen::MuxStyle::kTGateNor},
+                      SweepCase{32, 8, 2, 4, rtlgen::MuxStyle::kTGateNor},
+                      SweepCase{16, 8, 2, 1, rtlgen::MuxStyle::kPassGate1T},
+                      SweepCase{16, 8, 4, 1, rtlgen::MuxStyle::kPassGate1T},
+                      SweepCase{16, 8, 1, 1, rtlgen::MuxStyle::kOai22Fused},
+                      SweepCase{16, 8, 2, 2, rtlgen::MuxStyle::kOai22Fused},
+                      SweepCase{64, 8, 2, 8, rtlgen::MuxStyle::kTGateNor},
+                      SweepCase{32, 16, 2, 1,
+                                rtlgen::MuxStyle::kPassGate1T}));
+
+}  // namespace

@@ -1,0 +1,372 @@
+// End-to-end gate-level macro verification against the behavioral model.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cell/characterize.hpp"
+#include "rtlgen/macro.hpp"
+#include "sim/macro_model.hpp"
+#include "sim/macro_tb.hpp"
+#include "tech/tech_node.hpp"
+
+namespace {
+using namespace syndcim;
+using rtlgen::MacroConfig;
+
+const cell::Library& lib() {
+  static const cell::Library l =
+      cell::characterize_default_library(tech::make_default_40nm());
+  return l;
+}
+
+MacroConfig small_cfg() {
+  MacroConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 8;
+  cfg.mcr = 2;
+  cfg.input_bits = {2, 4};
+  cfg.weight_bits = {2, 4};
+  cfg.fp_formats = {};
+  return cfg;
+}
+
+std::vector<std::vector<std::int64_t>> random_weights(std::mt19937& rng,
+                                                      int n_out, int rows,
+                                                      int wp) {
+  const num::IntFormat f{wp, wp > 1};
+  std::uniform_int_distribution<std::int64_t> dist(f.min_value(),
+                                                   f.max_value());
+  std::vector<std::vector<std::int64_t>> w(static_cast<std::size_t>(n_out));
+  for (auto& row : w) {
+    row.resize(static_cast<std::size_t>(rows));
+    for (auto& v : row) v = dist(rng);
+  }
+  return w;
+}
+
+std::vector<std::int64_t> random_inputs(std::mt19937& rng, int rows, int ib,
+                                        bool is_signed) {
+  const num::IntFormat f{ib, is_signed};
+  std::uniform_int_distribution<std::int64_t> dist(f.min_value(),
+                                                   f.max_value());
+  std::vector<std::int64_t> in(static_cast<std::size_t>(rows));
+  for (auto& v : in) v = dist(rng);
+  return in;
+}
+
+TEST(MacroModel, SerialMatchesGolden) {
+  std::mt19937 rng(5);
+  for (const int wp : {1, 2, 4}) {
+    for (const int ib : {1, 2, 4, 8}) {
+      MacroConfig cfg = small_cfg();
+      cfg.input_bits = {8};
+      sim::DcimMacroModel model(cfg);
+      const bool signed_in = ib > 1;
+      for (int trial = 0; trial < 20; ++trial) {
+        model.load_weights_int(
+            0, wp, random_weights(rng, cfg.cols / wp, cfg.rows, wp));
+        const auto in = random_inputs(rng, cfg.rows, ib, signed_in);
+        EXPECT_EQ(model.mac_int(in, ib, wp, 0, signed_in),
+                  model.mac_int_serial(in, ib, wp, 0, signed_in))
+            << "wp=" << wp << " ib=" << ib;
+      }
+    }
+  }
+}
+
+struct MacroCase {
+  rtlgen::MuxStyle mux;
+  rtlgen::AdderTreeStyle tree;
+  double fa_fraction;
+  bool reg_after_tree;
+  bool retime_cpa;
+  int column_split;
+  rtlgen::OfuConfig ofu;
+};
+
+class MacroEndToEnd : public ::testing::TestWithParam<MacroCase> {};
+
+TEST_P(MacroEndToEnd, GateLevelMatchesModel) {
+  const MacroCase mc = GetParam();
+  MacroConfig cfg = small_cfg();
+  cfg.mux = mc.mux;
+  cfg.tree.style = mc.tree;
+  cfg.tree.fa_fraction = mc.fa_fraction;
+  cfg.pipe.reg_after_tree = mc.reg_after_tree;
+  cfg.pipe.retime_tree_cpa = mc.retime_cpa;
+  cfg.column_split = mc.column_split;
+  cfg.ofu = mc.ofu;
+
+  const auto md = rtlgen::gen_macro(cfg);
+  sim::DcimMacroModel model(cfg);
+  sim::MacroTestbench tb(md, lib());
+
+  std::mt19937 rng(42);
+  for (const int wp : {1, 2, 4}) {
+    for (const int ib : {2, 4}) {
+      model.load_weights_int(
+          0, wp, random_weights(rng, cfg.cols / wp, cfg.rows, wp));
+      model.load_weights_int(
+          1, wp, random_weights(rng, cfg.cols / wp, cfg.rows, wp));
+      tb.preload_weights(model);
+      for (int bank = 0; bank < 2; ++bank) {
+        const auto in = random_inputs(rng, cfg.rows, ib, true);
+        EXPECT_EQ(tb.run_mac_int(in, ib, wp, bank),
+                  model.mac_int(in, ib, wp, bank))
+            << "wp=" << wp << " ib=" << ib << " bank=" << bank;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MacroEndToEnd,
+    ::testing::Values(
+        // Default: TG mux, mixed CSA, full pipeline.
+        MacroCase{rtlgen::MuxStyle::kTGateNor, rtlgen::AdderTreeStyle::kMixed,
+                  0.0, true, false, 1, {true, false, false}},
+        // Pass-gate mux (AutoDCIM style).
+        MacroCase{rtlgen::MuxStyle::kPassGate1T,
+                  rtlgen::AdderTreeStyle::kMixed, 0.0, true, false, 1,
+                  {true, false, false}},
+        // OAI22 fused mux-multiplier.
+        MacroCase{rtlgen::MuxStyle::kOai22Fused,
+                  rtlgen::AdderTreeStyle::kMixed, 0.0, true, false, 1,
+                  {true, false, false}},
+        // RCA tree baseline.
+        MacroCase{rtlgen::MuxStyle::kTGateNor,
+                  rtlgen::AdderTreeStyle::kRcaTree, 0.0, true, false, 1,
+                  {true, false, false}},
+        // FA-heavy mixed CSA.
+        MacroCase{rtlgen::MuxStyle::kTGateNor, rtlgen::AdderTreeStyle::kMixed,
+                  0.6, true, false, 1, {true, false, false}},
+        // tt2: CPA retimed into S&A.
+        MacroCase{rtlgen::MuxStyle::kTGateNor, rtlgen::AdderTreeStyle::kMixed,
+                  0.0, true, true, 1, {true, false, false}},
+        // tt3: column split.
+        MacroCase{rtlgen::MuxStyle::kTGateNor, rtlgen::AdderTreeStyle::kMixed,
+                  0.0, true, false, 2, {true, false, false}},
+        // Step-3 fusion: no tree register.
+        MacroCase{rtlgen::MuxStyle::kTGateNor, rtlgen::AdderTreeStyle::kMixed,
+                  0.0, false, false, 1, {true, false, false}},
+        // Fully fused: OFU combinational on the accumulator.
+        MacroCase{rtlgen::MuxStyle::kTGateNor, rtlgen::AdderTreeStyle::kMixed,
+                  0.0, false, false, 1, {false, false, false}},
+        // tt5: OFU pipeline stage.
+        MacroCase{rtlgen::MuxStyle::kTGateNor, rtlgen::AdderTreeStyle::kMixed,
+                  0.0, true, false, 1, {true, true, false}},
+        // tt4: OFU stage 1 retimed into S&A.
+        MacroCase{rtlgen::MuxStyle::kTGateNor, rtlgen::AdderTreeStyle::kMixed,
+                  0.0, true, false, 1, {true, false, true}},
+        // Everything at once: split + retimed OFU + pipeline.
+        MacroCase{rtlgen::MuxStyle::kOai22Fused,
+                  rtlgen::AdderTreeStyle::kCompressor, 0.0, true, false, 2,
+                  {true, true, true}}));
+
+TEST(MacroWritePort, PortWritesMatchPreload) {
+  MacroConfig cfg = small_cfg();
+  const auto md = rtlgen::gen_macro(cfg);
+  sim::DcimMacroModel model(cfg);
+  sim::MacroTestbench tb(md, lib());
+  std::mt19937 rng(9);
+  model.load_weights_int(0, 4, random_weights(rng, 2, cfg.rows, 4));
+  model.load_weights_int(1, 4, random_weights(rng, 2, cfg.rows, 4));
+  // Write through the real port instead of preloading.
+  for (int bank = 0; bank < cfg.mcr; ++bank) {
+    for (int r = 0; r < cfg.rows; ++r) {
+      std::vector<int> bits(static_cast<std::size_t>(cfg.cols));
+      for (int c = 0; c < cfg.cols; ++c) {
+        bits[static_cast<std::size_t>(c)] = model.read_bit(c, r, bank);
+      }
+      tb.write_row_via_port(r, bank, bits);
+    }
+  }
+  const auto in = random_inputs(rng, cfg.rows, 4, true);
+  EXPECT_EQ(tb.run_mac_int(in, 4, 4, 0), model.mac_int(in, 4, 4, 0));
+  EXPECT_EQ(tb.run_mac_int(in, 4, 4, 1), model.mac_int(in, 4, 4, 1));
+}
+
+TEST(MacroWritePort, Oai22WritesAreInvertedInStorage) {
+  MacroConfig cfg = small_cfg();
+  cfg.mux = rtlgen::MuxStyle::kOai22Fused;
+  const auto md = rtlgen::gen_macro(cfg);
+  sim::DcimMacroModel model(cfg);
+  sim::MacroTestbench tb(md, lib());
+  std::mt19937 rng(13);
+  model.load_weights_int(0, 2, random_weights(rng, 4, cfg.rows, 2));
+  for (int r = 0; r < cfg.rows; ++r) {
+    std::vector<int> bits(static_cast<std::size_t>(cfg.cols));
+    for (int c = 0; c < cfg.cols; ++c) {
+      bits[static_cast<std::size_t>(c)] = model.read_bit(c, r, 0);
+    }
+    tb.write_row_via_port(r, 0, bits);
+  }
+  const auto in = random_inputs(rng, cfg.rows, 4, true);
+  EXPECT_EQ(tb.run_mac_int(in, 4, 2, 0), model.mac_int(in, 4, 2, 0));
+}
+
+TEST(MacroFp, GateLevelMatchesModelFp8) {
+  MacroConfig cfg = small_cfg();
+  cfg.cols = 8;
+  cfg.fp_formats = {num::kFp8};
+  cfg.fp_guard_bits = 1;
+  const auto md = rtlgen::gen_macro(cfg);
+  sim::DcimMacroModel model(cfg);
+  sim::MacroTestbench tb(md, lib());
+
+  std::mt19937 rng(31);
+  std::uniform_int_distribution<std::uint32_t> dist(0, 255);
+  const int wp = cfg.max_weight_bits();
+  const int n_out = cfg.cols / wp;
+  std::vector<std::vector<std::uint32_t>> w(
+      static_cast<std::size_t>(n_out));
+  for (auto& g : w) {
+    g.resize(static_cast<std::size_t>(cfg.rows));
+    for (auto& v : g) v = dist(rng);
+  }
+  model.load_weights_fp(0, num::kFp8, w);
+  tb.preload_weights(model);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::uint32_t> in(static_cast<std::size_t>(cfg.rows));
+    for (auto& v : in) v = dist(rng);
+    const auto expected = model.mac_fp(in, num::kFp8, 0);
+    EXPECT_EQ(tb.run_mac_fp(in, num::kFp8, 0), expected.raw)
+        << "trial " << trial;
+  }
+}
+
+TEST(MacroFp, FpResultTracksExactDotProduct) {
+  MacroConfig cfg = small_cfg();
+  cfg.fp_formats = {num::kFp8};
+  sim::DcimMacroModel model(cfg);
+  std::mt19937 rng(77);
+  std::uniform_int_distribution<std::uint32_t> dist(0, 255);
+  const int wp = cfg.max_weight_bits();
+  const int n_out = cfg.cols / wp;
+  std::vector<std::vector<std::uint32_t>> w(static_cast<std::size_t>(n_out));
+  for (auto& g : w) {
+    g.resize(static_cast<std::size_t>(cfg.rows));
+    for (auto& v : g) v = dist(rng);
+  }
+  model.load_weights_fp(0, num::kFp8, w);
+  std::vector<std::uint32_t> in(static_cast<std::size_t>(cfg.rows));
+  for (auto& v : in) v = dist(rng);
+  const auto res = model.mac_fp(in, num::kFp8, 0);
+  for (int o = 0; o < n_out; ++o) {
+    double exact = 0.0, mag = 0.0;
+    for (int r = 0; r < cfg.rows; ++r) {
+      const double a =
+          num::fp_decode(in[static_cast<std::size_t>(r)], num::kFp8);
+      const double b = num::fp_decode(
+          w[static_cast<std::size_t>(o)][static_cast<std::size_t>(r)],
+          num::kFp8);
+      exact += a * b;
+      mag += std::abs(a * b);
+    }
+    // Truncating alignment loses at most a few percent of the magnitude.
+    EXPECT_NEAR(res.value(static_cast<std::size_t>(o)), exact,
+                0.1 * mag + 1e-6);
+  }
+}
+
+TEST(MacroMacWrite, SimultaneousMacAndWeightUpdate) {
+  // The MCR=2 macro computes on bank 0 while bank 1 is rewritten through
+  // the write port in the same cycles (Table II's "MAC-Write" feature).
+  MacroConfig cfg = small_cfg();
+  const auto md = rtlgen::gen_macro(cfg);
+  sim::DcimMacroModel model(cfg);
+  sim::MacroTestbench tb(md, lib());
+  std::mt19937 rng(21);
+  model.load_weights_int(0, 4, random_weights(rng, 2, cfg.rows, 4));
+  model.load_weights_int(1, 4, random_weights(rng, 2, cfg.rows, 4));
+  tb.preload_weights(model);
+
+  // New bank-1 contents, streamed row by row while bank-0 MACs run.
+  const auto new_w1 = random_weights(rng, 2, cfg.rows, 4);
+  sim::DcimMacroModel new_model(cfg);
+  new_model.load_weights_int(1, 4, new_w1);
+
+  auto& gs = tb.sim();
+  tb.write_row_via_port(0, 1, [&] {
+    std::vector<int> bits(static_cast<std::size_t>(cfg.cols));
+    for (int c = 0; c < cfg.cols; ++c) bits[c] = new_model.read_bit(c, 0, 1);
+    return bits;
+  }());
+  // Interleave: one MAC on bank 0, then more bank-1 row writes, repeat.
+  int row = 1;
+  for (int m = 0; m < 4; ++m) {
+    const auto in = random_inputs(rng, cfg.rows, 4, true);
+    // Drive write command during the MAC by pre-setting the write inputs;
+    // run_mac_int toggles wen off, so write rows between MACs and verify
+    // the MAC results stay exact throughout the update stream.
+    EXPECT_EQ(tb.run_mac_int(in, 4, 4, 0), model.mac_int(in, 4, 4, 0))
+        << "MAC " << m << " while bank 1 is being updated";
+    for (int k = 0; k < 4 && row < cfg.rows; ++k, ++row) {
+      std::vector<int> bits(static_cast<std::size_t>(cfg.cols));
+      for (int c = 0; c < cfg.cols; ++c) {
+        bits[c] = new_model.read_bit(c, row, 1);
+      }
+      tb.write_row_via_port(row, 1, bits);
+    }
+  }
+  while (row < cfg.rows) {
+    std::vector<int> bits(static_cast<std::size_t>(cfg.cols));
+    for (int c = 0; c < cfg.cols; ++c) bits[c] = new_model.read_bit(c, row, 1);
+    tb.write_row_via_port(row, 1, bits);
+    ++row;
+  }
+  (void)gs;
+  // Bank 1 now holds the new weights; bank 0 is untouched.
+  const auto in = random_inputs(rng, cfg.rows, 4, true);
+  EXPECT_EQ(tb.run_mac_int(in, 4, 4, 1), new_model.mac_int(in, 4, 4, 1));
+  EXPECT_EQ(tb.run_mac_int(in, 4, 4, 0), model.mac_int(in, 4, 4, 0));
+}
+
+TEST(MacroWideAccumulators, CarrySelectPathsExercised) {
+  // rows=64 pushes the S&A and OFU widths past the carry-select
+  // threshold; verify functional equality there too.
+  MacroConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 8;
+  cfg.mcr = 1;
+  cfg.input_bits = {8};
+  cfg.weight_bits = {4};
+  cfg.ofu.pipeline_regs = 2;
+  const auto md = rtlgen::gen_macro(cfg);
+  sim::DcimMacroModel model(cfg);
+  sim::MacroTestbench tb(md, lib());
+  std::mt19937 rng(31);
+  model.load_weights_int(0, 4, random_weights(rng, 2, cfg.rows, 4));
+  tb.preload_weights(model);
+  for (int t = 0; t < 3; ++t) {
+    const auto in = random_inputs(rng, cfg.rows, 8, true);
+    EXPECT_EQ(tb.run_mac_int(in, 8, 4, 0), model.mac_int(in, 8, 4, 0));
+  }
+}
+
+TEST(MacroConfigValidation, RejectsBadConfigs) {
+  MacroConfig cfg = small_cfg();
+  cfg.rows = 12;  // not pow2
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_cfg();
+  cfg.mux = rtlgen::MuxStyle::kOai22Fused;
+  cfg.mcr = 4;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_cfg();
+  cfg.pipe.retime_tree_cpa = true;
+  cfg.pipe.reg_after_tree = false;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_cfg();
+  cfg.pipe.retime_tree_cpa = true;
+  cfg.column_split = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_cfg();
+  cfg.ofu.retime_stage1 = true;
+  cfg.ofu.input_reg = false;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = small_cfg();
+  cfg.weight_bits = {3};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "cell/characterize.hpp"
+#include "core/compiler.hpp"
+#include "mapper/mapper.hpp"
+#include "tech/tech_node.hpp"
+
+namespace {
+using namespace syndcim;
+using mapper::Layer;
+using mapper::MacroProfile;
+
+MacroProfile test_profile() {
+  MacroProfile p;
+  core::PerfSpec s;
+  s.rows = 64;
+  s.cols = 64;
+  s.mcr = 2;
+  s.input_bits = {4, 8};
+  s.weight_bits = {4, 8};
+  p.cfg = s.base_config();
+  p.freq_mhz = 400.0;
+  p.energy_per_cycle_fj = 50000.0;  // 50 pJ/cycle
+  p.leakage_uw = 100.0;
+  return p;
+}
+
+TEST(Mapper, TileCountsAndUtilization) {
+  const MacroProfile p = test_profile();
+  Layer l{"fc", 16, 128, 16, 8, 8, 0.5};
+  const auto lm = mapper::map_layer(l, p);
+  EXPECT_EQ(lm.k_tiles, 2);          // 128 / 64 rows
+  EXPECT_EQ(lm.n_tiles, 2);          // 16 / (64/8) outputs
+  EXPECT_EQ(lm.macs, 16L * 128 * 16);
+  EXPECT_GT(lm.utilization, 0.99);   // exact tiling = full utilization
+  EXPECT_LE(lm.utilization, 1.0 + 1e-9);
+  // Ragged layer wastes part of the array.
+  Layer ragged{"fc2", 16, 100, 10, 8, 8, 0.5};
+  const auto lm2 = mapper::map_layer(ragged, p);
+  EXPECT_LT(lm2.utilization, 0.8);
+}
+
+TEST(Mapper, DoubleBufferingHidesWeightLoads) {
+  MacroProfile p2 = test_profile();
+  MacroProfile p1 = test_profile();
+  p1.cfg.mcr = 1;
+  // Compute-heavy layer: loads fully hidden at MCR=2.
+  Layer l{"fc", 64, 256, 32, 8, 8, 0.5};
+  const auto dbl = mapper::map_layer(l, p2);
+  const auto sgl = mapper::map_layer(l, p1);
+  EXPECT_LT(dbl.exposed_load_cycles, sgl.exposed_load_cycles);
+  EXPECT_LT(dbl.total_cycles, sgl.total_cycles);
+  EXPECT_EQ(dbl.compute_cycles, sgl.compute_cycles);
+  // First tile's load is always exposed.
+  EXPECT_GE(dbl.exposed_load_cycles, 2L * p2.cfg.rows);
+}
+
+TEST(Mapper, CyclesScaleWithBatchAndPrecision) {
+  const MacroProfile p = test_profile();
+  Layer l{"fc", 8, 64, 8, 4, 4, 0.5};
+  const auto base = mapper::map_layer(l, p);
+  l.m = 16;
+  const auto big_m = mapper::map_layer(l, p);
+  EXPECT_GT(big_m.compute_cycles, base.compute_cycles * 1.9);
+  l.m = 8;
+  l.input_bits = 8;
+  const auto big_ib = mapper::map_layer(l, p);
+  EXPECT_GT(big_ib.compute_cycles, base.compute_cycles * 1.5);
+}
+
+TEST(Mapper, EnergyTracksDensityAndTime) {
+  const MacroProfile p = test_profile();
+  Layer dense{"d", 16, 64, 8, 8, 8, 0.9};
+  Layer sparse{"s", 16, 64, 8, 8, 8, 0.1};
+  EXPECT_GT(mapper::map_layer(dense, p).energy_uj,
+            mapper::map_layer(sparse, p).energy_uj);
+}
+
+TEST(Mapper, NetworkRollupAndMultiMacro) {
+  const MacroProfile p = test_profile();
+  const std::vector<Layer> net = {{"l1", 16, 256, 64, 8, 8, 0.5},
+                                  {"l2", 16, 64, 64, 8, 8, 0.4},
+                                  {"l3", 16, 64, 16, 8, 8, 0.3}};
+  const auto one = mapper::map_network(net, p, 1);
+  const auto four = mapper::map_network(net, p, 4);
+  EXPECT_EQ(one.layers.size(), 3u);
+  EXPECT_EQ(one.total_macs, 16L * 256 * 64 + 16L * 64 * 64 + 16L * 64 * 16);
+  // More macros: faster, same energy.
+  EXPECT_LT(four.total_time_us, one.total_time_us / 2.0);
+  EXPECT_NEAR(four.total_energy_uj, one.total_energy_uj, 1e-9);
+  EXPECT_GT(one.effective_gops(), 0.0);
+  EXPECT_GT(one.effective_tops_per_w(), 0.0);
+  // Sanity: time = sum of layer times.
+  double sum = 0;
+  for (const auto& [l, lm] : one.layers) sum += lm.time_us;
+  EXPECT_NEAR(sum, one.total_time_us, 1e-9);
+}
+
+TEST(Mapper, RejectsBadInputs) {
+  const MacroProfile p = test_profile();
+  EXPECT_THROW((void)mapper::map_layer({"x", 0, 1, 1, 8, 8, 0.5}, p),
+               std::invalid_argument);
+  EXPECT_THROW((void)mapper::map_layer({"x", 1, 1, 1, 16, 8, 0.5}, p),
+               std::invalid_argument);
+  EXPECT_THROW((void)mapper::map_layer({"x", 1, 1, 1, 8, 16, 0.5}, p),
+               std::invalid_argument);
+  EXPECT_THROW((void)mapper::map_network({}, p, 0), std::invalid_argument);
+}
+
+TEST(Mapper, ProfileFromImplementation) {
+  const auto lib = cell::characterize_default_library(
+      tech::make_default_40nm());
+  core::SynDcimCompiler compiler(lib);
+  core::PerfSpec spec;
+  spec.rows = 16;
+  spec.cols = 8;
+  spec.mcr = 2;
+  spec.input_bits = {4};
+  spec.weight_bits = {4};
+  spec.mac_freq_mhz = 300;
+  spec.wupdate_freq_mhz = 300;
+  const auto res = compiler.compile(spec);
+  const auto prof = MacroProfile::from_implementation(res.impl, 300.0);
+  EXPECT_GT(prof.freq_mhz, 0);
+  EXPECT_LE(prof.freq_mhz, 300.0);
+  EXPECT_GT(prof.energy_per_cycle_fj, 0);
+  const auto lm =
+      mapper::map_layer({"fc", 4, 16, 2, 4, 4, 0.5}, prof);
+  EXPECT_GT(lm.time_us, 0);
+  EXPECT_GT(lm.energy_uj, 0);
+}
+
+}  // namespace

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "num/alignment.hpp"
+#include "num/fp_format.hpp"
+#include "num/int_ops.hpp"
+
+namespace {
+using namespace syndcim::num;
+
+TEST(IntFormat, Ranges) {
+  EXPECT_EQ((IntFormat{8, true}).min_value(), -128);
+  EXPECT_EQ((IntFormat{8, true}).max_value(), 127);
+  EXPECT_EQ((IntFormat{8, false}).max_value(), 255);
+  EXPECT_EQ((IntFormat{1, true}).min_value(), -1);
+  EXPECT_EQ((IntFormat{1, true}).max_value(), 0);
+  EXPECT_EQ((IntFormat{4, true}).min_value(), -8);
+}
+
+TEST(IntOps, SignExtend) {
+  EXPECT_EQ(sign_extend(0xF, 4), -1);
+  EXPECT_EQ(sign_extend(0x7, 4), 7);
+  EXPECT_EQ(sign_extend(0x8, 4), -8);
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+}
+
+TEST(IntOps, TwosComplementBits) {
+  // -3 in 4 bits = 1101.
+  EXPECT_EQ(ts_bit(-3, 0), 1);
+  EXPECT_EQ(ts_bit(-3, 1), 0);
+  EXPECT_EQ(ts_bit(-3, 2), 1);
+  EXPECT_EQ(ts_bit(-3, 3), 1);
+}
+
+TEST(IntOps, Saturate) {
+  const IntFormat s4{4, true};
+  EXPECT_EQ(saturate(100, s4), 7);
+  EXPECT_EQ(saturate(-100, s4), -8);
+  EXPECT_EQ(saturate(3, s4), 3);
+  EXPECT_NO_THROW(require_in_range(7, s4));
+  EXPECT_THROW(require_in_range(8, s4), std::out_of_range);
+}
+
+TEST(FpFormat, Metadata) {
+  EXPECT_EQ(kFp8.bias(), 7);
+  EXPECT_EQ(kFp8.storage_bits(), 8);
+  EXPECT_EQ(kFp4.storage_bits(), 4);
+  EXPECT_EQ(kBf16.storage_bits(), 16);
+  EXPECT_EQ(kFp4.bias(), 1);
+  EXPECT_EQ(kFp8.name(), "E4M3");
+}
+
+TEST(FpDecode, KnownFp4Values) {
+  // E2M1, bias 1: 0b0_01_1 = 1.5 * 2^0 = 1.5.
+  EXPECT_DOUBLE_EQ(fp_decode(0b0011, kFp4), 1.5);
+  EXPECT_DOUBLE_EQ(fp_decode(0b0000, kFp4), 0.0);
+  // Subnormal: 0b0_00_1 = 1 * 2^(1-1-1) = 0.5.
+  EXPECT_DOUBLE_EQ(fp_decode(0b0001, kFp4), 0.5);
+  // Max: 0b0_11_1 = 1.5 * 2^2 = 6.
+  EXPECT_DOUBLE_EQ(fp_decode(0b0111, kFp4), 6.0);
+  EXPECT_DOUBLE_EQ(fp_decode(0b1111, kFp4), -6.0);
+  EXPECT_DOUBLE_EQ(fp_max_value(kFp4), 6.0);
+}
+
+TEST(FpDecode, KnownFp8Values) {
+  // E4M3, bias 7: 0x38 = 0_0111_000 -> 1.0.
+  EXPECT_DOUBLE_EQ(fp_decode(0x38, kFp8), 1.0);
+  // 0x3C = 0_0111_100 -> 1.5.
+  EXPECT_DOUBLE_EQ(fp_decode(0x3C, kFp8), 1.5);
+  // Max 0x7F = 1.875 * 2^8 = 480.
+  EXPECT_DOUBLE_EQ(fp_max_value(kFp8), 480.0);
+  // Smallest subnormal = 2^-9.
+  EXPECT_DOUBLE_EQ(fp_decode(0x01, kFp8), std::ldexp(1.0, -9));
+}
+
+TEST(FpEncode, ExactRoundTripAllFp8Codes) {
+  for (std::uint32_t e = 0; e < 256; ++e) {
+    const double v = fp_decode(e, kFp8);
+    const std::uint32_t back = fp_encode(v, kFp8);
+    // -0 and +0 both decode to 0.0; encode picks +0.
+    if (v == 0.0) {
+      EXPECT_EQ(back & 0x7Fu, 0u);
+    } else {
+      EXPECT_EQ(back, e) << "value " << v;
+    }
+  }
+}
+
+TEST(FpEncode, ExactRoundTripAllFp4AndBf16Samples) {
+  for (std::uint32_t e = 0; e < 16; ++e) {
+    const double v = fp_decode(e, kFp4);
+    if (v != 0.0) {
+      EXPECT_EQ(fp_encode(v, kFp4), e);
+    }
+  }
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<std::uint32_t> dist(0, (1u << 16) - 1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t e = dist(rng);
+    const double v = fp_decode(e, kBf16);
+    if (v != 0.0) {
+      EXPECT_EQ(fp_encode(v, kBf16), e) << "code " << e;
+    }
+  }
+}
+
+TEST(FpEncode, SaturatesAtMax) {
+  EXPECT_EQ(fp_encode(1e9, kFp8), fp_encode(480.0, kFp8));
+  EXPECT_EQ(fp_decode(fp_encode(-1e9, kFp4), kFp4), -6.0);
+}
+
+TEST(FpEncode, RoundToNearestEven) {
+  // Between 1.0 (0x38) and 1.125 (0x39) in FP8: 1.0625 ties -> even (0x38).
+  EXPECT_EQ(fp_encode(1.0625, kFp8), 0x38u);
+  // Between 1.125 and 1.25: 1.1875 ties -> 1.25 has even mantissa (0x3A).
+  EXPECT_EQ(fp_encode(1.1875, kFp8), 0x3Au);
+}
+
+TEST(FpEncode, MonotoneOnPositives) {
+  double prev = -1.0;
+  std::uint32_t prev_code = 0;
+  for (double x = 0.0; x < 500.0; x += 0.37) {
+    const std::uint32_t c = fp_encode(x, kFp8);
+    if (prev >= 0.0) {
+      EXPECT_GE(fp_decode(c, kFp8), fp_decode(prev_code, kFp8))
+          << "x=" << x << " prev=" << prev;
+    }
+    prev = x;
+    prev_code = c;
+  }
+}
+
+class AlignmentProperty : public ::testing::TestWithParam<
+                              std::tuple<FpFormat, int /*guard*/>> {};
+
+TEST_P(AlignmentProperty, AlignedValuesCloseToExact) {
+  const auto [fmt, guard] = GetParam();
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<std::uint32_t> dist(
+      0, (1u << fmt.storage_bits()) - 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint32_t> group(16);
+    for (auto& g : group) g = dist(rng);
+    const AlignedGroup a = align_fp_group(group, fmt, guard);
+    // The maximum-magnitude element aligns exactly; others lose at most
+    // the truncated low bits, i.e. error < 2^(shared_exp - frac_shift).
+    const double ulp = std::ldexp(1.0, a.shared_exp_unbiased - a.frac_shift);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const double exact = fp_decode(group[i], fmt);
+      EXPECT_LE(std::abs(a.value(i) - exact), ulp)
+          << fmt.name() << " elem " << i;
+      // Truncation moves magnitudes toward zero, never away.
+      EXPECT_LE(std::abs(a.value(i)), std::abs(exact) + 1e-30);
+    }
+  }
+}
+
+TEST_P(AlignmentProperty, DotProductErrorBounded) {
+  const auto [fmt, guard] = GetParam();
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<std::uint32_t> dist(
+      0, (1u << fmt.storage_bits()) - 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint32_t> group(32);
+    for (auto& g : group) g = dist(rng);
+    const AlignedGroup a = align_fp_group(group, fmt, guard);
+    double exact = 0.0, aligned = 0.0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      exact += fp_decode(group[i], fmt);
+      aligned += a.value(i);
+    }
+    const double ulp = std::ldexp(1.0, a.shared_exp_unbiased - a.frac_shift);
+    EXPECT_LE(std::abs(exact - aligned), ulp * static_cast<double>(group.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, AlignmentProperty,
+    ::testing::Values(std::make_tuple(kFp4, 0), std::make_tuple(kFp4, 2),
+                      std::make_tuple(kFp8, 0), std::make_tuple(kFp8, 2),
+                      std::make_tuple(kFp8, 4), std::make_tuple(kBf16, 0),
+                      std::make_tuple(kBf16, 3), std::make_tuple(kFp16, 2)));
+
+TEST(Alignment, MaxElementExact) {
+  // Group with one dominant value: it must be represented exactly.
+  const std::vector<std::uint32_t> g = {fp_encode(6.0, kFp4),
+                                        fp_encode(0.5, kFp4)};
+  const AlignedGroup a = align_fp_group(g, kFp4, 0);
+  EXPECT_DOUBLE_EQ(a.value(0), 6.0);
+}
+
+TEST(Alignment, AllZerosGroup) {
+  const std::vector<std::uint32_t> g(8, 0);
+  const AlignedGroup a = align_fp_group(g, kFp8, 2);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_EQ(a.mant[i], 0);
+}
+
+TEST(Alignment, MantBitsBound) {
+  EXPECT_EQ(aligned_mant_bits(kFp8, 0), 5);  // sign + implicit + 3
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<std::uint32_t> dist(0, 255);
+  for (int t = 0; t < 100; ++t) {
+    std::vector<std::uint32_t> g(8);
+    for (auto& x : g) x = dist(rng);
+    const AlignedGroup a = align_fp_group(g, kFp8, 2);
+    const std::int64_t bound = 1ll << (aligned_mant_bits(kFp8, 2) - 1);
+    for (const std::int64_t m : a.mant) {
+      EXPECT_LT(std::abs(m), bound);
+    }
+  }
+}
+
+TEST(Alignment, RejectsBadInput) {
+  EXPECT_THROW((void)align_fp_group({}, kFp8, 0), std::invalid_argument);
+  const std::vector<std::uint32_t> g = {0};
+  EXPECT_THROW((void)align_fp_group(g, kFp8, -1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Direct GateSim semantics: levelized evaluation, sequential capture,
+// toggle counting, constants, state access.
+#include <gtest/gtest.h>
+
+#include "cell/characterize.hpp"
+#include "netlist/design.hpp"
+#include "netlist/flatten.hpp"
+#include "power/activity.hpp"
+#include "sim/gate_sim.hpp"
+#include "tech/tech_node.hpp"
+
+namespace {
+using namespace syndcim;
+using netlist::PortDir;
+
+const cell::Library& lib() {
+  static const cell::Library l =
+      cell::characterize_default_library(tech::make_default_40nm());
+  return l;
+}
+
+TEST(GateSim, CombinationalChainAndConstants) {
+  netlist::Design d;
+  netlist::Module m("t");
+  const auto a = m.add_port("a", PortDir::kIn);
+  const auto y = m.add_port("y", PortDir::kOut);
+  const auto z = m.add_port("z", PortDir::kOut);
+  const auto n1 = m.add_net("n1");
+  m.add_cell("i0", "INVX1", {{"A", a}, {"Y", n1}});
+  m.add_cell("i1", "INVX1", {{"A", n1}, {"Y", y}});
+  m.add_cell("a0", "AND2X1", {{"A", m.const1()}, {"B", m.const0()}, {"Y", z}});
+  d.add_module(std::move(m));
+  const auto flat = netlist::flatten(d, "t");
+  sim::GateSim gs(flat, lib());
+  gs.set_input("a", 1);
+  gs.eval();
+  EXPECT_EQ(gs.output("y"), 1);
+  EXPECT_EQ(gs.output("z"), 0);  // 1 & 0
+  gs.set_input("a", 0);
+  gs.eval();
+  EXPECT_EQ(gs.output("y"), 0);
+}
+
+TEST(GateSim, DffCapturesOnStepOnly) {
+  netlist::Design d;
+  netlist::Module m("t");
+  const auto clk = m.add_port("clk", PortDir::kIn);
+  const auto a = m.add_port("a", PortDir::kIn);
+  const auto q = m.add_port("q", PortDir::kOut);
+  const auto qi = m.add_net("qi");
+  m.add_cell("r0", "DFFX1", {{"D", a}, {"CK", clk}, {"Q", qi}});
+  m.add_cell("b0", "BUFX1", {{"A", qi}, {"Y", q}});
+  d.add_module(std::move(m));
+  const auto flat = netlist::flatten(d, "t");
+  sim::GateSim gs(flat, lib());
+  gs.set_input("a", 1);
+  gs.eval();
+  EXPECT_EQ(gs.output("q"), 0);  // not captured yet
+  gs.step();
+  gs.eval();
+  EXPECT_EQ(gs.output("q"), 1);
+  gs.set_input("a", 0);
+  gs.eval();
+  EXPECT_EQ(gs.output("q"), 1);  // holds until the next edge
+  gs.step();
+  gs.eval();
+  EXPECT_EQ(gs.output("q"), 0);
+}
+
+TEST(GateSim, EnableFlopAndStateAccess) {
+  netlist::Design d;
+  netlist::Module m("t");
+  const auto clk = m.add_port("clk", PortDir::kIn);
+  const auto a = m.add_port("a", PortDir::kIn);
+  const auto e = m.add_port("e", PortDir::kIn);
+  const auto q = m.add_port("q", PortDir::kOut);
+  const auto qi = m.add_net("qi");
+  m.add_cell("r0", "DFFEX1", {{"D", a}, {"E", e}, {"CK", clk}, {"Q", qi}});
+  m.add_cell("b0", "BUFX1", {{"A", qi}, {"Y", q}});
+  d.add_module(std::move(m));
+  const auto flat = netlist::flatten(d, "t");
+  sim::GateSim gs(flat, lib());
+  gs.set_input("a", 1);
+  gs.set_input("e", 0);
+  gs.step();
+  gs.eval();
+  EXPECT_EQ(gs.output("q"), 0);  // enable low: held
+  gs.set_input("e", 1);
+  gs.step();
+  gs.eval();
+  EXPECT_EQ(gs.output("q"), 1);
+  // Direct state access: gate 0 is the DFFE.
+  EXPECT_EQ(gs.state(0), 1);
+  gs.set_state(0, 0);
+  gs.eval();
+  EXPECT_EQ(gs.output("q"), 0);
+  // set_state on a combinational gate is rejected.
+  EXPECT_THROW(gs.set_state(1, 1), std::invalid_argument);
+}
+
+TEST(GateSim, ToggleCountingIsExact) {
+  netlist::Design d;
+  netlist::Module m("t");
+  const auto a = m.add_port("a", PortDir::kIn);
+  const auto y = m.add_port("y", PortDir::kOut);
+  const auto n1 = m.add_net("n1");
+  m.add_cell("i0", "INVX1", {{"A", a}, {"Y", n1}});
+  m.add_cell("i1", "INVX1", {{"A", n1}, {"Y", y}});
+  d.add_module(std::move(m));
+  const auto flat = netlist::flatten(d, "t");
+  sim::GateSim gs(flat, lib());
+  gs.reset_activity();
+  // Toggle a 10 times: every net flips 10 times (after the first eval
+  // settles from the all-zero initial state).
+  for (int t = 0; t < 10; ++t) {
+    gs.set_input("a", t % 2 == 0 ? 1 : 0);
+    gs.step();
+  }
+  const std::uint32_t y_net = flat.output_net("y");
+  const std::uint32_t a_net = flat.input_net("a");
+  EXPECT_EQ(gs.net_toggles()[a_net], 10u);
+  // y = a buffered through two inverters: same toggle count.
+  EXPECT_EQ(gs.net_toggles()[y_net], 10u);
+  EXPECT_EQ(gs.cycles(), 10u);
+  gs.reset_activity();
+  EXPECT_EQ(gs.net_toggles()[y_net], 0u);
+  EXPECT_EQ(gs.cycles(), 0u);
+}
+
+TEST(GateSim, ActivityFromSimMatchesToggleCounts) {
+  netlist::Design d;
+  netlist::Module m("t");
+  const auto a = m.add_port("a", PortDir::kIn);
+  const auto clk = m.add_port("clk", PortDir::kIn);
+  const auto q = m.add_port("q", PortDir::kOut);
+  const auto qi = m.add_net("qi");
+  m.add_cell("r0", "DFFX1", {{"D", a}, {"CK", clk}, {"Q", qi}});
+  m.add_cell("b0", "BUFX1", {{"A", qi}, {"Y", q}});
+  d.add_module(std::move(m));
+  const auto flat = netlist::flatten(d, "t");
+  sim::GateSim gs(flat, lib());
+  for (int t = 0; t < 8; ++t) {
+    gs.set_input("a", t % 2);
+    gs.step();
+  }
+  const auto act = power::activity_from_sim(flat, lib(), gs);
+  EXPECT_NEAR(act.toggle_rate[flat.input_net("a")], 1.0, 0.13);
+  // Clock net forced to 2 transitions/cycle.
+  EXPECT_DOUBLE_EQ(act.toggle_rate[flat.input_net("clk")], 2.0);
+  // Unsimulated run is rejected.
+  sim::GateSim gs2(flat, lib());
+  EXPECT_THROW((void)power::activity_from_sim(flat, lib(), gs2),
+               std::invalid_argument);
+}
+
+TEST(GateSim, RejectsBadNetlists) {
+  // Unconnected input pin.
+  netlist::Design d;
+  netlist::Module m("t");
+  const auto y = m.add_port("y", PortDir::kOut);
+  m.add_cell("i0", "INVX1", {{"Y", y}});
+  d.add_module(std::move(m));
+  const auto flat = netlist::flatten(d, "t");
+  EXPECT_THROW((sim::GateSim{flat, lib()}), std::invalid_argument);
+}
+
+}  // namespace

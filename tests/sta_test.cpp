@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "cell/characterize.hpp"
+#include "netlist/design.hpp"
+#include "netlist/flatten.hpp"
+#include "rtlgen/adder_tree.hpp"
+#include "rtlgen/gates.hpp"
+#include "rtlgen/macro.hpp"
+#include "sta/sta.hpp"
+#include "tech/tech_node.hpp"
+#include "tech/units.hpp"
+
+namespace {
+using namespace syndcim;
+using netlist::PortDir;
+
+const cell::Library& lib() {
+  static const cell::Library l =
+      cell::characterize_default_library(tech::make_default_40nm());
+  return l;
+}
+
+/// in -> INV chain (n stages) -> DFF -> out, all clocked.
+netlist::Design inv_chain_design(int n) {
+  netlist::Design d;
+  netlist::Module m("chain");
+  rtlgen::GateBuilder gb(m, "g_");
+  const auto clk = m.add_port("clk", PortDir::kIn);
+  const auto in = m.add_port("in", PortDir::kIn);
+  netlist::NetId x = gb.dff(in, clk);  // launch register
+  for (int i = 0; i < n; ++i) x = gb.inv(x);
+  const auto q = gb.dff(x, clk);  // capture register
+  const auto out = m.add_port("out", PortDir::kOut);
+  m.add_cell("obuf", "BUFX1", {{"A", q}, {"Y", out}});
+  d.add_module(std::move(m));
+  return d;
+}
+
+TEST(Sta, LongerChainsHaveLongerPaths) {
+  double prev = 0.0;
+  for (const int n : {2, 8, 32}) {
+    const auto d = inv_chain_design(n);
+    const auto flat = netlist::flatten(d, "chain");
+    sta::StaEngine eng(flat, lib());
+    const auto rep = eng.analyze({});
+    EXPECT_GT(rep.min_period_ps, prev) << n;
+    prev = rep.min_period_ps;
+  }
+}
+
+TEST(Sta, SlackMatchesPeriodMinusArrival) {
+  const auto d = inv_chain_design(16);
+  const auto flat = netlist::flatten(d, "chain");
+  sta::StaEngine eng(flat, lib());
+  sta::StaOptions opt;
+  opt.clock_period_ps = 2000.0;
+  const auto rep = eng.analyze(opt);
+  EXPECT_TRUE(rep.met());
+  // Tighten to just below the minimum period: must now fail.
+  opt.clock_period_ps = rep.min_period_ps - 1.0;
+  const auto rep2 = eng.analyze(opt);
+  EXPECT_FALSE(rep2.met());
+  EXPECT_NEAR(rep2.wns_ps, -1.0, 0.2);
+  EXPECT_LT(rep2.tns_ps, 0.0);
+}
+
+TEST(Sta, VoltageScalingMatchesTechModel) {
+  const auto d = inv_chain_design(16);
+  const auto flat = netlist::flatten(d, "chain");
+  sta::StaEngine eng(flat, lib());
+  sta::StaOptions opt;
+  const double p09 = eng.analyze(opt).min_period_ps;
+  opt.vdd = 1.2;
+  const double p12 = eng.analyze(opt).min_period_ps;
+  opt.vdd = 0.7;
+  const double p07 = eng.analyze(opt).min_period_ps;
+  const tech::TechNode t = tech::make_default_40nm();
+  EXPECT_NEAR(p12 / p09, t.delay_scale(1.2), 0.02);
+  EXPECT_NEAR(p07 / p09, t.delay_scale(0.7), 0.02);
+  opt.vdd = 0.4;
+  EXPECT_THROW((void)eng.analyze(opt), std::invalid_argument);
+}
+
+TEST(Sta, CriticalPathTraceIsOrdered) {
+  const auto d = inv_chain_design(12);
+  const auto flat = netlist::flatten(d, "chain");
+  sta::StaEngine eng(flat, lib());
+  const auto rep = eng.analyze({});
+  ASSERT_GE(rep.critical.stages.size(), 12u);
+  for (std::size_t i = 1; i < rep.critical.stages.size(); ++i) {
+    EXPECT_GE(rep.critical.stages[i].arrival_ps,
+              rep.critical.stages[i - 1].arrival_ps);
+  }
+  EXPECT_NE(rep.critical.endpoint.find("DFF"), std::string::npos);
+}
+
+TEST(Sta, WireModelLoadIncreasesDelay) {
+  const auto d = inv_chain_design(8);
+  const auto flat = netlist::flatten(d, "chain");
+  sta::StaEngine eng(flat, lib());
+  sta::StaOptions opt;
+  opt.wire.cap_per_fanout_ff = 0.0;
+  const double light = eng.analyze(opt).min_period_ps;
+  opt.wire.cap_per_fanout_ff = 5.0;
+  const double heavy = eng.analyze(opt).min_period_ps;
+  EXPECT_GT(heavy, light * 1.2);
+}
+
+TEST(Sta, CombinationalLoopDetected) {
+  netlist::Design d;
+  netlist::Module m("loop");
+  const auto a = m.add_net("a");
+  const auto b = m.add_net("b");
+  m.add_cell("i0", "INVX1", {{"A", a}, {"Y", b}});
+  m.add_cell("i1", "INVX1", {{"A", b}, {"Y", a}});
+  d.add_module(std::move(m));
+  const auto flat = netlist::flatten(d, "loop");
+  EXPECT_THROW((sta::StaEngine{flat, lib()}), std::invalid_argument);
+}
+
+TEST(Sta, MultipleDriversRejected) {
+  netlist::Design d;
+  netlist::Module m("bad");
+  const auto a = m.add_port("a", PortDir::kIn);
+  const auto y = m.add_port("y", PortDir::kOut);
+  m.add_cell("i0", "INVX1", {{"A", a}, {"Y", y}});
+  m.add_cell("i1", "INVX1", {{"A", a}, {"Y", y}});
+  d.add_module(std::move(m));
+  const auto flat = netlist::flatten(d, "bad");
+  EXPECT_THROW((sta::StaEngine{flat, lib()}), std::invalid_argument);
+}
+
+TEST(Sta, MacroPathGroupsAndWriteDomain) {
+  rtlgen::MacroConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 8;
+  cfg.mcr = 2;
+  cfg.input_bits = {4};
+  cfg.weight_bits = {4};
+  const auto md = rtlgen::gen_macro(cfg);
+  const auto flat = netlist::flatten(md.design, md.top);
+  sta::StaEngine eng(flat, lib());
+  sta::StaOptions opt;
+  opt.clock_period_ps = units::period_ps_from_mhz(200.0);  // loose
+  const auto rep = eng.analyze(opt);
+  EXPECT_TRUE(rep.met());
+  EXPECT_GT(rep.min_period_ps, 0.0);
+  EXPECT_GT(rep.min_write_period_ps, 0.0);
+  // Write path (drivers + bitline) is much shorter than the MAC path.
+  EXPECT_LT(rep.min_write_period_ps, rep.min_period_ps);
+  // Groups present: column groups and wldrv/ofu endpoints exist.
+  bool has_col = false, has_ofu = false;
+  for (const auto& g : rep.groups) {
+    if (g.group.rfind("col", 0) == 0) has_col = true;
+    if (g.group.rfind("ofu_g", 0) == 0) has_ofu = true;
+  }
+  EXPECT_TRUE(has_col);
+  EXPECT_TRUE(has_ofu);
+}
+
+TEST(Sta, FasterAdderMixShortensMacPath) {
+  auto min_period = [&](double fa_fraction, bool reorder) {
+    rtlgen::AdderTreeConfig cfg;
+    cfg.rows = 64;
+    cfg.style = rtlgen::AdderTreeStyle::kMixed;
+    cfg.fa_fraction = fa_fraction;
+    cfg.carry_reorder = reorder;
+    netlist::Design d;
+    d.add_module(rtlgen::gen_adder_tree(cfg, "tree"));
+    const auto flat = netlist::flatten(d, "tree");
+    sta::StaEngine eng(flat, lib());
+    return eng.analyze({}).min_period_ps;
+  };
+  // The paper's claim: replacing compressors with FAs shortens the
+  // critical path, and carry reordering helps further.
+  EXPECT_LT(min_period(1.0, true), min_period(0.0, true));
+  EXPECT_LE(min_period(0.0, true), min_period(0.0, false) * 1.02);
+}
+
+TEST(Sta, RcaTreeSlowerThanCompressorTree) {
+  auto tree_period = [&](rtlgen::AdderTreeStyle style) {
+    rtlgen::AdderTreeConfig cfg;
+    cfg.rows = 64;
+    cfg.style = style;
+    netlist::Design d;
+    d.add_module(rtlgen::gen_adder_tree(cfg, "tree"));
+    const auto flat = netlist::flatten(d, "tree");
+    sta::StaEngine eng(flat, lib());
+    return eng.analyze({}).min_period_ps;
+  };
+  EXPECT_GT(tree_period(rtlgen::AdderTreeStyle::kRcaTree),
+            tree_period(rtlgen::AdderTreeStyle::kCompressor));
+}
+
+TEST(Sta, RetimedCpaShortensTreeStage) {
+  // tt2: with the CPA pushed into the S&A, the column group's worst
+  // register-endpoint arrival (the MAC path) gets shorter; the OFU path is
+  // unaffected, so compare the column group specifically.
+  auto col_group_arrival = [&](bool retime) {
+    rtlgen::MacroConfig cfg;
+    cfg.rows = 64;
+    cfg.cols = 8;
+    cfg.mcr = 1;
+    cfg.input_bits = {4};
+    cfg.weight_bits = {4};
+    cfg.pipe.reg_after_tree = true;
+    cfg.pipe.retime_tree_cpa = retime;
+    const auto md = rtlgen::gen_macro(cfg);
+    const auto flat = netlist::flatten(md.design, md.top);
+    sta::StaEngine eng(flat, lib());
+    const auto rep = eng.analyze({});
+    for (const auto& g : rep.groups) {
+      if (g.group == "col0") return g.worst_arrival_ps;
+    }
+    ADD_FAILURE() << "no col0 group";
+    return 0.0;
+  };
+  EXPECT_LT(col_group_arrival(true), col_group_arrival(false));
+}
+
+}  // namespace
+
+namespace {
+using namespace syndcim;
+
+TEST(StaVariation, DistributionAndYield) {
+  netlist::Design d;
+  {
+    netlist::Module m("chain");
+    rtlgen::GateBuilder gb(m, "g_");
+    const auto clk = m.add_port("clk", netlist::PortDir::kIn);
+    const auto in = m.add_port("in", netlist::PortDir::kIn);
+    netlist::NetId x = gb.dff(in, clk);
+    for (int i = 0; i < 24; ++i) x = gb.inv(x);
+    const auto q = gb.dff(x, clk);
+    const auto out = m.add_port("out", netlist::PortDir::kOut);
+    m.add_cell("obuf", "BUFX1", {{"A", q}, {"Y", out}});
+    d.add_module(std::move(m));
+  }
+  const auto flat = netlist::flatten(d, "chain");
+  const cell::Library l =
+      cell::characterize_default_library(tech::make_default_40nm());
+  sta::StaEngine eng(flat, l);
+  const double nominal = eng.analyze({}).fmax_mhz;
+  const auto var = eng.analyze_variation({}, 0.05, 0.03, 80, 7);
+  ASSERT_EQ(var.fmax_samples_mhz.size(), 80u);
+  // Mean near nominal, nonzero spread, sensible yield curve.
+  EXPECT_NEAR(var.mean_fmax_mhz, nominal, 0.15 * nominal);
+  EXPECT_GT(var.sigma_fmax_mhz, 0.0);
+  EXPECT_LT(var.sigma_fmax_mhz, 0.2 * nominal);
+  EXPECT_DOUBLE_EQ(var.yield_at(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(var.yield_at(1e9), 0.0);
+  EXPECT_GE(var.yield_at(0.8 * nominal), var.yield_at(1.1 * nominal));
+  // Deterministic for a fixed seed.
+  const auto var2 = eng.analyze_variation({}, 0.05, 0.03, 80, 7);
+  EXPECT_EQ(var.fmax_samples_mhz, var2.fmax_samples_mhz);
+  // Larger sigma widens the distribution.
+  const auto wide = eng.analyze_variation({}, 0.15, 0.08, 80, 7);
+  EXPECT_GT(wide.sigma_fmax_mhz, var.sigma_fmax_mhz);
+  EXPECT_THROW((void)eng.analyze_variation({}, -0.1, 0.0, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)eng.analyze_variation({}, 0.1, 0.0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace

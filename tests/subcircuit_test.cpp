@@ -1,0 +1,338 @@
+// Gate-level verification of the non-tree subcircuits: S&A, OFU,
+// alignment unit, WL driver PISO, write port decoder.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cell/characterize.hpp"
+#include "netlist/flatten.hpp"
+#include "num/alignment.hpp"
+#include "num/int_ops.hpp"
+#include "rtlgen/alignment_unit.hpp"
+#include "rtlgen/drivers.hpp"
+#include "rtlgen/ofu.hpp"
+#include "rtlgen/shift_adder.hpp"
+#include "sim/gate_sim.hpp"
+#include "tech/tech_node.hpp"
+
+namespace {
+using namespace syndcim;
+
+const cell::Library& lib() {
+  static const cell::Library l =
+      cell::characterize_default_library(tech::make_default_40nm());
+  return l;
+}
+
+sim::GateSim make_sim(netlist::Module m, netlist::FlatNetlist& flat_out) {
+  netlist::Design d;
+  const std::string top = m.name();
+  d.add_module(std::move(m));
+  flat_out = netlist::flatten(d, top);
+  return sim::GateSim(flat_out, lib());
+}
+
+class ShiftAdderTest : public ::testing::TestWithParam<bool /*redundant*/> {};
+
+TEST_P(ShiftAdderTest, SerialAccumulation) {
+  const bool redundant = GetParam();
+  rtlgen::ShiftAdderConfig cfg;
+  cfg.psum_bits = 5;
+  cfg.width = 12;
+  cfg.redundant_psum = redundant;
+  netlist::FlatNetlist flat;
+  auto gs = make_sim(rtlgen::gen_shift_adder(cfg, "sa"), flat);
+
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int ib = 1 + static_cast<int>(rng() % 8);
+    std::int64_t expected = 0;
+    for (int t = 0; t < ib; ++t) {
+      const std::int64_t psum = static_cast<std::int64_t>(rng() % 17);
+      const bool neg = t == 0;  // signed MSB-first
+      expected = (t == 0 ? 0 : expected * 2) + (neg ? -psum : psum);
+      gs.set_input("neg", neg ? 1 : 0);
+      gs.set_input("clr", t == 0 ? 1 : 0);
+      if (redundant) {
+        // Split psum into two vectors summing to it.
+        const std::uint64_t sv = static_cast<std::uint64_t>(rng()) %
+                                 (static_cast<std::uint64_t>(psum) + 1);
+        const std::uint64_t cv = static_cast<std::uint64_t>(psum) - sv;
+        gs.set_input_bus("sv", sv, cfg.psum_bits);
+        gs.set_input_bus("cv", cv, cfg.psum_bits);
+      } else {
+        gs.set_input_bus("p", static_cast<std::uint64_t>(psum),
+                         cfg.psum_bits);
+      }
+      gs.step();
+    }
+    gs.eval();
+    const std::int64_t acc =
+        num::sign_extend(gs.output_bus("acc", cfg.width), cfg.width);
+    EXPECT_EQ(acc, expected) << "trial " << trial << " ib=" << ib
+                             << " redundant=" << redundant;
+  }
+}
+
+TEST_P(ShiftAdderTest, UnsignedModeNeverNegates) {
+  const bool redundant = GetParam();
+  rtlgen::ShiftAdderConfig cfg;
+  cfg.psum_bits = 4;
+  cfg.width = 10;
+  cfg.redundant_psum = redundant;
+  netlist::FlatNetlist flat;
+  auto gs = make_sim(rtlgen::gen_shift_adder(cfg, "sa"), flat);
+  std::int64_t expected = 0;
+  std::mt19937 rng(3);
+  for (int t = 0; t < 4; ++t) {
+    const std::int64_t psum = static_cast<std::int64_t>(rng() % 9);
+    expected = expected * 2 + psum;
+    gs.set_input("neg", 0);
+    gs.set_input("clr", t == 0 ? 1 : 0);
+    if (redundant) {
+      gs.set_input_bus("sv", static_cast<std::uint64_t>(psum), 4);
+      gs.set_input_bus("cv", 0, 4);
+    } else {
+      gs.set_input_bus("p", static_cast<std::uint64_t>(psum), 4);
+    }
+    gs.step();
+  }
+  gs.eval();
+  EXPECT_EQ(num::sign_extend(gs.output_bus("acc", cfg.width), cfg.width),
+            expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, ShiftAdderTest, ::testing::Bool());
+
+struct OfuCase {
+  rtlgen::OfuConfig arr;
+  int wp;  // active precision
+};
+
+class OfuTest : public ::testing::TestWithParam<OfuCase> {};
+
+TEST_P(OfuTest, FusesSignedColumns) {
+  const OfuCase oc = GetParam();
+  rtlgen::OfuModuleConfig cfg;
+  cfg.group_cols = 8;
+  cfg.col_width = 10;
+  cfg.arrangement = oc.arr;
+  netlist::FlatNetlist flat;
+  auto gs = make_sim(rtlgen::gen_ofu(cfg, "ofu"), flat);
+
+  const int wp = oc.wp;
+  const int stage = [] (int v) { int s = 0; while (v > 1) { v >>= 1; ++s; } return s; }(wp);
+  std::mt19937 rng(17);
+  std::uniform_int_distribution<std::int64_t> dist(-500, 500);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::int64_t> r(8);
+    for (auto& v : r) v = dist(rng);
+    for (int j = 0; j < 8; ++j) {
+      gs.set_input_bus(
+          "r" + std::to_string(j),
+          static_cast<std::uint64_t>(r[static_cast<std::size_t>(j)]) &
+              ((1u << cfg.col_width) - 1),
+          cfg.col_width);
+    }
+    for (int s = 1; s <= cfg.n_stages(); ++s) {
+      gs.set_input(netlist::bus_name("mode", s - 1), (1 << s) == wp ? 1 : 0);
+    }
+    gs.set_input("cap", 1);
+    gs.step();
+    gs.set_input("cap", 0);
+    for (int t = 0; t < cfg.regs_through(stage); ++t) gs.step();
+    gs.eval();
+
+    for (int g = 0; g < 8 / wp; ++g) {
+      std::int64_t expected = 0;
+      for (int k = 0; k < wp; ++k) {
+        const std::int64_t v = r[static_cast<std::size_t>(g * wp + k)];
+        expected += (wp > 1 && k == wp - 1) ? -(v << k) : (v << k);
+      }
+      const int w = cfg.stage_width(stage);
+      const std::int64_t got = num::sign_extend(
+          gs.output_bus("s" + std::to_string(stage) + "_r" +
+                            std::to_string(g),
+                        w),
+          w);
+      if (wp == 1 && oc.arr.retime_stage1) {
+        // s0 is an uncaptured tap in the retimed arrangement; it follows
+        // the current inputs combinationally.
+        EXPECT_EQ(got, expected);
+      } else {
+        EXPECT_EQ(got, expected)
+            << "wp=" << wp << " group=" << g << " trial=" << trial;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arrangements, OfuTest,
+    ::testing::Values(OfuCase{{true, false, false}, 8},
+                      OfuCase{{true, false, false}, 4},
+                      OfuCase{{true, false, false}, 2},
+                      OfuCase{{true, false, false}, 1},
+                      OfuCase{{true, true, false}, 8},
+                      OfuCase{{true, true, false}, 4},
+                      OfuCase{{false, false, false}, 8},
+                      OfuCase{{false, false, false}, 2},
+                      OfuCase{{true, false, true}, 8},
+                      OfuCase{{true, true, true}, 8}));
+
+class AlignmentHw : public ::testing::TestWithParam<num::FpFormat> {};
+
+TEST_P(AlignmentHw, MatchesBehavioralReference) {
+  const num::FpFormat fmt = GetParam();
+  rtlgen::AlignmentConfig cfg;
+  cfg.format = fmt;
+  cfg.lanes = 8;
+  cfg.guard_bits = 2;
+  netlist::FlatNetlist flat;
+  auto gs = make_sim(rtlgen::gen_alignment_unit(cfg, "align"), flat);
+  const int out_w = num::aligned_mant_bits(fmt, cfg.guard_bits);
+
+  std::mt19937 rng(23);
+  std::uniform_int_distribution<std::uint32_t> dist(
+      0, (1u << fmt.storage_bits()) - 1);
+  for (int trial = 0; trial < 150; ++trial) {
+    std::vector<std::uint32_t> enc(8);
+    for (auto& e : enc) e = dist(rng);
+    const num::AlignedGroup ref =
+        num::align_fp_group(enc, fmt, cfg.guard_bits);
+    for (int l = 0; l < 8; ++l) {
+      const num::FpFields f = num::fp_split(enc[static_cast<std::size_t>(l)],
+                                            fmt);
+      gs.set_input_bus("exp" + std::to_string(l),
+                       static_cast<std::uint64_t>(f.exp_raw), fmt.exp_bits);
+      gs.set_input_bus("man" + std::to_string(l),
+                       static_cast<std::uint64_t>(f.man_raw), fmt.man_bits);
+      gs.set_input("sgn" + std::to_string(l), f.sign);
+    }
+    gs.eval();
+    for (int l = 0; l < 8; ++l) {
+      const std::int64_t am = num::sign_extend(
+          gs.output_bus("am" + std::to_string(l), out_w), out_w);
+      EXPECT_EQ(am, ref.mant[static_cast<std::size_t>(l)])
+          << fmt.name() << " lane " << l << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, AlignmentHw,
+                         ::testing::Values(num::kFp4, num::kFp8, num::kBf16));
+
+TEST(WlDriver, PisoShiftsMsbFirst) {
+  rtlgen::WlDriverConfig cfg;
+  cfg.rows = 2;
+  cfg.piso_bits = 4;
+  cfg.am_bits = 0;
+  cfg.mcr = 1;
+  netlist::FlatNetlist flat;
+  auto gs = make_sim(rtlgen::gen_wl_driver(cfg, "wldrv"), flat);
+  gs.set_input("load", 1);
+  gs.set_input_bus("din0", 0b1010, 4);
+  gs.set_input_bus("din1", 0b0110, 4);
+  gs.step();
+  gs.set_input("load", 0);
+  std::vector<int> r0, r1;
+  for (int t = 0; t < 4; ++t) {
+    gs.eval();
+    r0.push_back(gs.output(netlist::bus_name("act", 0)));
+    r1.push_back(gs.output(netlist::bus_name("act", 1)));
+    gs.step();
+  }
+  EXPECT_EQ(r0, (std::vector<int>{1, 0, 1, 0}));
+  EXPECT_EQ(r1, (std::vector<int>{0, 1, 1, 0}));
+}
+
+TEST(WlDriver, FpMuxSelectsAlignedMantissa) {
+  rtlgen::WlDriverConfig cfg;
+  cfg.rows = 1;
+  cfg.piso_bits = 6;
+  cfg.am_bits = 4;
+  cfg.mcr = 1;
+  netlist::FlatNetlist flat;
+  auto gs = make_sim(rtlgen::gen_wl_driver(cfg, "wldrv"), flat);
+  gs.set_input("load", 1);
+  gs.set_input_bus("din0", 0b111111, 6);
+  gs.set_input_bus("am0", 0b1011, 4);
+  gs.set_input("fp_sel", 1);
+  gs.step();
+  gs.set_input("load", 0);
+  // Aligned mantissa is MSB-placed: PISO = {0,0,1,0,1,1} -> serial 1,0,1,1,0,0.
+  std::vector<int> bits;
+  for (int t = 0; t < 6; ++t) {
+    gs.eval();
+    bits.push_back(gs.output(netlist::bus_name("act", 0)));
+    gs.step();
+  }
+  EXPECT_EQ(bits, (std::vector<int>{1, 0, 1, 1, 0, 0}));
+}
+
+TEST(WlDriver, Oai22GatingIsNandOfSelAndAct) {
+  rtlgen::WlDriverConfig cfg;
+  cfg.rows = 1;
+  cfg.piso_bits = 2;
+  cfg.mcr = 2;
+  cfg.oai22_gating = true;
+  netlist::FlatNetlist flat;
+  auto gs = make_sim(rtlgen::gen_wl_driver(cfg, "wldrv"), flat);
+  gs.set_input("load", 1);
+  gs.set_input_bus("din0", 0b10, 2);  // act = 1 on first compute cycle
+  gs.set_input(netlist::bus_name("selh", 0), 1);
+  gs.set_input(netlist::bus_name("selh", 1), 0);
+  gs.step();
+  gs.set_input("load", 0);
+  gs.eval();
+  EXPECT_EQ(gs.output(netlist::bus_name("act", 0)), 1);
+  EXPECT_EQ(gs.output(netlist::bus_name("gseln", 0)), 0);  // sel&act -> 0
+  EXPECT_EQ(gs.output(netlist::bus_name("gseln", 1)), 1);
+}
+
+TEST(WritePort, DecodesRowAndBank) {
+  rtlgen::WritePortConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 4;
+  cfg.mcr = 2;
+  netlist::FlatNetlist flat;
+  auto gs = make_sim(rtlgen::gen_write_port(cfg, "wrport"), flat);
+  gs.set_input("wen", 1);
+  gs.set_input_bus("waddr", 5, 3);
+  gs.set_input_bus("wbank", 1, 1);
+  gs.set_input_bus("wd", 0b1001, 4);
+  gs.step();  // command registered
+  gs.set_input("wen", 0);
+  gs.eval();
+  for (int r = 0; r < 8; ++r) {
+    for (int b = 0; b < 2; ++b) {
+      EXPECT_EQ(gs.output(netlist::bus_name("wl", r * 2 + b)),
+                (r == 5 && b == 1) ? 1 : 0)
+          << r << "," << b;
+    }
+  }
+  EXPECT_EQ(gs.output_bus("wdata", 4), 0b1001u);
+  gs.step();  // wen=0 propagates
+  gs.eval();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(gs.output(netlist::bus_name("wl", i)), 0);
+  }
+}
+
+TEST(WritePort, InvertDataForOai22) {
+  rtlgen::WritePortConfig cfg;
+  cfg.rows = 4;
+  cfg.cols = 2;
+  cfg.mcr = 1;
+  cfg.invert_data = true;
+  netlist::FlatNetlist flat;
+  auto gs = make_sim(rtlgen::gen_write_port(cfg, "wrport"), flat);
+  gs.set_input("wen", 1);
+  gs.set_input_bus("waddr", 0, 2);
+  gs.set_input_bus("wd", 0b01, 2);
+  gs.step();
+  gs.eval();
+  EXPECT_EQ(gs.output_bus("wdata", 2), 0b10u);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tech/scaling.hpp"
+#include "tech/tech_node.hpp"
+#include "tech/units.hpp"
+
+namespace {
+using namespace syndcim;
+using tech::TechNode;
+
+TEST(Units, PeriodFrequencyRoundTrip) {
+  EXPECT_DOUBLE_EQ(units::period_ps_from_mhz(800.0), 1250.0);
+  EXPECT_DOUBLE_EQ(units::mhz_from_period_ps(1250.0), 800.0);
+  for (double f : {10.0, 123.4, 800.0, 1100.0, 5000.0}) {
+    EXPECT_NEAR(units::mhz_from_period_ps(units::period_ps_from_mhz(f)), f,
+                1e-9);
+  }
+}
+
+TEST(Units, PowerConversion) {
+  // 100 fJ per cycle at 1000 MHz = 100 uW.
+  EXPECT_DOUBLE_EQ(units::uw_from_fj_mhz(100.0, 1000.0), 100.0);
+}
+
+TEST(TechNode, DelayScaleIsOneAtNominal) {
+  const TechNode t = tech::make_default_40nm();
+  EXPECT_NEAR(t.delay_scale(t.vdd_nominal), 1.0, 1e-12);
+}
+
+TEST(TechNode, DelayScaleMonotoneDecreasingInVdd) {
+  const TechNode t = tech::make_default_40nm();
+  double prev = 1e30;
+  for (double v = t.vdd_min; v <= t.vdd_max + 1e-9; v += 0.05) {
+    const double s = t.delay_scale(v);
+    EXPECT_LT(s, prev) << "at vdd=" << v;
+    prev = s;
+  }
+}
+
+TEST(TechNode, ShmooAnchorRatio) {
+  // Paper Fig. 9: ~1.1 GHz @ 1.2 V vs ~300 MHz @ 0.7 V => ratio ~3.7.
+  const TechNode t = tech::make_default_40nm();
+  const double ratio = t.delay_scale(0.7) / t.delay_scale(1.2);
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(TechNode, ThrowsBelowThreshold) {
+  const TechNode t = tech::make_default_40nm();
+  EXPECT_THROW((void)t.delay_scale(t.vth), std::invalid_argument);
+  EXPECT_THROW((void)t.delay_scale(0.2), std::invalid_argument);
+}
+
+TEST(TechNode, EnergyScaleQuadratic) {
+  const TechNode t = tech::make_default_40nm();
+  EXPECT_NEAR(t.energy_scale(1.8 * t.vdd_nominal), 3.24, 1e-9);
+  EXPECT_NEAR(t.energy_scale(t.vdd_nominal), 1.0, 1e-12);
+}
+
+TEST(TechNode, LeakageGrowsWithVdd) {
+  const TechNode t = tech::make_default_40nm();
+  EXPECT_LT(t.leakage_scale(0.7), 1.0);
+  EXPECT_GT(t.leakage_scale(1.2), 1.0);
+}
+
+TEST(TechNode, VddRange) {
+  const TechNode t = tech::make_default_40nm();
+  EXPECT_TRUE(t.vdd_in_range(0.9));
+  EXPECT_FALSE(t.vdd_in_range(0.5));
+  EXPECT_FALSE(t.vdd_in_range(1.3));
+}
+
+TEST(Scaling, NodeSteps) {
+  EXPECT_EQ(tech::scaling::node_steps(40, 40), 0);
+  // Ladder: 3,4,5,7,10,16,22,28,40 -> six steps from 5nm to 40nm.
+  EXPECT_EQ(tech::scaling::node_steps(5, 40), 6);
+  EXPECT_EQ(tech::scaling::node_steps(40, 5), -6);
+  EXPECT_THROW((void)tech::scaling::node_steps(6, 40), std::invalid_argument);
+}
+
+TEST(Scaling, AreaEnergyFactorsInverse) {
+  const double a = tech::scaling::area_efficiency_factor(5, 40);
+  const double b = tech::scaling::area_efficiency_factor(40, 5);
+  EXPECT_NEAR(a * b, 1.0, 1e-12);
+  EXPECT_NEAR(a, std::pow(1.8, -6), 1e-12);
+  EXPECT_NEAR(tech::scaling::energy_efficiency_factor(5, 40),
+              std::pow(1.3, -6), 1e-12);
+}
+
+TEST(Scaling, TopsNormalization) {
+  // A 64Kb array at INT4xINT4 asserting X TOPS maps to X*(4/64)*16.
+  EXPECT_NEAR(tech::scaling::tops_to_reference(10.0, 64.0, 4, 4), 10.0, 1e-12);
+  // The paper's own chip: 4Kb at 1b x 1b is already the reference point.
+  EXPECT_NEAR(tech::scaling::tops_to_reference(9.0, 4.0, 1, 1), 9.0, 1e-12);
+  EXPECT_THROW((void)tech::scaling::tops_to_reference(1.0, 0.0, 1, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+
+namespace {
+using syndcim::tech::TechNode;
+
+TEST(TechNode, TemperatureDerates) {
+  const TechNode t = syndcim::tech::make_default_40nm();
+  // Hot silicon is slower and leaks much more; cold is faster.
+  EXPECT_GT(t.delay_scale(0.9, 125.0), t.delay_scale(0.9, 25.0));
+  EXPECT_LT(t.delay_scale(0.9, -40.0), t.delay_scale(0.9, 25.0));
+  EXPECT_NEAR(t.delay_scale(0.9, 25.0), t.delay_scale(0.9), 1e-12);
+  EXPECT_NEAR(t.leakage_scale(0.9, 50.0), 2.0 * t.leakage_scale(0.9),
+              1e-9);
+  EXPECT_NEAR(t.leakage_scale(0.9, 25.0), t.leakage_scale(0.9), 1e-12);
+  // 100C delta: ~12% slower, ~16x leakage.
+  EXPECT_NEAR(t.delay_scale(0.9, 125.0) / t.delay_scale(0.9), 1.12, 0.001);
+  EXPECT_NEAR(t.leakage_scale(0.9, 125.0) / t.leakage_scale(0.9), 16.0,
+              0.1);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Command-line front end of the compiler: reads a specification from a
+// key=value file (or inline arguments), runs the multi-spec-oriented
+// search + implementation, prints the Pareto frontier and writes the
+// back-end artifact bundle.
+//
+// Usage:
+//   syndcim --spec macro.spec [--out DIR] [--search-only]
+//   syndcim rows=64 cols=64 mcr=2 mac_mhz=400 [--out DIR]
+//
+// Spec keys: rows, cols, mcr, input_bits (comma list), weight_bits,
+// fp (fp4|fp8|bf16|fp16, comma list), mac_mhz, wupdate_mhz, vdd,
+// pref_power, pref_area, pref_perf, bitcell (6T|8T|12T),
+// mux (pg|tg|oai22), temp_c.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cell/characterize.hpp"
+#include "core/artifacts.hpp"
+#include "core/compiler.hpp"
+#include "core/report.hpp"
+#include "tech/tech_node.hpp"
+
+using namespace syndcim;
+
+namespace {
+
+std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  return out;
+}
+
+core::PerfSpec spec_from_kv(const std::map<std::string, std::string>& kv) {
+  core::PerfSpec spec;
+  for (const auto& [k, v] : kv) {
+    if (k == "rows") {
+      spec.rows = std::stoi(v);
+    } else if (k == "cols") {
+      spec.cols = std::stoi(v);
+    } else if (k == "mcr") {
+      spec.mcr = std::stoi(v);
+    } else if (k == "input_bits") {
+      spec.input_bits = parse_int_list(v);
+    } else if (k == "weight_bits") {
+      spec.weight_bits = parse_int_list(v);
+    } else if (k == "fp") {
+      std::stringstream ss(v);
+      std::string f;
+      while (std::getline(ss, f, ',')) {
+        if (f == "fp4") {
+          spec.fp_formats.push_back(num::kFp4);
+        } else if (f == "fp8") {
+          spec.fp_formats.push_back(num::kFp8);
+        } else if (f == "bf16") {
+          spec.fp_formats.push_back(num::kBf16);
+        } else if (f == "fp16") {
+          spec.fp_formats.push_back(num::kFp16);
+        } else {
+          throw std::invalid_argument("unknown fp format: " + f);
+        }
+      }
+    } else if (k == "mac_mhz") {
+      spec.mac_freq_mhz = std::stod(v);
+    } else if (k == "wupdate_mhz") {
+      spec.wupdate_freq_mhz = std::stod(v);
+    } else if (k == "vdd") {
+      spec.vdd = std::stod(v);
+    } else if (k == "pref_power") {
+      spec.pref.power = std::stod(v);
+    } else if (k == "pref_area") {
+      spec.pref.area = std::stod(v);
+    } else if (k == "pref_perf") {
+      spec.pref.performance = std::stod(v);
+    } else if (k == "bitcell") {
+      spec.bitcell = v == "8T" ? rtlgen::BitcellKind::k8T
+                     : v == "12T" ? rtlgen::BitcellKind::k12T
+                                  : rtlgen::BitcellKind::k6T;
+    } else if (k == "mux") {
+      spec.mux = v == "pg"      ? rtlgen::MuxStyle::kPassGate1T
+                 : v == "oai22" ? rtlgen::MuxStyle::kOai22Fused
+                                : rtlgen::MuxStyle::kTGateNor;
+    } else if (k == "temp_c") {
+      // reserved for corner sweeps; compile uses the nominal corner
+    } else {
+      throw std::invalid_argument("unknown spec key: " + k);
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> kv;
+  std::string out_dir = "syndcim_out";
+  bool search_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--spec" && i + 1 < argc) {
+      std::ifstream f(argv[++i]);
+      if (!f) {
+        std::cerr << "cannot open spec file " << argv[i] << "\n";
+        return 2;
+      }
+      std::string line;
+      while (std::getline(f, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.resize(hash);
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) continue;
+        auto trim = [](std::string s) {
+          const auto b = s.find_first_not_of(" \t");
+          const auto e = s.find_last_not_of(" \t");
+          return b == std::string::npos ? std::string()
+                                        : s.substr(b, e - b + 1);
+        };
+        kv[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+      }
+    } else if (a == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (a == "--search-only") {
+      search_only = true;
+    } else if (a.find('=') != std::string::npos) {
+      const auto eq = a.find('=');
+      kv[a.substr(0, eq)] = a.substr(eq + 1);
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    const core::PerfSpec spec = spec_from_kv(kv);
+    std::cerr << "spec: " << spec.rows << "x" << spec.cols
+              << " MCR=" << spec.mcr << " @ " << spec.mac_freq_mhz
+              << " MHz, " << spec.vdd << " V\n";
+    const auto lib =
+        cell::characterize_default_library(tech::make_default_40nm());
+    core::SynDcimCompiler compiler(lib);
+
+    if (search_only) {
+      const auto res = compiler.search(spec);
+      core::TextTable t({"label", "feasible", "fmax_MHz", "power_uW",
+                         "area_um2"});
+      for (const auto& p : res.pareto) {
+        t.add_row({p.label, core::TextTable::yesno(p.feasible),
+                   core::TextTable::num(p.ppa.fmax_mhz, 0),
+                   core::TextTable::num(p.ppa.power_uw, 0),
+                   core::TextTable::num(p.ppa.area_um2, 0)});
+      }
+      t.print(std::cout);
+      return res.feasible() ? 0 : 1;
+    }
+
+    const auto result = compiler.compile(spec);
+    std::cout << "selected " << result.selected.label << " ("
+              << result.search.pareto.size() << " Pareto points)\n";
+    std::cout << "post-layout: fmax "
+              << core::TextTable::num(result.impl.fmax_mhz, 0) << " MHz, "
+              << core::TextTable::num(result.impl.macro_area_mm2, 4)
+              << " mm^2, "
+              << core::TextTable::num(result.impl.total_power_uw, 0)
+              << " uW, DRC " << (result.impl.drc.clean() ? "clean" : "DIRTY")
+              << ", LVS " << (result.impl.lvs.clean() ? "clean" : "DIRTY")
+              << ", timing "
+              << (result.impl.timing.met() ? "met" : "VIOLATED") << "\n";
+    for (const auto& f :
+         core::write_artifacts(result, spec, lib, out_dir)) {
+      std::cout << "wrote " << f << "\n";
+    }
+    return result.impl.signoff_clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
