@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adder_trees.dir/ablation_adder_trees.cpp.o"
+  "CMakeFiles/ablation_adder_trees.dir/ablation_adder_trees.cpp.o.d"
+  "ablation_adder_trees"
+  "ablation_adder_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adder_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mux_styles.dir/ablation_mux_styles.cpp.o"
+  "CMakeFiles/ablation_mux_styles.dir/ablation_mux_styles.cpp.o.d"
+  "ablation_mux_styles"
+  "ablation_mux_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mux_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sdp_placement.dir/ablation_sdp_placement.cpp.o"
+  "CMakeFiles/ablation_sdp_placement.dir/ablation_sdp_placement.cpp.o.d"
+  "ablation_sdp_placement"
+  "ablation_sdp_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sdp_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_search_techniques.dir/ablation_search_techniques.cpp.o"
+  "CMakeFiles/ablation_search_techniques.dir/ablation_search_techniques.cpp.o.d"
+  "ablation_search_techniques"
+  "ablation_search_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_search_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

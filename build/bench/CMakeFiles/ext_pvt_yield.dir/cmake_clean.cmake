@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pvt_yield.dir/ext_pvt_yield.cpp.o"
+  "CMakeFiles/ext_pvt_yield.dir/ext_pvt_yield.cpp.o.d"
+  "ext_pvt_yield"
+  "ext_pvt_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pvt_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

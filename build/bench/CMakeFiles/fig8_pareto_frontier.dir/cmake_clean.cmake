@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_pareto_frontier.dir/fig8_pareto_frontier.cpp.o"
+  "CMakeFiles/fig8_pareto_frontier.dir/fig8_pareto_frontier.cpp.o.d"
+  "fig8_pareto_frontier"
+  "fig8_pareto_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_pareto_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

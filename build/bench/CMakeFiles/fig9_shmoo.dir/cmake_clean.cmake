@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_shmoo.dir/fig9_shmoo.cpp.o"
+  "CMakeFiles/fig9_shmoo.dir/fig9_shmoo.cpp.o.d"
+  "fig9_shmoo"
+  "fig9_shmoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_shmoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_gemm_tiling.dir/cloud_gemm_tiling.cpp.o"
+  "CMakeFiles/cloud_gemm_tiling.dir/cloud_gemm_tiling.cpp.o.d"
+  "cloud_gemm_tiling"
+  "cloud_gemm_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_gemm_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_accelerator_study.dir/cnn_accelerator_study.cpp.o"
+  "CMakeFiles/cnn_accelerator_study.dir/cnn_accelerator_study.cpp.o.d"
+  "cnn_accelerator_study"
+  "cnn_accelerator_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_accelerator_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_keyword_spotting.dir/edge_keyword_spotting.cpp.o"
+  "CMakeFiles/edge_keyword_spotting.dir/edge_keyword_spotting.cpp.o.d"
+  "edge_keyword_spotting"
+  "edge_keyword_spotting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_keyword_spotting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("tech")
+subdirs("num")
+subdirs("netlist")
+subdirs("cell")
+subdirs("rtlgen")
+subdirs("sta")
+subdirs("sim")
+subdirs("power")
+subdirs("layout")
+subdirs("core")
+subdirs("mapper")

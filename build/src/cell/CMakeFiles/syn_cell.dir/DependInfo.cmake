@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cell/cell.cpp" "src/cell/CMakeFiles/syn_cell.dir/cell.cpp.o" "gcc" "src/cell/CMakeFiles/syn_cell.dir/cell.cpp.o.d"
+  "/root/repo/src/cell/characterize.cpp" "src/cell/CMakeFiles/syn_cell.dir/characterize.cpp.o" "gcc" "src/cell/CMakeFiles/syn_cell.dir/characterize.cpp.o.d"
+  "/root/repo/src/cell/liberty.cpp" "src/cell/CMakeFiles/syn_cell.dir/liberty.cpp.o" "gcc" "src/cell/CMakeFiles/syn_cell.dir/liberty.cpp.o.d"
+  "/root/repo/src/cell/liberty_parser.cpp" "src/cell/CMakeFiles/syn_cell.dir/liberty_parser.cpp.o" "gcc" "src/cell/CMakeFiles/syn_cell.dir/liberty_parser.cpp.o.d"
+  "/root/repo/src/cell/library.cpp" "src/cell/CMakeFiles/syn_cell.dir/library.cpp.o" "gcc" "src/cell/CMakeFiles/syn_cell.dir/library.cpp.o.d"
+  "/root/repo/src/cell/lut2d.cpp" "src/cell/CMakeFiles/syn_cell.dir/lut2d.cpp.o" "gcc" "src/cell/CMakeFiles/syn_cell.dir/lut2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/syn_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

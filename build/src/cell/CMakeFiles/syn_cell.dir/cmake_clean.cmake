@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_cell.dir/cell.cpp.o"
+  "CMakeFiles/syn_cell.dir/cell.cpp.o.d"
+  "CMakeFiles/syn_cell.dir/characterize.cpp.o"
+  "CMakeFiles/syn_cell.dir/characterize.cpp.o.d"
+  "CMakeFiles/syn_cell.dir/liberty.cpp.o"
+  "CMakeFiles/syn_cell.dir/liberty.cpp.o.d"
+  "CMakeFiles/syn_cell.dir/liberty_parser.cpp.o"
+  "CMakeFiles/syn_cell.dir/liberty_parser.cpp.o.d"
+  "CMakeFiles/syn_cell.dir/library.cpp.o"
+  "CMakeFiles/syn_cell.dir/library.cpp.o.d"
+  "CMakeFiles/syn_cell.dir/lut2d.cpp.o"
+  "CMakeFiles/syn_cell.dir/lut2d.cpp.o.d"
+  "libsyn_cell.a"
+  "libsyn_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_core.dir/artifacts.cpp.o"
+  "CMakeFiles/syn_core.dir/artifacts.cpp.o.d"
+  "CMakeFiles/syn_core.dir/baselines.cpp.o"
+  "CMakeFiles/syn_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/syn_core.dir/compiler.cpp.o"
+  "CMakeFiles/syn_core.dir/compiler.cpp.o.d"
+  "CMakeFiles/syn_core.dir/design_point.cpp.o"
+  "CMakeFiles/syn_core.dir/design_point.cpp.o.d"
+  "CMakeFiles/syn_core.dir/report.cpp.o"
+  "CMakeFiles/syn_core.dir/report.cpp.o.d"
+  "CMakeFiles/syn_core.dir/scl.cpp.o"
+  "CMakeFiles/syn_core.dir/scl.cpp.o.d"
+  "CMakeFiles/syn_core.dir/searcher.cpp.o"
+  "CMakeFiles/syn_core.dir/searcher.cpp.o.d"
+  "CMakeFiles/syn_core.dir/spec.cpp.o"
+  "CMakeFiles/syn_core.dir/spec.cpp.o.d"
+  "libsyn_core.a"
+  "libsyn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

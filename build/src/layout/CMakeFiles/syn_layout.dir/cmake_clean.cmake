@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_layout.dir/floorplan.cpp.o"
+  "CMakeFiles/syn_layout.dir/floorplan.cpp.o.d"
+  "CMakeFiles/syn_layout.dir/route.cpp.o"
+  "CMakeFiles/syn_layout.dir/route.cpp.o.d"
+  "CMakeFiles/syn_layout.dir/sdp_script.cpp.o"
+  "CMakeFiles/syn_layout.dir/sdp_script.cpp.o.d"
+  "libsyn_layout.a"
+  "libsyn_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_mapper.dir/mapper.cpp.o"
+  "CMakeFiles/syn_mapper.dir/mapper.cpp.o.d"
+  "libsyn_mapper.a"
+  "libsyn_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/design.cpp" "src/netlist/CMakeFiles/syn_netlist.dir/design.cpp.o" "gcc" "src/netlist/CMakeFiles/syn_netlist.dir/design.cpp.o.d"
+  "/root/repo/src/netlist/flatten.cpp" "src/netlist/CMakeFiles/syn_netlist.dir/flatten.cpp.o" "gcc" "src/netlist/CMakeFiles/syn_netlist.dir/flatten.cpp.o.d"
+  "/root/repo/src/netlist/module.cpp" "src/netlist/CMakeFiles/syn_netlist.dir/module.cpp.o" "gcc" "src/netlist/CMakeFiles/syn_netlist.dir/module.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/syn_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/syn_netlist.dir/verilog.cpp.o.d"
+  "/root/repo/src/netlist/verilog_parser.cpp" "src/netlist/CMakeFiles/syn_netlist.dir/verilog_parser.cpp.o" "gcc" "src/netlist/CMakeFiles/syn_netlist.dir/verilog_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

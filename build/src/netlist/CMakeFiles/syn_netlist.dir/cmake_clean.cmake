@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_netlist.dir/design.cpp.o"
+  "CMakeFiles/syn_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/syn_netlist.dir/flatten.cpp.o"
+  "CMakeFiles/syn_netlist.dir/flatten.cpp.o.d"
+  "CMakeFiles/syn_netlist.dir/module.cpp.o"
+  "CMakeFiles/syn_netlist.dir/module.cpp.o.d"
+  "CMakeFiles/syn_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/syn_netlist.dir/verilog.cpp.o.d"
+  "CMakeFiles/syn_netlist.dir/verilog_parser.cpp.o"
+  "CMakeFiles/syn_netlist.dir/verilog_parser.cpp.o.d"
+  "libsyn_netlist.a"
+  "libsyn_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

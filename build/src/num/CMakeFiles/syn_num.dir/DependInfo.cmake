@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/num/alignment.cpp" "src/num/CMakeFiles/syn_num.dir/alignment.cpp.o" "gcc" "src/num/CMakeFiles/syn_num.dir/alignment.cpp.o.d"
+  "/root/repo/src/num/fp_format.cpp" "src/num/CMakeFiles/syn_num.dir/fp_format.cpp.o" "gcc" "src/num/CMakeFiles/syn_num.dir/fp_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_num.dir/alignment.cpp.o"
+  "CMakeFiles/syn_num.dir/alignment.cpp.o.d"
+  "CMakeFiles/syn_num.dir/fp_format.cpp.o"
+  "CMakeFiles/syn_num.dir/fp_format.cpp.o.d"
+  "libsyn_num.a"
+  "libsyn_num.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_num.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_power.dir/activity.cpp.o"
+  "CMakeFiles/syn_power.dir/activity.cpp.o.d"
+  "CMakeFiles/syn_power.dir/power.cpp.o"
+  "CMakeFiles/syn_power.dir/power.cpp.o.d"
+  "libsyn_power.a"
+  "libsyn_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

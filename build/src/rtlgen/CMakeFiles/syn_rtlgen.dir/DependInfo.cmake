@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtlgen/adder_tree.cpp" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/adder_tree.cpp.o" "gcc" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/adder_tree.cpp.o.d"
+  "/root/repo/src/rtlgen/alignment_unit.cpp" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/alignment_unit.cpp.o" "gcc" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/alignment_unit.cpp.o.d"
+  "/root/repo/src/rtlgen/arch.cpp" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/arch.cpp.o" "gcc" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/arch.cpp.o.d"
+  "/root/repo/src/rtlgen/drivers.cpp" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/drivers.cpp.o" "gcc" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/drivers.cpp.o.d"
+  "/root/repo/src/rtlgen/gates.cpp" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/gates.cpp.o" "gcc" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/gates.cpp.o.d"
+  "/root/repo/src/rtlgen/macro.cpp" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/macro.cpp.o" "gcc" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/macro.cpp.o.d"
+  "/root/repo/src/rtlgen/ofu.cpp" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/ofu.cpp.o" "gcc" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/ofu.cpp.o.d"
+  "/root/repo/src/rtlgen/shift_adder.cpp" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/shift_adder.cpp.o" "gcc" "src/rtlgen/CMakeFiles/syn_rtlgen.dir/shift_adder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/syn_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/syn_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_rtlgen.dir/adder_tree.cpp.o"
+  "CMakeFiles/syn_rtlgen.dir/adder_tree.cpp.o.d"
+  "CMakeFiles/syn_rtlgen.dir/alignment_unit.cpp.o"
+  "CMakeFiles/syn_rtlgen.dir/alignment_unit.cpp.o.d"
+  "CMakeFiles/syn_rtlgen.dir/arch.cpp.o"
+  "CMakeFiles/syn_rtlgen.dir/arch.cpp.o.d"
+  "CMakeFiles/syn_rtlgen.dir/drivers.cpp.o"
+  "CMakeFiles/syn_rtlgen.dir/drivers.cpp.o.d"
+  "CMakeFiles/syn_rtlgen.dir/gates.cpp.o"
+  "CMakeFiles/syn_rtlgen.dir/gates.cpp.o.d"
+  "CMakeFiles/syn_rtlgen.dir/macro.cpp.o"
+  "CMakeFiles/syn_rtlgen.dir/macro.cpp.o.d"
+  "CMakeFiles/syn_rtlgen.dir/ofu.cpp.o"
+  "CMakeFiles/syn_rtlgen.dir/ofu.cpp.o.d"
+  "CMakeFiles/syn_rtlgen.dir/shift_adder.cpp.o"
+  "CMakeFiles/syn_rtlgen.dir/shift_adder.cpp.o.d"
+  "libsyn_rtlgen.a"
+  "libsyn_rtlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_rtlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/equivalence.cpp" "src/sim/CMakeFiles/syn_sim.dir/equivalence.cpp.o" "gcc" "src/sim/CMakeFiles/syn_sim.dir/equivalence.cpp.o.d"
+  "/root/repo/src/sim/gate_sim.cpp" "src/sim/CMakeFiles/syn_sim.dir/gate_sim.cpp.o" "gcc" "src/sim/CMakeFiles/syn_sim.dir/gate_sim.cpp.o.d"
+  "/root/repo/src/sim/macro_model.cpp" "src/sim/CMakeFiles/syn_sim.dir/macro_model.cpp.o" "gcc" "src/sim/CMakeFiles/syn_sim.dir/macro_model.cpp.o.d"
+  "/root/repo/src/sim/macro_tb.cpp" "src/sim/CMakeFiles/syn_sim.dir/macro_tb.cpp.o" "gcc" "src/sim/CMakeFiles/syn_sim.dir/macro_tb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/syn_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/syn_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtlgen/CMakeFiles/syn_rtlgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/syn_num.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/syn_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_sim.dir/equivalence.cpp.o"
+  "CMakeFiles/syn_sim.dir/equivalence.cpp.o.d"
+  "CMakeFiles/syn_sim.dir/gate_sim.cpp.o"
+  "CMakeFiles/syn_sim.dir/gate_sim.cpp.o.d"
+  "CMakeFiles/syn_sim.dir/macro_model.cpp.o"
+  "CMakeFiles/syn_sim.dir/macro_model.cpp.o.d"
+  "CMakeFiles/syn_sim.dir/macro_tb.cpp.o"
+  "CMakeFiles/syn_sim.dir/macro_tb.cpp.o.d"
+  "libsyn_sim.a"
+  "libsyn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

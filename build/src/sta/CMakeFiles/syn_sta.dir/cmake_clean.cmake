@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_sta.dir/sdc.cpp.o"
+  "CMakeFiles/syn_sta.dir/sdc.cpp.o.d"
+  "CMakeFiles/syn_sta.dir/sta.cpp.o"
+  "CMakeFiles/syn_sta.dir/sta.cpp.o.d"
+  "libsyn_sta.a"
+  "libsyn_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_tech.dir/scaling.cpp.o"
+  "CMakeFiles/syn_tech.dir/scaling.cpp.o.d"
+  "CMakeFiles/syn_tech.dir/tech_node.cpp.o"
+  "CMakeFiles/syn_tech.dir/tech_node.cpp.o.d"
+  "libsyn_tech.a"
+  "libsyn_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adder_tree_test.cpp" "tests/CMakeFiles/adder_tree_test.dir/adder_tree_test.cpp.o" "gcc" "tests/CMakeFiles/adder_tree_test.dir/adder_tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtlgen/CMakeFiles/syn_rtlgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/syn_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/syn_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/syn_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/num/CMakeFiles/syn_num.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

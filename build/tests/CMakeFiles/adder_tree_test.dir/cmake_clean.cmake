@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_tree_test.dir/adder_tree_test.cpp.o"
+  "CMakeFiles/adder_tree_test.dir/adder_tree_test.cpp.o.d"
+  "adder_tree_test"
+  "adder_tree_test.pdb"
+  "adder_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macro_sweep_test.dir/macro_sweep_test.cpp.o"
+  "CMakeFiles/macro_sweep_test.dir/macro_sweep_test.cpp.o.d"
+  "macro_sweep_test"
+  "macro_sweep_test.pdb"
+  "macro_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macro_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

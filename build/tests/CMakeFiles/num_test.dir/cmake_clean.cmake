@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/num_test.dir/num_test.cpp.o"
+  "CMakeFiles/num_test.dir/num_test.cpp.o.d"
+  "num_test"
+  "num_test.pdb"
+  "num_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/num_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

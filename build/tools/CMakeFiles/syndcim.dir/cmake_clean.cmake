@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndcim.dir/syndcim_cli.cpp.o"
+  "CMakeFiles/syndcim.dir/syndcim_cli.cpp.o.d"
+  "syndcim"
+  "syndcim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndcim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
