@@ -1,0 +1,122 @@
+// DSE sweep performance: parallel work-stealing sweep + memoized
+// evaluation cache vs. the sequential seed path (one MsoSearcher run per
+// spec against a shared SCL — exactly what the repo did before src/dse).
+//
+// Three legs over the same 12-point spec grid (freq x MCR x preference):
+//   1. sequential   — baseline `MsoSearcher::search` per spec
+//   2. cold sweep   — run_sweep, threads=N, empty cache (persisted after)
+//   3. warm sweep   — run_sweep, threads=N, cache loaded from disk
+//
+// Prints wall clock, speedups and cache hit rates; exits nonzero if the
+// threads+cache path is not at least 2x the sequential baseline or the
+// warm run reports no cache hits.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cell/characterize.hpp"
+#include "core/report.hpp"
+#include "core/searcher.hpp"
+#include "dse/sweep.hpp"
+#include "tech/tech_node.hpp"
+
+using namespace syndcim;
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+std::vector<core::PerfSpec> make_grid() {
+  dse::SweepGrid grid;
+  grid.base.rows = 64;
+  grid.base.cols = 64;
+  grid.base.input_bits = {4, 8};
+  grid.base.weight_bits = {4, 8};
+  grid.base.vdd = 0.9;
+  grid.mac_freqs_mhz = {250.0, 350.0, 450.0};
+  grid.mcrs = {1, 2};
+  grid.prefs = {{1.0, 1.0, 0.0}, {2.0, 0.5, 0.0}};
+  return grid.expand();
+}
+
+}  // namespace
+
+int main() {
+  const auto lib =
+      cell::characterize_default_library(tech::make_default_40nm());
+  const std::vector<core::PerfSpec> specs = make_grid();
+  const int threads = std::max(2, dse::WorkStealingPool::default_threads());
+  const std::string cache_file = "perf_dse_sweep.cache.json";
+  std::remove(cache_file.c_str());
+
+  std::cerr << "grid: " << specs.size() << " specs, threads=" << threads
+            << "\n";
+
+  // Leg 1: the sequential seed path.
+  const auto t_seq = std::chrono::steady_clock::now();
+  std::size_t seq_points = 0;
+  {
+    core::SubcircuitLibrary scl(lib);
+    core::MsoSearcher searcher(scl);
+    for (const core::PerfSpec& spec : specs) {
+      seq_points += searcher.search(spec).explored.size();
+    }
+  }
+  const double sec_seq = seconds_since(t_seq);
+
+  // Leg 2: parallel sweep, cold cache, persisted to disk.
+  dse::SweepOptions opt;
+  opt.threads = threads;
+  opt.use_cache = true;
+  opt.cache_path = cache_file;
+  const auto t_cold = std::chrono::steady_clock::now();
+  const dse::SweepReport cold = dse::run_sweep(lib, specs, opt);
+  const double sec_cold = seconds_since(t_cold);
+
+  // Leg 3: identical sweep, cache warm from disk.
+  const auto t_warm = std::chrono::steady_clock::now();
+  const dse::SweepReport warm = dse::run_sweep(lib, specs, opt);
+  const double sec_warm = seconds_since(t_warm);
+  std::remove(cache_file.c_str());
+
+  core::TextTable t({"leg", "wall_s", "speedup", "cache_hits",
+                     "cache_misses", "hit_rate_pct", "stolen"});
+  t.add_row({"sequential", core::TextTable::num(sec_seq, 2), "1.00", "-",
+             "-", "-", "-"});
+  t.add_row({"cold threads+cache", core::TextTable::num(sec_cold, 2),
+             core::TextTable::num(sec_seq / sec_cold, 2),
+             std::to_string(cold.cache.hits),
+             std::to_string(cold.cache.misses),
+             core::TextTable::num(100.0 * cold.cache.hit_rate(), 1),
+             std::to_string(cold.pool.stolen)});
+  t.add_row({"warm threads+cache", core::TextTable::num(sec_warm, 2),
+             core::TextTable::num(sec_seq / sec_warm, 2),
+             std::to_string(warm.cache.hits),
+             std::to_string(warm.cache.misses),
+             core::TextTable::num(100.0 * warm.cache.hit_rate(), 1),
+             std::to_string(warm.pool.stolen)});
+  t.print(std::cout);
+
+  std::cout << "explored points: sequential " << seq_points << ", cold ";
+  std::size_t cold_points = 0, warm_points = 0;
+  for (const auto& sr : cold.per_spec) cold_points += sr.result.explored.size();
+  for (const auto& sr : warm.per_spec) warm_points += sr.result.explored.size();
+  std::cout << cold_points << ", warm " << warm_points << "\n";
+  std::cout << "warm cache: " << warm.cache.loaded << " entries loaded from "
+            << "disk, " << warm.cache.miss_eval_ms
+            << " ms spent in miss evaluations\n";
+
+  const double best_speedup = sec_seq / std::min(sec_cold, sec_warm);
+  const bool ok = best_speedup >= 2.0 && warm.cache.hits > 0;
+  std::cout << (ok ? "PASS" : "FAIL") << ": threads+cache speedup "
+            << core::TextTable::num(best_speedup, 2) << "x (>= 2x required), "
+            << warm.cache.hits << " warm hits (nonzero required)\n";
+  return ok ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "core/searcher.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 #include "rtlgen/ofu.hpp"
@@ -26,15 +27,24 @@ const DesignPoint& SearchResult::best(const PpaPreference& pref) const {
   return *sel;
 }
 
+void SearchResult::append(SearchResult&& other) {
+  explored.insert(explored.end(),
+                  std::make_move_iterator(other.explored.begin()),
+                  std::make_move_iterator(other.explored.end()));
+  log.insert(log.end(), std::make_move_iterator(other.log.begin()),
+             std::make_move_iterator(other.log.end()));
+}
+
 DesignPoint MsoSearcher::evaluate(const MacroConfig& cfg,
                                   const PerfSpec& spec,
                                   std::vector<std::string> applied,
                                   SearchResult& out) {
+  const EvalOutcome ev = eval_.evaluate(cfg, spec);
   DesignPoint p;
   p.cfg = cfg;
   p.applied = std::move(applied);
-  p.ppa = scl_.evaluate(cfg, spec);
-  p.feasible = scl_.timing_status(cfg, spec).all_ok();
+  p.ppa = ev.ppa;
+  p.feasible = ev.timing.all_ok();
   p.label = to_string(cfg.mux) + "/" + to_string(cfg.tree.style) + "-fa" +
             std::to_string(static_cast<int>(cfg.tree.fa_fraction * 100)) +
             (cfg.pipe.retime_tree_cpa ? "/tt2" : "") +
@@ -60,7 +70,7 @@ bool MsoSearcher::fix_mac_path(MacroConfig& cfg, const PerfSpec& spec,
   // Every intermediate configuration is recorded: the paper's Fig. 8
   // scatter is exactly this cloud of partially-optimized designs.
   // tt1: walk the SCL's faster-adder ladder.
-  while (!scl_.timing_status(cfg, spec).mac_ok) {
+  while (!timing(cfg, spec).mac_ok) {
     const auto ladder = SubcircuitLibrary::faster_tree_ladder(cfg.tree);
     if (ladder.empty()) break;
     cfg.tree = ladder.front();
@@ -70,7 +80,7 @@ bool MsoSearcher::fix_mac_path(MacroConfig& cfg, const PerfSpec& spec,
     (void)evaluate(cfg, spec, applied, out);
   }
   // tt2: retime the CPA into the S&A stage.
-  if (!scl_.timing_status(cfg, spec).mac_ok && !cfg.pipe.retime_tree_cpa &&
+  if (!timing(cfg, spec).mac_ok && !cfg.pipe.retime_tree_cpa &&
       cfg.pipe.reg_after_tree && cfg.column_split == 1 &&
       cfg.tree.style != rtlgen::AdderTreeStyle::kRcaTree) {
     cfg.pipe.retime_tree_cpa = true;
@@ -79,7 +89,7 @@ bool MsoSearcher::fix_mac_path(MacroConfig& cfg, const PerfSpec& spec,
     (void)evaluate(cfg, spec, applied, out);
   }
   // tt3: split the column height.
-  while (!scl_.timing_status(cfg, spec).mac_ok &&
+  while (!timing(cfg, spec).mac_ok &&
          cfg.rows / (cfg.column_split * 2) >= 8) {
     if (cfg.pipe.retime_tree_cpa) {
       cfg.pipe.retime_tree_cpa = false;  // split supersedes the retiming
@@ -90,14 +100,14 @@ bool MsoSearcher::fix_mac_path(MacroConfig& cfg, const PerfSpec& spec,
     out.log.push_back("tt3 -> split " + std::to_string(cfg.column_split));
     (void)evaluate(cfg, spec, applied, out);
   }
-  return scl_.timing_status(cfg, spec).mac_ok;
+  return timing(cfg, spec).mac_ok;
 }
 
 bool MsoSearcher::fix_ofu_path(MacroConfig& cfg, const PerfSpec& spec,
                                std::vector<std::string>& applied,
                                SearchResult& out) {
   // tt4: retime OFU stage 1 into the S&A clock stage.
-  if (!scl_.timing_status(cfg, spec).ofu_ok && !cfg.ofu.retime_stage1 &&
+  if (!timing(cfg, spec).ofu_ok && !cfg.ofu.retime_stage1 &&
       cfg.ofu.input_reg) {
     cfg.ofu.retime_stage1 = true;
     applied.push_back("tt4:retime-ofu-stage1");
@@ -108,8 +118,7 @@ bool MsoSearcher::fix_ofu_path(MacroConfig& cfg, const PerfSpec& spec,
   const int max_regs =
       rtlgen::OfuModuleConfig{cfg.max_weight_bits(), cfg.sa_width(), cfg.ofu}
           .n_stages();
-  while (!scl_.timing_status(cfg, spec).ofu_ok &&
-         cfg.ofu.pipeline_regs < max_regs) {
+  while (!timing(cfg, spec).ofu_ok && cfg.ofu.pipeline_regs < max_regs) {
     ++cfg.ofu.pipeline_regs;
     applied.push_back("tt5:ofu-pipeline(" +
                       std::to_string(cfg.ofu.pipeline_regs) + ")");
@@ -117,7 +126,7 @@ bool MsoSearcher::fix_ofu_path(MacroConfig& cfg, const PerfSpec& spec,
                       std::to_string(cfg.ofu.pipeline_regs) + ")");
     (void)evaluate(cfg, spec, applied, out);
   }
-  return scl_.timing_status(cfg, spec).ofu_ok;
+  return timing(cfg, spec).ofu_ok;
 }
 
 void MsoSearcher::latency_optimize(MacroConfig& cfg, const PerfSpec& spec,
@@ -130,7 +139,7 @@ void MsoSearcher::latency_optimize(MacroConfig& cfg, const PerfSpec& spec,
     MacroConfig fused = cfg;
     fused.ofu.input_reg = false;
     fused.pipe.reg_after_tree = false;
-    if (scl_.timing_status(fused, spec).all_ok()) {
+    if (timing(fused, spec).all_ok()) {
       cfg = fused;
       applied.push_back("fuse:tree+sa+ofu");
       out.log.push_back("step3: fused adder, S&A and OFU");
@@ -141,7 +150,7 @@ void MsoSearcher::latency_optimize(MacroConfig& cfg, const PerfSpec& spec,
       cfg.ofu.pipeline_regs == 0) {
     MacroConfig fused = cfg;
     fused.ofu.input_reg = false;
-    if (scl_.timing_status(fused, spec).all_ok()) {
+    if (timing(fused, spec).all_ok()) {
       cfg = fused;
       applied.push_back("fuse:sa+ofu");
       out.log.push_back("step3: fused S&A and OFU");
@@ -192,13 +201,28 @@ void MsoSearcher::fine_tune(const MacroConfig& cfg, const PerfSpec& spec,
   }
 }
 
-SearchResult MsoSearcher::search(const PerfSpec& spec) {
-  SearchResult out;
+std::vector<TrajectorySeed> MsoSearcher::trajectory_seeds(
+    const PerfSpec& spec) {
   const MacroConfig base = spec.base_config();
   base.validate();
 
-  // Seed trajectories: the SPEC-fixed choices, otherwise a spread of
-  // mux styles and adder mixes so the result is a frontier, not a point.
+  std::vector<TrajectorySeed> seeds;
+
+  // One conventional-RCA trajectory (unless the spec pinned the style):
+  // demonstrates tt1's family switch out of the template baseline. It
+  // skips the step-3 fusion pass, matching the original search flow.
+  if (!spec.tree_style) {
+    TrajectorySeed s;
+    s.cfg = base;
+    s.cfg.tree.style = rtlgen::AdderTreeStyle::kRcaTree;
+    s.cfg.tree.carry_reorder = false;
+    s.name = "seed:rca-tree";
+    s.latency_opt = false;
+    seeds.push_back(std::move(s));
+  }
+
+  // The SPEC-fixed choices, otherwise a spread of mux styles and adder
+  // mixes so the result is a frontier, not a point.
   std::vector<rtlgen::MuxStyle> muxes;
   if (spec.mux) {
     muxes = {*spec.mux};
@@ -210,50 +234,53 @@ SearchResult MsoSearcher::search(const PerfSpec& spec) {
   if (spec.tree_style == rtlgen::AdderTreeStyle::kRcaTree) {
     fa_seeds = {0.0};
   }
-
-  // One conventional-RCA trajectory (unless the spec pinned the style):
-  // demonstrates tt1's family switch out of the template baseline.
-  if (!spec.tree_style) {
-    MacroConfig cfg = base;
-    cfg.tree.style = rtlgen::AdderTreeStyle::kRcaTree;
-    cfg.tree.carry_reorder = false;
-    std::vector<std::string> applied = {"seed:rca-tree"};
-    out.log.push_back("trajectory seed:rca-tree");
-    (void)evaluate(cfg, spec, applied, out);
-    const bool mac_ok = fix_mac_path(cfg, spec, applied, out);
-    const bool ofu_ok = fix_ofu_path(cfg, spec, applied, out);
-    (void)evaluate(cfg, spec, applied, out);
-    if (mac_ok && ofu_ok) fine_tune(cfg, spec, applied, out);
-  }
-
   for (const rtlgen::MuxStyle mux : muxes) {
     for (const double fa : fa_seeds) {
-      MacroConfig cfg = base;
-      cfg.mux = mux;
-      if (cfg.tree.style == rtlgen::AdderTreeStyle::kMixed) {
-        cfg.tree.fa_fraction = fa;
+      TrajectorySeed s;
+      s.cfg = base;
+      s.cfg.mux = mux;
+      if (s.cfg.tree.style == rtlgen::AdderTreeStyle::kMixed) {
+        s.cfg.tree.fa_fraction = fa;
       }
-      std::vector<std::string> applied;
-      applied.push_back("seed:" + to_string(mux) + "/fa" +
-                        std::to_string(static_cast<int>(fa * 100)));
-      out.log.push_back("trajectory " + applied.back());
-      (void)evaluate(cfg, spec, applied, out);  // the unoptimized seed
-
-      const bool mac_ok = fix_mac_path(cfg, spec, applied, out);
-      const bool ofu_ok = fix_ofu_path(cfg, spec, applied, out);
-      // Record the step-2 result even if infeasible (the evaluation log
-      // shows the constrained design space, paper Sec. IV-A).
-      (void)evaluate(cfg, spec, applied, out);
-      if (!mac_ok || !ofu_ok) continue;
-
-      MacroConfig fused = cfg;
-      auto fused_applied = applied;
-      latency_optimize(fused, spec, fused_applied, out);
-      if (fused_applied.size() != applied.size()) {
-        (void)evaluate(fused, spec, fused_applied, out);
-      }
-      fine_tune(cfg, spec, applied, out);
+      s.name = "seed:" + to_string(mux) + "/fa" +
+               std::to_string(static_cast<int>(fa * 100));
+      seeds.push_back(std::move(s));
     }
+  }
+  return seeds;
+}
+
+SearchResult MsoSearcher::run_trajectory(const TrajectorySeed& seed,
+                                         const PerfSpec& spec) {
+  SearchResult out;
+  MacroConfig cfg = seed.cfg;
+  std::vector<std::string> applied = {seed.name};
+  out.log.push_back("trajectory " + seed.name);
+  (void)evaluate(cfg, spec, applied, out);  // the unoptimized seed
+
+  const bool mac_ok = fix_mac_path(cfg, spec, applied, out);
+  const bool ofu_ok = fix_ofu_path(cfg, spec, applied, out);
+  // Record the step-2 result even if infeasible (the evaluation log
+  // shows the constrained design space, paper Sec. IV-A).
+  (void)evaluate(cfg, spec, applied, out);
+  if (!mac_ok || !ofu_ok) return out;
+
+  if (seed.latency_opt) {
+    MacroConfig fused = cfg;
+    auto fused_applied = applied;
+    latency_optimize(fused, spec, fused_applied, out);
+    if (fused_applied.size() != applied.size()) {
+      (void)evaluate(fused, spec, fused_applied, out);
+    }
+  }
+  fine_tune(cfg, spec, applied, out);
+  return out;
+}
+
+SearchResult MsoSearcher::search(const PerfSpec& spec) {
+  SearchResult out;
+  for (const TrajectorySeed& seed : trajectory_seeds(spec)) {
+    out.append(run_trajectory(seed, spec));
   }
   out.pareto = pareto_front(out.explored);
   return out;

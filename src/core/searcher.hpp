@@ -1,8 +1,10 @@
 #pragma once
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/design_point.hpp"
+#include "core/eval_backend.hpp"
 #include "core/scl.hpp"
 #include "core/spec.hpp"
 
@@ -15,6 +17,20 @@ struct SearchResult {
   [[nodiscard]] bool feasible() const { return !pareto.empty(); }
   /// Pareto point ranked best under the spec's PPA preference.
   [[nodiscard]] const DesignPoint& best(const PpaPreference& pref) const;
+  /// Concatenate another fragment's explored/log (pareto is recomputed by
+  /// the caller once all fragments are merged).
+  void append(SearchResult&& other);
+};
+
+/// One independent search trajectory of Algorithm 1: the seed subcircuit
+/// selection plus its provenance label. Trajectories never communicate,
+/// so the DSE layer (src/dse) runs them as parallel tasks; concatenating
+/// the per-trajectory fragments in seed order reproduces the sequential
+/// `search` byte for byte.
+struct TrajectorySeed {
+  rtlgen::MacroConfig cfg;
+  std::string name;          ///< "seed:..." label heading the trail
+  bool latency_opt = true;   ///< run the step-3 register-fusion pass
 };
 
 /// Multi-Spec-Oriented searcher (paper Algorithm 1, "Heuristic
@@ -37,15 +53,38 @@ struct SearchResult {
 /// All evaluated points are kept; the result's `pareto` set is the
 /// feasible power/area frontier the user (or the preference weights)
 /// selects from.
+///
+/// Evaluation goes through an injectable `EvalBackend`, so the DSE layer
+/// can interpose a memoized cache (or any other evaluation service)
+/// without the search logic noticing.
 class MsoSearcher {
  public:
-  explicit MsoSearcher(SubcircuitLibrary& scl) : scl_(scl) {}
+  /// Classic construction: evaluate directly against the SCL.
+  explicit MsoSearcher(SubcircuitLibrary& scl)
+      : owned_(std::make_unique<SclEvalBackend>(scl)), eval_(*owned_) {}
+  /// Hooked construction: evaluate through `backend` (not owned). The
+  /// searcher itself is stateless across calls, so one instance may be
+  /// shared by concurrent threads iff the backend is thread-safe.
+  explicit MsoSearcher(EvalBackend& backend) : eval_(backend) {}
 
   [[nodiscard]] SearchResult search(const PerfSpec& spec);
+
+  /// The independent trajectory seeds `search` would run for `spec`,
+  /// in order.
+  [[nodiscard]] static std::vector<TrajectorySeed> trajectory_seeds(
+      const PerfSpec& spec);
+  /// Run one trajectory to completion (steps 2-4) and return its
+  /// fragment of the search result.
+  [[nodiscard]] SearchResult run_trajectory(const TrajectorySeed& seed,
+                                            const PerfSpec& spec);
 
  private:
   DesignPoint evaluate(const rtlgen::MacroConfig& cfg, const PerfSpec& spec,
                        std::vector<std::string> applied, SearchResult& out);
+  [[nodiscard]] SubcircuitLibrary::PathStatus timing(
+      const rtlgen::MacroConfig& cfg, const PerfSpec& spec) {
+    return eval_.evaluate(cfg, spec).timing;
+  }
   /// Step 2 for one trajectory; returns false if the path cannot be fixed.
   bool fix_mac_path(rtlgen::MacroConfig& cfg, const PerfSpec& spec,
                     std::vector<std::string>& applied, SearchResult& out);
@@ -57,7 +96,8 @@ class MsoSearcher {
   void fine_tune(const rtlgen::MacroConfig& cfg, const PerfSpec& spec,
                  const std::vector<std::string>& applied, SearchResult& out);
 
-  SubcircuitLibrary& scl_;
+  std::unique_ptr<EvalBackend> owned_;  ///< only for the SCL convenience ctor
+  EvalBackend& eval_;
 };
 
 }  // namespace syndcim::core

@@ -1,0 +1,317 @@
+#include "dse/eval_cache.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace syndcim::dse {
+
+namespace {
+
+/// Exact, locale-independent double rendering (round-trips via strtod).
+std::string hexd(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string canonical_config_key(const rtlgen::MacroConfig& c) {
+  std::ostringstream os;
+  os << "cfg{r" << c.rows << ",c" << c.cols << ",m" << c.mcr << ",ib";
+  for (const int b : c.input_bits) os << '.' << b;
+  os << ",wb";
+  for (const int b : c.weight_bits) os << '.' << b;
+  os << ",fp";
+  for (const auto& f : c.fp_formats) os << '.' << f.name();
+  os << ",g" << c.fp_guard_bits << ",bc" << static_cast<int>(c.bitcell)
+     << ",mx" << static_cast<int>(c.mux)
+     << ",tr{" << c.tree.rows << ',' << static_cast<int>(c.tree.style)
+     << ',' << hexd(c.tree.fa_fraction) << ',' << c.tree.carry_reorder
+     << ',' << c.tree.external_cpa << "}"
+     << ",pp{" << c.pipe.reg_after_tree << ',' << c.pipe.retime_tree_cpa
+     << "}"
+     << ",of{" << c.ofu.input_reg << ',' << c.ofu.pipeline_regs << ','
+     << c.ofu.retime_stage1 << "}"
+     << ",sp" << c.column_split << "}";
+  return os.str();
+}
+
+std::string canonical_spec_knobs_key(const core::PerfSpec& s) {
+  std::ostringstream os;
+  os << "spec{f" << hexd(s.mac_freq_mhz) << ",w" << hexd(s.wupdate_freq_mhz)
+     << ",v" << hexd(s.vdd) << ",tm" << hexd(s.timing_margin) << "}";
+  return os.str();
+}
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t hash_config(const rtlgen::MacroConfig& cfg) {
+  return fnv1a64(canonical_config_key(cfg));
+}
+
+std::uint64_t hash_spec_knobs(const core::PerfSpec& s) {
+  return fnv1a64(canonical_spec_knobs_key(s));
+}
+
+std::string eval_key(const rtlgen::MacroConfig& cfg,
+                     const core::PerfSpec& spec) {
+  return canonical_config_key(cfg) + "|" + canonical_spec_knobs_key(spec);
+}
+
+std::optional<core::EvalOutcome> EvalCache::lookup(const std::string& key) {
+  Shard& sh = shard_for(key);
+  const std::lock_guard<std::mutex> lock(sh.mu);
+  const auto it = sh.map.find(key);
+  if (it == sh.map.end() || !it->second.ready) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.outcome;
+}
+
+core::EvalOutcome EvalCache::get_or_compute(
+    const std::string& key,
+    const std::function<core::EvalOutcome()>& compute) {
+  Shard& sh = shard_for(key);
+  {
+    std::unique_lock<std::mutex> lock(sh.mu);
+    const auto it = sh.map.find(key);
+    if (it != sh.map.end()) {
+      if (!it->second.ready) {
+        // Another thread is computing this exact evaluation right now:
+        // wait for its result instead of repeating the work.
+        inflight_waits_.fetch_add(1, std::memory_order_relaxed);
+        sh.cv.wait(lock, [&] {
+          const auto w = sh.map.find(key);
+          return w == sh.map.end() || w->second.ready;
+        });
+        const auto w = sh.map.find(key);
+        if (w != sh.map.end() && w->second.ready) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return w->second.outcome;
+        }
+        // The computing thread failed and erased the entry — fall
+        // through to computing it ourselves (outside the lock).
+      } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.outcome;
+      }
+    }
+    sh.map[key] = Entry{};  // in-flight marker (ready = false)
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  core::EvalOutcome outcome;
+  try {
+    outcome = compute();
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(sh.mu);
+      sh.map.erase(key);
+    }
+    sh.cv.notify_all();
+    throw;
+  }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  miss_eval_ns_.fetch_add(static_cast<std::uint64_t>(ns),
+                          std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(sh.mu);
+    Entry& e = sh.map[key];
+    e.outcome = outcome;
+    e.ready = true;
+  }
+  sh.cv.notify_all();
+  return outcome;
+}
+
+void EvalCache::insert(const std::string& key,
+                       const core::EvalOutcome& outcome) {
+  Shard& sh = shard_for(key);
+  const std::lock_guard<std::mutex> lock(sh.mu);
+  Entry& e = sh.map[key];
+  e.outcome = outcome;
+  e.ready = true;
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) {
+    const std::lock_guard<std::mutex> lock(sh.mu);
+    for (const auto& [k, e] : sh.map) {
+      if (e.ready) ++n;
+    }
+  }
+  return n;
+}
+
+EvalCacheStats EvalCache::stats() const {
+  EvalCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inflight_waits = inflight_waits_.load(std::memory_order_relaxed);
+  s.miss_eval_ms =
+      static_cast<double>(miss_eval_ns_.load(std::memory_order_relaxed)) /
+      1.0e6;
+  s.entries = size();
+  s.loaded = static_cast<std::size_t>(
+      loaded_.load(std::memory_order_relaxed));
+  return s;
+}
+
+void EvalCache::reset_counters() {
+  hits_.store(0);
+  misses_.store(0);
+  inflight_waits_.store(0);
+  miss_eval_ns_.store(0);
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Extract the next "..."-quoted string starting at or after `pos`;
+/// advances `pos` past it. Returns false at end of input.
+bool next_quoted(const std::string& s, std::size_t& pos, std::string& out) {
+  const std::size_t b = s.find('"', pos);
+  if (b == std::string::npos) return false;
+  out.clear();
+  std::size_t i = b + 1;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) ++i;
+    out += s[i++];
+  }
+  if (i >= s.size()) return false;
+  pos = i + 1;
+  return true;
+}
+
+}  // namespace
+
+bool EvalCache::save_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "{\n  \"format\": \"syndcim-eval-cache\",\n  \"version\": 1,\n"
+    << "  \"entries\": [\n";
+  bool first = true;
+  for (const Shard& sh : shards_) {
+    const std::lock_guard<std::mutex> lock(sh.mu);
+    for (const auto& [key, e] : sh.map) {
+      if (!e.ready) continue;
+      const core::PpaEstimate& p = e.outcome.ppa;
+      const auto& t = e.outcome.timing;
+      if (!first) f << ",\n";
+      first = false;
+      f << "    {\"key\": \"" << json_escape(key) << "\", \"ppa\": [\""
+        << hexd(p.fmax_mhz) << "\", \"" << hexd(p.write_fmax_mhz)
+        << "\", \"" << hexd(p.power_uw) << "\", \"" << hexd(p.area_um2)
+        << "\", \"" << hexd(p.energy_per_mac_fj) << "\", \""
+        << hexd(p.tops_1b) << "\", " << p.latency_cycles
+        << "], \"timing\": [\"" << hexd(t.mac_period_ps) << "\", \""
+        << hexd(t.ofu_period_ps) << "\", \"" << hexd(t.write_period_ps)
+        << "\", " << (t.mac_ok ? 1 : 0) << ", " << (t.ofu_ok ? 1 : 0)
+        << ", " << (t.write_ok ? 1 : 0) << "]}";
+    }
+  }
+  f << "\n  ]\n}\n";
+  return f.good();
+}
+
+std::size_t EvalCache::load_json(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return 0;
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+  if (text.find("\"syndcim-eval-cache\"") == std::string::npos) return 0;
+
+  // Entries are parsed positionally: the key string, then 6 quoted
+  // hexfloat PPA numbers + 1 bare int, then 3 quoted hexfloats + 3 bare
+  // ints for the timing status. This mirrors save_json exactly.
+  std::size_t n = 0;
+  std::size_t pos = text.find("\"entries\"");
+  if (pos == std::string::npos) return 0;
+  while (true) {
+    std::size_t obj = text.find("{\"key\"", pos);
+    if (obj == std::string::npos) break;
+    pos = obj;
+    std::string key;
+    std::size_t p = pos + 1;  // skip '{'
+    if (!next_quoted(text, p, key)) break;   // literal `key`
+    if (!next_quoted(text, p, key)) break;   // the key itself
+    std::vector<std::string> q(10);
+    std::string skip;
+    if (!next_quoted(text, p, skip)) break;  // literal `ppa`
+    bool ok = true;
+    for (int i = 0; i < 6 && ok; ++i) ok = next_quoted(text, p, q[i]);
+    if (!ok) break;
+    const std::size_t lat_pos = text.find(',', p);
+    if (lat_pos == std::string::npos) break;
+    const int latency = std::atoi(text.c_str() + lat_pos + 1);
+    if (!next_quoted(text, p, skip)) break;  // literal `timing`
+    for (int i = 6; i < 9 && ok; ++i) ok = next_quoted(text, p, q[i]);
+    if (!ok) break;
+    const std::size_t flags_pos = text.find(',', p);
+    if (flags_pos == std::string::npos) break;
+    int b0 = 0, b1 = 0, b2 = 0;
+    if (std::sscanf(text.c_str() + flags_pos + 1, "%d , %d , %d", &b0, &b1,
+                    &b2) != 3) {
+      break;
+    }
+    core::EvalOutcome o;
+    o.ppa.fmax_mhz = std::strtod(q[0].c_str(), nullptr);
+    o.ppa.write_fmax_mhz = std::strtod(q[1].c_str(), nullptr);
+    o.ppa.power_uw = std::strtod(q[2].c_str(), nullptr);
+    o.ppa.area_um2 = std::strtod(q[3].c_str(), nullptr);
+    o.ppa.energy_per_mac_fj = std::strtod(q[4].c_str(), nullptr);
+    o.ppa.tops_1b = std::strtod(q[5].c_str(), nullptr);
+    o.ppa.latency_cycles = latency;
+    o.timing.mac_period_ps = std::strtod(q[6].c_str(), nullptr);
+    o.timing.ofu_period_ps = std::strtod(q[7].c_str(), nullptr);
+    o.timing.write_period_ps = std::strtod(q[8].c_str(), nullptr);
+    o.timing.mac_ok = b0 != 0;
+    o.timing.ofu_ok = b1 != 0;
+    o.timing.write_ok = b2 != 0;
+    insert(key, o);
+    ++n;
+    pos = text.find('}', flags_pos);
+    if (pos == std::string::npos) break;
+  }
+  loaded_.fetch_add(static_cast<std::uint64_t>(n),
+                    std::memory_order_relaxed);
+  return n;
+}
+
+}  // namespace syndcim::dse

@@ -1,0 +1,78 @@
+#pragma once
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace syndcim::dse {
+
+/// Work-stealing thread pool for the DSE sweep: every worker owns a deque
+/// it pushes/pops at the front (LIFO — keeps a worker's recently spawned
+/// work hot), and steals from the *back* of a victim's deque when its own
+/// is empty (FIFO — steals the oldest, typically largest, unit of work).
+///
+/// Tasks are plain `void()` closures; results travel through whatever
+/// storage the closure captures (the sweep driver preallocates one slot
+/// per task, which also makes the merge order — and therefore the sweep
+/// output — independent of the execution schedule).
+///
+/// Submission from inside a task lands on the submitting worker's own
+/// deque; external submissions are dealt round-robin across workers.
+class WorkStealingPool {
+ public:
+  struct Stats {
+    int threads = 0;
+    std::uint64_t executed = 0;  ///< tasks run to completion
+    std::uint64_t stolen = 0;    ///< tasks executed by a non-owner worker
+  };
+
+  /// `threads` < 1 is clamped to 1. `default_threads()` gives the
+  /// hardware concurrency (at least 1).
+  explicit WorkStealingPool(int threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  void submit(std::function<void()> task);
+  /// Block until every submitted task (including tasks submitted by
+  /// tasks) has finished.
+  void wait_idle();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] static int default_threads();
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> deque;
+    std::mutex mu;
+    std::thread thread;
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop_own(std::size_t self, std::function<void()>& task);
+  bool try_steal(std::size_t self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> rr_{0};  ///< round-robin external submission
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;   ///< signalled when pending_ hits 0
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;   ///< signalled when work arrives
+};
+
+/// Run `fn(i)` for i in [0, n) on the pool and wait for completion.
+void parallel_for(WorkStealingPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace syndcim::dse

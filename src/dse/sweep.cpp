@@ -1,0 +1,293 @@
+#include "dse/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <unordered_set>
+
+namespace syndcim::dse {
+
+namespace {
+
+/// Shortest-round-trip decimal rendering: deterministic for a given
+/// build, readable in the report.
+std::string jnum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void point_json(std::ostringstream& os, const FrontierPoint& fp,
+                const char* indent) {
+  const core::DesignPoint& p = fp.point;
+  os << indent << "{\"label\": \"" << p.label << "\", \"spec_index\": "
+     << fp.spec_index << ", \"feasible\": "
+     << (p.feasible ? "true" : "false")
+     << ", \"fmax_mhz\": " << jnum(p.ppa.fmax_mhz)
+     << ", \"power_uw\": " << jnum(p.ppa.power_uw)
+     << ", \"area_um2\": " << jnum(p.ppa.area_um2)
+     << ", \"energy_per_mac_fj\": " << jnum(p.ppa.energy_per_mac_fj)
+     << ", \"tops_1b\": " << jnum(p.ppa.tops_1b)
+     << ", \"latency_cycles\": " << p.ppa.latency_cycles
+     << ", \"applied\": [";
+  for (std::size_t i = 0; i < p.applied.size(); ++i) {
+    os << (i ? ", " : "") << '"' << p.applied[i] << '"';
+  }
+  os << "]}";
+}
+
+void spec_json(std::ostringstream& os, const core::PerfSpec& s) {
+  os << "{\"rows\": " << s.rows << ", \"cols\": " << s.cols
+     << ", \"mcr\": " << s.mcr << ", \"mac_mhz\": " << jnum(s.mac_freq_mhz)
+     << ", \"wupdate_mhz\": " << jnum(s.wupdate_freq_mhz)
+     << ", \"vdd\": " << jnum(s.vdd) << ", \"pref\": ["
+     << jnum(s.pref.power) << ", " << jnum(s.pref.area) << ", "
+     << jnum(s.pref.performance) << "]}";
+}
+
+/// Non-dominated filtering over the merged shard fronts. Unlike the
+/// per-spec (power, area) front, the global merge spans specs with
+/// different clock targets, so throughput joins the dominance check:
+/// a 450 MHz design burning more power than a 250 MHz one is not
+/// dominated — it delivers more TOPS. Ties are broken by a total sort
+/// order — (power, area, spec_index, label) — so the global frontier is
+/// bit-identical no matter how the input was ordered.
+std::vector<FrontierPoint> global_front(std::vector<FrontierPoint> pts) {
+  std::vector<FrontierPoint> front;
+  for (const FrontierPoint& p : pts) {
+    if (!p.point.feasible) continue;
+    bool dominated = false;
+    for (const FrontierPoint& q : pts) {
+      if (!q.point.feasible || &q == &p) continue;
+      const bool no_worse = q.point.ppa.power_uw <= p.point.ppa.power_uw &&
+                            q.point.ppa.area_um2 <= p.point.ppa.area_um2 &&
+                            q.point.ppa.tops_1b >= p.point.ppa.tops_1b;
+      const bool better = q.point.ppa.power_uw < p.point.ppa.power_uw ||
+                          q.point.ppa.area_um2 < p.point.ppa.area_um2 ||
+                          q.point.ppa.tops_1b > p.point.ppa.tops_1b;
+      if (no_worse && better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(p);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const FrontierPoint& a, const FrontierPoint& b) {
+              if (a.point.ppa.power_uw != b.point.ppa.power_uw) {
+                return a.point.ppa.power_uw < b.point.ppa.power_uw;
+              }
+              if (a.point.ppa.area_um2 != b.point.ppa.area_um2) {
+                return a.point.ppa.area_um2 < b.point.ppa.area_um2;
+              }
+              if (a.spec_index != b.spec_index) {
+                return a.spec_index < b.spec_index;
+              }
+              return a.point.label < b.point.label;
+            });
+  front.erase(
+      std::unique(front.begin(), front.end(),
+                  [](const FrontierPoint& a, const FrontierPoint& b) {
+                    return std::abs(a.point.ppa.power_uw -
+                                    b.point.ppa.power_uw) < 1e-9 &&
+                           std::abs(a.point.ppa.area_um2 -
+                                    b.point.ppa.area_um2) < 1e-9 &&
+                           std::abs(a.point.ppa.tops_1b -
+                                    b.point.ppa.tops_1b) < 1e-12;
+                  }),
+      front.end());
+  return front;
+}
+
+}  // namespace
+
+std::vector<core::PerfSpec> SweepGrid::expand() const {
+  const std::vector<double> freqs =
+      mac_freqs_mhz.empty() ? std::vector<double>{base.mac_freq_mhz}
+                            : mac_freqs_mhz;
+  const std::vector<int> mcr_list = mcrs.empty() ? std::vector<int>{base.mcr}
+                                                 : mcrs;
+  const std::vector<std::vector<int>> prec_list =
+      precisions.empty() ? std::vector<std::vector<int>>{base.input_bits}
+                         : precisions;
+  const std::vector<core::PpaPreference> pref_list =
+      prefs.empty() ? std::vector<core::PpaPreference>{base.pref} : prefs;
+
+  std::vector<core::PerfSpec> out;
+  out.reserve(freqs.size() * mcr_list.size() * prec_list.size() *
+              pref_list.size());
+  for (const double f : freqs) {
+    for (const int m : mcr_list) {
+      for (const std::vector<int>& bits : prec_list) {
+        for (const core::PpaPreference& pref : pref_list) {
+          core::PerfSpec s = base;
+          s.mac_freq_mhz = f;
+          s.mcr = m;
+          if (!bits.empty()) {
+            s.input_bits = bits;
+            s.weight_bits = bits;
+          }
+          s.pref = pref;
+          out.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+SweepReport run_sweep(const cell::Library& lib,
+                      const std::vector<core::PerfSpec>& specs,
+                      const SweepOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int threads =
+      opt.threads > 0 ? opt.threads : WorkStealingPool::default_threads();
+
+  // One shared SCL (its slice cache is spec-independent, so every task
+  // benefits), wrapped in the thread-safe backend, optionally memoized.
+  core::SubcircuitLibrary scl(lib);
+  core::SclEvalBackend raw(scl);
+  EvalCache cache;
+  if (opt.use_cache && !opt.cache_path.empty()) {
+    (void)cache.load_json(opt.cache_path);
+  }
+  CachedEvalBackend cached(raw, cache);
+  core::EvalBackend& backend =
+      opt.use_cache ? static_cast<core::EvalBackend&>(cached) : raw;
+  core::MsoSearcher searcher(backend);
+
+  // Enumerate every (spec, trajectory) task up front; seeds are cheap.
+  // Results land in preallocated slots so the merge below is independent
+  // of the execution schedule.
+  struct Task {
+    std::size_t spec_idx;
+    std::size_t traj_idx;
+    core::TrajectorySeed seed;
+  };
+  std::vector<Task> tasks;
+  std::vector<std::vector<core::SearchResult>> slots(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    auto seeds = core::MsoSearcher::trajectory_seeds(specs[i]);
+    slots[i].resize(seeds.size());
+    for (std::size_t j = 0; j < seeds.size(); ++j) {
+      tasks.push_back({i, j, std::move(seeds[j])});
+    }
+  }
+
+  SweepReport rep;
+  rep.n_tasks = tasks.size();
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  {
+    WorkStealingPool pool(threads);
+    for (const Task& t : tasks) {
+      pool.submit([&searcher, &specs, &slots, &t, &first_error, &error_mu] {
+        try {
+          slots[t.spec_idx][t.traj_idx] =
+              searcher.run_trajectory(t.seed, specs[t.spec_idx]);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+    rep.pool = pool.stats();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Per-spec reduction: concatenate the trajectory fragments in seed
+  // order (identical to a sequential MsoSearcher::search) and extract
+  // each spec's own front.
+  rep.per_spec.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SpecResult sr;
+    sr.spec = specs[i];
+    for (core::SearchResult& frag : slots[i]) {
+      sr.result.append(std::move(frag));
+    }
+    sr.result.pareto = core::pareto_front(sr.result.explored);
+    rep.per_spec.push_back(std::move(sr));
+  }
+
+  // Global reduction: merge the shard fronts, dropping duplicate
+  // (config, timing-knob) evaluations (specs differing only in PPA
+  // preference explore identical points), then re-filter dominance over
+  // the union.
+  std::vector<FrontierPoint> merged;
+  std::unordered_set<std::string> seen;
+  for (std::size_t i = 0; i < rep.per_spec.size(); ++i) {
+    for (const core::DesignPoint& p : rep.per_spec[i].result.pareto) {
+      const std::string key = canonical_config_key(p.cfg) + "|" +
+                              canonical_spec_knobs_key(rep.per_spec[i].spec);
+      if (!seen.insert(key).second) continue;
+      merged.push_back({p, i});
+    }
+  }
+  rep.frontier = global_front(std::move(merged));
+
+  if (opt.use_cache && !opt.cache_path.empty()) {
+    (void)cache.save_json(opt.cache_path);
+  }
+  rep.cache = cache.stats();
+  rep.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return rep;
+}
+
+std::string sweep_frontier_json(const SweepReport& r) {
+  std::ostringstream os;
+  os << "{\n  \"frontier\": [\n";
+  for (std::size_t i = 0; i < r.frontier.size(); ++i) {
+    if (i) os << ",\n";
+    point_json(os, r.frontier[i], "    ");
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string sweep_report_json(const SweepReport& r) {
+  std::ostringstream os;
+  os << "{\n  \"specs\": " << r.per_spec.size()
+     << ",\n  \"tasks\": " << r.n_tasks
+     << ",\n  \"wall_ms\": " << jnum(r.wall_ms)
+     << ",\n  \"pool\": {\"threads\": " << r.pool.threads
+     << ", \"executed\": " << r.pool.executed
+     << ", \"stolen\": " << r.pool.stolen << "}"
+     << ",\n  \"cache\": {\"hits\": " << r.cache.hits
+     << ", \"misses\": " << r.cache.misses
+     << ", \"hit_rate\": " << jnum(r.cache.hit_rate())
+     << ", \"inflight_waits\": " << r.cache.inflight_waits
+     << ", \"miss_eval_ms\": " << jnum(r.cache.miss_eval_ms)
+     << ", \"entries\": " << r.cache.entries
+     << ", \"loaded\": " << r.cache.loaded << "}"
+     << ",\n  \"per_spec\": [\n";
+  for (std::size_t i = 0; i < r.per_spec.size(); ++i) {
+    const SpecResult& sr = r.per_spec[i];
+    if (i) os << ",\n";
+    os << "    {\"spec\": ";
+    spec_json(os, sr.spec);
+    os << ", \"explored\": " << sr.result.explored.size()
+       << ", \"pareto\": " << sr.result.pareto.size()
+       << ", \"feasible\": " << (sr.result.feasible() ? "true" : "false");
+    if (sr.result.feasible()) {
+      os << ", \"best\": ";
+      point_json(os, {sr.result.best(sr.spec.pref), i}, "");
+    }
+    os << "}";
+  }
+  os << "\n  ],\n  \"frontier\": [\n";
+  for (std::size_t i = 0; i < r.frontier.size(); ++i) {
+    if (i) os << ",\n";
+    point_json(os, r.frontier[i], "    ");
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace syndcim::dse

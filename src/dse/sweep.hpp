@@ -1,0 +1,74 @@
+#pragma once
+#include <string>
+#include <vector>
+
+#include "cell/library.hpp"
+#include "core/searcher.hpp"
+#include "dse/eval_cache.hpp"
+#include "dse/pool.hpp"
+
+namespace syndcim::dse {
+
+/// Cartesian spec grid: every listed dimension is swept around `base`
+/// (an empty dimension keeps the base value). `precisions` entries set
+/// input and weight bit lists together — {{4},{8},{4,8}} sweeps an
+/// INT4-only, an INT8-only and a multi-precision macro.
+struct SweepGrid {
+  core::PerfSpec base;
+  std::vector<double> mac_freqs_mhz;
+  std::vector<int> mcrs;
+  std::vector<std::vector<int>> precisions;
+  std::vector<core::PpaPreference> prefs;
+  [[nodiscard]] std::vector<core::PerfSpec> expand() const;
+};
+
+struct SweepOptions {
+  int threads = 0;         ///< <= 0: hardware concurrency
+  bool use_cache = true;   ///< memoize evaluations across specs/trajectories
+  std::string cache_path;  ///< warm-start/persist JSON (empty: in-memory)
+};
+
+/// One spec's complete search outcome inside the sweep.
+struct SpecResult {
+  core::PerfSpec spec;
+  core::SearchResult result;
+};
+
+/// A global-frontier member, annotated with the first spec (by sweep
+/// order) that produced it.
+struct FrontierPoint {
+  core::DesignPoint point;
+  std::size_t spec_index = 0;
+};
+
+struct SweepReport {
+  std::vector<SpecResult> per_spec;
+  /// Deduplicated global Pareto frontier: union of the per-spec fronts
+  /// (the "shard fronts"), identical (config, timing-knob) points
+  /// merged, then non-dominated filtering over the union on
+  /// (power, area, throughput) — throughput joins the per-spec
+  /// power/area objectives because specs differ in clock target.
+  std::vector<FrontierPoint> frontier;
+  EvalCacheStats cache;
+  WorkStealingPool::Stats pool;
+  double wall_ms = 0.0;
+  std::size_t n_tasks = 0;  ///< (spec, trajectory) tasks executed
+};
+
+/// Parallel multi-spec exploration: fans (spec x trajectory) tasks out on
+/// a work-stealing pool, evaluates through the shared memoized cache, and
+/// reduces per-spec fronts into one global frontier. The merge is
+/// performed in (spec, trajectory) index order from preallocated slots,
+/// so the report is bit-identical for any thread count.
+[[nodiscard]] SweepReport run_sweep(const cell::Library& lib,
+                                    const std::vector<core::PerfSpec>& specs,
+                                    const SweepOptions& opt = {});
+
+/// Deterministic JSON of the merged global frontier only (byte-identical
+/// across thread counts).
+[[nodiscard]] std::string sweep_frontier_json(const SweepReport& r);
+/// Full JSON report: per-spec summaries, frontier, cache and pool
+/// statistics, wall time.
+[[nodiscard]] std::string sweep_report_json(const SweepReport& r);
+
+}  // namespace syndcim::dse

@@ -6,11 +6,25 @@
 // Usage:
 //   syndcim --spec macro.spec [--out DIR] [--search-only]
 //   syndcim rows=64 cols=64 mcr=2 mac_mhz=400 [--out DIR]
+//   syndcim sweep [base spec keys] [sweep_mac_mhz=...] [sweep_mcr=...]
+//           [sweep_bits=...] [sweep_pref=...] [--threads N]
+//           [--cache FILE] [--no-cache] [--json FILE]
+//           [--frontier-json FILE]
 //
 // Spec keys: rows, cols, mcr, input_bits (comma list), weight_bits,
 // fp (fp4|fp8|bf16|fp16, comma list), mac_mhz, wupdate_mhz, vdd,
 // pref_power, pref_area, pref_perf, bitcell (6T|8T|12T),
 // mux (pg|tg|oai22), temp_c.
+//
+// Sweep grid keys (comma lists; `;` separates precision groups):
+//   sweep_mac_mhz=250,350,450    MAC frequency dimension
+//   sweep_mcr=1,2                memory-compute-ratio dimension
+//   sweep_bits=4;8;4,8           precision dimension (input+weight bits)
+//   sweep_pref=balanced,power    PPA preference dimension
+//                                (balanced|power|area|perf)
+// The sweep runs every grid point's search on a work-stealing pool with
+// a shared memoized evaluation cache and prints a JSON report (global
+// Pareto frontier + per-spec summaries + cache/pool statistics).
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -22,6 +36,7 @@
 #include "core/artifacts.hpp"
 #include "core/compiler.hpp"
 #include "core/report.hpp"
+#include "dse/sweep.hpp"
 #include "tech/tech_node.hpp"
 
 using namespace syndcim;
@@ -33,6 +48,14 @@ std::vector<int> parse_int_list(const std::string& s) {
   std::stringstream ss(s);
   std::string item;
   while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& s) {
+  std::vector<double> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
   return out;
 }
 
@@ -94,33 +117,185 @@ core::PerfSpec spec_from_kv(const std::map<std::string, std::string>& kv) {
   return spec;
 }
 
+core::PpaPreference named_pref(const std::string& name) {
+  if (name == "balanced") return {1.0, 1.0, 0.0};
+  if (name == "power") return {2.0, 0.5, 0.0};
+  if (name == "area") return {0.5, 2.0, 0.0};
+  if (name == "perf") return {1.0, 1.0, 1.0};
+  throw std::invalid_argument("unknown preference preset: " + name +
+                              " (want balanced|power|area|perf)");
+}
+
+/// Build the sweep grid from kv, consuming `sweep_*` keys; the remaining
+/// keys form the base spec.
+dse::SweepGrid grid_from_kv(std::map<std::string, std::string> kv) {
+  dse::SweepGrid grid;
+  if (const auto it = kv.find("sweep_mac_mhz"); it != kv.end()) {
+    grid.mac_freqs_mhz = parse_double_list(it->second);
+    kv.erase(it);
+  }
+  if (const auto it = kv.find("sweep_mcr"); it != kv.end()) {
+    grid.mcrs = parse_int_list(it->second);
+    kv.erase(it);
+  }
+  if (const auto it = kv.find("sweep_bits"); it != kv.end()) {
+    std::stringstream ss(it->second);
+    std::string group;
+    while (std::getline(ss, group, ';')) {
+      grid.precisions.push_back(parse_int_list(group));
+    }
+    kv.erase(it);
+  }
+  if (const auto it = kv.find("sweep_pref"); it != kv.end()) {
+    std::stringstream ss(it->second);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      grid.prefs.push_back(named_pref(name));
+    }
+    kv.erase(it);
+  }
+  grid.base = spec_from_kv(kv);
+  // Default grid (12 points) when no dimension was given: frequency x
+  // MCR x preference around the base spec.
+  if (grid.mac_freqs_mhz.empty() && grid.mcrs.empty() &&
+      grid.precisions.empty() && grid.prefs.empty()) {
+    grid.mac_freqs_mhz = {250.0, 350.0, 450.0};
+    grid.mcrs = {1, 2};
+    grid.prefs = {named_pref("balanced"), named_pref("power")};
+  }
+  return grid;
+}
+
+void read_spec_file(const char* path, std::map<std::string, std::string>& kv) {
+  std::ifstream f(path);
+  if (!f) {
+    throw std::invalid_argument(std::string("cannot open spec file ") +
+                                path);
+  }
+  std::string line;
+  while (std::getline(f, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t");
+      const auto e = s.find_last_not_of(" \t");
+      return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+    };
+    kv[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+  }
+}
+
+int run_sweep_command(int argc, char** argv) {
+  std::map<std::string, std::string> kv;
+  dse::SweepOptions opt;
+  std::string json_path, frontier_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--spec" && i + 1 < argc) {
+      read_spec_file(argv[++i], kv);
+    } else if (a == "--threads" && i + 1 < argc) {
+      try {
+        opt.threads = std::stoi(argv[++i]);
+      } catch (const std::exception&) {
+        std::cerr << "error: --threads wants an integer, got '" << argv[i]
+                  << "'\n";
+        return 2;
+      }
+    } else if (a == "--cache" && i + 1 < argc) {
+      opt.cache_path = argv[++i];
+    } else if (a == "--no-cache") {
+      opt.use_cache = false;
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--frontier-json" && i + 1 < argc) {
+      frontier_path = argv[++i];
+    } else if (a.find('=') != std::string::npos) {
+      const auto eq = a.find('=');
+      kv[a.substr(0, eq)] = a.substr(eq + 1);
+    } else {
+      std::cerr << "unknown sweep argument: " << a << "\n";
+      return 2;
+    }
+  }
+
+  const dse::SweepGrid grid = grid_from_kv(std::move(kv));
+  const std::vector<core::PerfSpec> specs = grid.expand();
+  std::cerr << "sweep: " << specs.size() << " spec points, threads="
+            << (opt.threads > 0 ? opt.threads
+                                : dse::WorkStealingPool::default_threads())
+            << ", cache=" << (opt.use_cache ? "on" : "off");
+  if (!opt.cache_path.empty()) std::cerr << " (" << opt.cache_path << ")";
+  std::cerr << "\n";
+
+  const auto lib =
+      cell::characterize_default_library(tech::make_default_40nm());
+  const dse::SweepReport rep = dse::run_sweep(lib, specs, opt);
+
+  core::TextTable t({"spec", "MHz", "mcr", "label", "power_uW", "area_um2",
+                     "fmax_MHz"});
+  for (const dse::FrontierPoint& fp : rep.frontier) {
+    const core::PerfSpec& s = rep.per_spec[fp.spec_index].spec;
+    t.add_row({std::to_string(fp.spec_index),
+               core::TextTable::num(s.mac_freq_mhz, 0),
+               std::to_string(s.mcr), fp.point.label,
+               core::TextTable::num(fp.point.ppa.power_uw, 0),
+               core::TextTable::num(fp.point.ppa.area_um2, 0),
+               core::TextTable::num(fp.point.ppa.fmax_mhz, 0)});
+  }
+  t.print(std::cerr);
+  std::cerr << "frontier: " << rep.frontier.size() << " points from "
+            << rep.per_spec.size() << " specs, " << rep.n_tasks
+            << " trajectory tasks in " << core::TextTable::num(rep.wall_ms, 0)
+            << " ms; cache " << rep.cache.hits << " hits / "
+            << rep.cache.misses << " misses ("
+            << core::TextTable::num(100.0 * rep.cache.hit_rate(), 1)
+            << "% hit rate), pool stole " << rep.pool.stolen << " of "
+            << rep.pool.executed << " tasks\n";
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    f << dse::sweep_report_json(rep);
+    std::cerr << "wrote " << json_path << "\n";
+  } else {
+    std::cout << dse::sweep_report_json(rep);
+  }
+  if (!frontier_path.empty()) {
+    std::ofstream f(frontier_path);
+    f << dse::sweep_frontier_json(rep);
+    std::cerr << "wrote " << frontier_path << "\n";
+  }
+  bool any_feasible = false;
+  for (const dse::SpecResult& sr : rep.per_spec) {
+    any_feasible = any_feasible || sr.result.feasible();
+  }
+  return any_feasible ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "sweep") {
+    try {
+      return run_sweep_command(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
   std::map<std::string, std::string> kv;
   std::string out_dir = "syndcim_out";
   bool search_only = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--spec" && i + 1 < argc) {
-      std::ifstream f(argv[++i]);
-      if (!f) {
-        std::cerr << "cannot open spec file " << argv[i] << "\n";
+      try {
+        read_spec_file(argv[++i], kv);
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
         return 2;
-      }
-      std::string line;
-      while (std::getline(f, line)) {
-        const auto hash = line.find('#');
-        if (hash != std::string::npos) line.resize(hash);
-        const auto eq = line.find('=');
-        if (eq == std::string::npos) continue;
-        auto trim = [](std::string s) {
-          const auto b = s.find_first_not_of(" \t");
-          const auto e = s.find_last_not_of(" \t");
-          return b == std::string::npos ? std::string()
-                                        : s.substr(b, e - b + 1);
-        };
-        kv[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
       }
     } else if (a == "--out" && i + 1 < argc) {
       out_dir = argv[++i];
