@@ -1,0 +1,29 @@
+// Deliberately broken netlist exercising the three classic structural
+// defects the linter must catch (used by CI and tests/lint_test.cpp):
+//   - md      driven by both u_md_a and u_md_b        -> LINT-MULTIDRIVE
+//   - floatn  loaded by u_float but never driven      -> LINT-FLOATING
+//   - loop_a/loop_b  inverter ring with no register   -> LINT-COMB-LOOP
+// `syndcim lint examples/lint_defects.v` must exit non-zero and report
+// all three rule ids.
+module lint_defects (in1, in2, in3, clk, out1, out2, out3, out4);
+  input in1;
+  input in2;
+  input in3;
+  input clk;
+  output out1;
+  output out2;
+  output out3;
+  output out4;
+  wire md;
+  wire floatn;
+  wire loop_a;
+  wire loop_b;
+  INVX1 u_md_a (.A(in1), .Y(md));
+  INVX1 u_md_b (.A(in2), .Y(md));
+  INVX1 u_md_use (.A(md), .Y(out1));
+  INVX1 u_float (.A(floatn), .Y(out2));
+  INVX1 u_loop_1 (.A(loop_a), .Y(loop_b));
+  INVX1 u_loop_2 (.A(loop_b), .Y(loop_a));
+  INVX1 u_loop_use (.A(loop_b), .Y(out4));
+  DFFX1 u_reg (.D(in3), .CK(clk), .Q(out3));
+endmodule

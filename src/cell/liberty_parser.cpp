@@ -1,6 +1,7 @@
 #include "cell/liberty_parser.hpp"
 
 #include <cctype>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
@@ -79,56 +80,134 @@ class Lexer {
                                   "'");
     }
   }
+  [[nodiscard]] int line() const {
+    if (toks_.empty()) return 1;
+    return toks_[pos_ < toks_.size() ? pos_ : toks_.size() - 1].line;
+  }
 
  private:
   std::vector<Tok> toks_;
   std::size_t pos_ = 0;
 };
 
-std::vector<double> parse_number_list(const std::string& s) {
+/// Diagnostics context of one parse: findings carry the source name and
+/// line so a malformed .lib is reported, not thrown.
+struct Ctx {
+  core::DiagEngine& diag;
+
+  void bad_number(const std::string& text, int line) {
+    diag.error("LIB-BADNUM",
+               "malformed numeric value '" + text + "'", "", "liberty",
+               line);
+  }
+};
+
+/// Full-string validated double conversion; reports LIB-BADNUM and
+/// returns 0.0 on malformed input instead of throwing.
+double to_double(const Lexer::Tok& t, Ctx& ctx) {
+  const char* s = t.text.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (t.text.empty() || end != s + t.text.size()) {
+    ctx.bad_number(t.text, t.line);
+    return 0.0;
+  }
+  return v;
+}
+
+/// Full-string validated int conversion (LIB-BADNUM on failure).
+long to_long(const Lexer::Tok& t, Ctx& ctx) {
+  const char* s = t.text.c_str();
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (t.text.empty() || end != s + t.text.size()) {
+    ctx.bad_number(t.text, t.line);
+    return 0;
+  }
+  return v;
+}
+
+std::vector<double> parse_number_list(const std::string& s, int line,
+                                      Ctx& ctx) {
   std::vector<double> out;
   std::string cur;
+  auto flush = [&] {
+    if (cur.empty()) return;
+    const char* p = cur.c_str();
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end != p + cur.size()) {
+      ctx.bad_number(cur, line);
+    } else {
+      out.push_back(v);
+    }
+    cur.clear();
+  };
   for (const char c : s) {
     if ((c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' ||
         c == 'e' || c == 'E') {
       cur.push_back(c);
-    } else if (!cur.empty()) {
-      out.push_back(std::stod(cur));
-      cur.clear();
+    } else {
+      flush();
     }
   }
-  if (!cur.empty()) out.push_back(std::stod(cur));
+  flush();
   return out;
 }
 
+/// Consumes one statement the parser does not understand: everything up
+/// to the next ';' at group depth 0 (inclusive), or through one balanced
+/// '{...}' group. Stops before a '}' that would close the enclosing
+/// group.
+void skip_statement(Lexer& lex) {
+  int depth = 0;
+  while (!lex.done()) {
+    const std::string text = lex.peek().text;
+    if (depth == 0 && text == "}") return;  // enclosing group ends
+    lex.next();
+    if (text == "{") {
+      ++depth;
+    } else if (text == "}") {
+      if (--depth == 0) return;
+    } else if (text == ";" && depth == 0) {
+      return;
+    }
+  }
+}
+
 /// Parses one table group body: index_1("..."); index_2("..."); values(...)
-Lut2d parse_table(Lexer& lex) {
+Lut2d parse_table(Lexer& lex, Ctx& ctx) {
   lex.expect("{");
   std::vector<double> i1, i2, vals;
   while (lex.peek().text != "}") {
-    const std::string key = lex.next().text;
+    const Lexer::Tok key = lex.next();
     lex.expect("(");
     std::string body;
     while (lex.peek().text != ")") body += lex.next().text + " ";
     lex.expect(")");
     lex.expect(";");
-    if (key == "index_1") {
-      i1 = parse_number_list(body);
-    } else if (key == "index_2") {
-      i2 = parse_number_list(body);
-    } else if (key == "values") {
-      vals = parse_number_list(body);
+    if (key.text == "index_1") {
+      i1 = parse_number_list(body, key.line, ctx);
+    } else if (key.text == "index_2") {
+      i2 = parse_number_list(body, key.line, ctx);
+    } else if (key.text == "values") {
+      vals = parse_number_list(body, key.line, ctx);
     } else {
-      throw std::invalid_argument("liberty: unknown table member " + key);
+      ctx.diag.error("LIB-UNKNOWN-ATTR",
+                       "unknown table member '" + key.text + "' skipped",
+                       "", "liberty", key.line);
     }
   }
   lex.expect("}");
-  return Lut2d(std::move(i1), std::move(i2), std::move(vals));
+  try {
+    return Lut2d(std::move(i1), std::move(i2), std::move(vals));
+  } catch (const std::exception& e) {
+    ctx.diag.error("LIB-BADTABLE", e.what(), "", "liberty", lex.line());
+    return Lut2d();
+  }
 }
 
-}  // namespace
-
-Library parse_liberty(std::istream& is, const tech::TechNode& node) {
+void parse_impl(std::istream& is, Library& lib, Ctx& ctx) {
   Lexer lex(is);
   lex.expect("library");
   lex.expect("(");
@@ -136,7 +215,6 @@ Library parse_liberty(std::istream& is, const tech::TechNode& node) {
   lex.expect(")");
   lex.expect("{");
 
-  Library lib(node);
   while (lex.peek().text != "}") {
     const std::string key = lex.next().text;
     if (key != "cell") {
@@ -151,52 +229,57 @@ Library parse_liberty(std::istream& is, const tech::TechNode& node) {
     lex.expect(")");
     lex.expect("{");
     while (lex.peek().text != "}") {
-      const std::string ckey = lex.next().text;
-      if (ckey == "pin") {
+      const Lexer::Tok ckey = lex.next();
+      if (ckey.text == "pin") {
         lex.expect("(");
         const int pin_idx = static_cast<int>(c.pins.size());
         c.pins.push_back(Pin{lex.next().text, true, false, 0.0});
         lex.expect(")");
         lex.expect("{");
         while (lex.peek().text != "}") {
-          const std::string pkey = lex.next().text;
-          if (pkey == "direction") {
+          const Lexer::Tok pkey = lex.next();
+          if (pkey.text == "direction") {
             lex.expect(":");
             c.pins[pin_idx].is_input = lex.next().text == "input";
             lex.expect(";");
-          } else if (pkey == "capacitance") {
+          } else if (pkey.text == "capacitance") {
             lex.expect(":");
-            c.pins[pin_idx].cap_ff = std::stod(lex.next().text);
+            c.pins[pin_idx].cap_ff = to_double(lex.next(), ctx);
             lex.expect(";");
-          } else if (pkey == "clock") {
+          } else if (pkey.text == "clock") {
             lex.expect(":");
             c.pins[pin_idx].is_clock = lex.next().text == "true";
             lex.expect(";");
-          } else if (pkey == "timing") {
+          } else if (pkey.text == "timing") {
             lex.expect("(");
             lex.expect(")");
             lex.expect("{");
             std::string rel;
+            int rel_line = pkey.line;
             Lut2d delay, slewt;
             while (lex.peek().text != "}") {
-              const std::string tkey = lex.next().text;
-              if (tkey == "related_pin") {
+              const Lexer::Tok tkey = lex.next();
+              if (tkey.text == "related_pin") {
                 lex.expect(":");
                 rel = lex.next().text;  // quoted token
+                rel_line = tkey.line;
                 lex.expect(";");
-              } else if (tkey == "cell_rise") {
+              } else if (tkey.text == "cell_rise") {
                 lex.expect("(");
                 lex.next();  // template name
                 lex.expect(")");
-                delay = parse_table(lex);
-              } else if (tkey == "rise_transition") {
+                delay = parse_table(lex, ctx);
+              } else if (tkey.text == "rise_transition") {
                 lex.expect("(");
                 lex.next();
                 lex.expect(")");
-                slewt = parse_table(lex);
+                slewt = parse_table(lex, ctx);
               } else {
-                throw std::invalid_argument("liberty: unknown timing member " +
-                                            tkey);
+                ctx.diag.error(
+                    "LIB-UNKNOWN-ATTR",
+                    "unknown timing member '" + tkey.text + "' skipped",
+                    c.name, "liberty", tkey.line);
+                skip_statement(lex);
               }
             }
             lex.expect("}");
@@ -206,48 +289,94 @@ Library parse_liberty(std::istream& is, const tech::TechNode& node) {
             arc.from_pin = c.pin_index(rel);
             arc.to_pin = pin_idx;
             if (arc.from_pin < 0) {
-              throw std::invalid_argument("liberty: arc references unknown "
-                                          "pin " + rel + " on " + c.name);
+              ctx.diag.error("LIB-BADREF",
+                             "timing arc references unknown pin '" + rel +
+                                 "'",
+                             c.name, "liberty", rel_line);
+              continue;  // drop the arc, keep parsing the pin group
             }
             arc.delay_ps = std::move(delay);
             arc.out_slew_ps = std::move(slewt);
             c.arcs.push_back(std::move(arc));
           } else {
-            throw std::invalid_argument("liberty: unknown pin member " +
-                                        pkey);
+            ctx.diag.error(
+                "LIB-UNKNOWN-ATTR",
+                "unknown pin member '" + pkey.text + "' skipped", c.name,
+                "liberty", pkey.line);
+            skip_statement(lex);
           }
         }
         lex.expect("}");
       } else {
         // scalar cell attribute
         lex.expect(":");
-        const std::string val = lex.next().text;
+        const Lexer::Tok val = lex.next();
         lex.expect(";");
-        if (ckey == "area") {
-          c.area_um2 = std::stod(val);
-        } else if (ckey == "cell_leakage_power") {
-          c.leakage_nw = std::stod(val);
-        } else if (ckey == "syndcim_kind") {
-          c.kind = static_cast<Kind>(std::stoi(val));
-        } else if (ckey == "syndcim_drive") {
-          c.drive_x = std::stod(val);
-        } else if (ckey == "syndcim_internal_energy") {
-          c.internal_energy_fj = std::stod(val);
-        } else if (ckey == "syndcim_clock_energy") {
-          c.clock_energy_fj = std::stod(val);
-        } else if (ckey == "syndcim_setup") {
-          c.setup_ps = std::stod(val);
-        } else if (ckey == "syndcim_hold") {
-          c.hold_ps = std::stod(val);
-        } else if (ckey == "syndcim_width") {
-          c.width_um = std::stod(val);
-        } else if (ckey == "syndcim_height") {
-          c.height_um = std::stod(val);
+        if (ckey.text == "area") {
+          c.area_um2 = to_double(val, ctx);
+        } else if (ckey.text == "cell_leakage_power") {
+          c.leakage_nw = to_double(val, ctx);
+        } else if (ckey.text == "syndcim_kind") {
+          const long k = to_long(val, ctx);
+          if (k < 0 || k > static_cast<long>(Kind::kTGate2T)) {
+            ctx.diag.error("LIB-BADNUM",
+                           "syndcim_kind " + std::to_string(k) +
+                               " out of range",
+                           c.name, "liberty", val.line);
+          } else {
+            c.kind = static_cast<Kind>(k);
+          }
+        } else if (ckey.text == "syndcim_drive") {
+          c.drive_x = to_double(val, ctx);
+        } else if (ckey.text == "syndcim_internal_energy") {
+          c.internal_energy_fj = to_double(val, ctx);
+        } else if (ckey.text == "syndcim_clock_energy") {
+          c.clock_energy_fj = to_double(val, ctx);
+        } else if (ckey.text == "syndcim_setup") {
+          c.setup_ps = to_double(val, ctx);
+        } else if (ckey.text == "syndcim_hold") {
+          c.hold_ps = to_double(val, ctx);
+        } else if (ckey.text == "syndcim_width") {
+          c.width_um = to_double(val, ctx);
+        } else if (ckey.text == "syndcim_height") {
+          c.height_um = to_double(val, ctx);
+        } else {
+          ctx.diag.error("LIB-UNKNOWN-ATTR",
+                         "unknown cell member '" + ckey.text + "' skipped",
+                         c.name, "liberty", ckey.line);
         }
       }
     }
     lex.expect("}");
-    lib.add(std::move(c));
+    if (lib.has(c.name)) {
+      ctx.diag.error("LIB-DUPCELL", "duplicate cell definition", c.name,
+                     "liberty", lex.line());
+    } else {
+      lib.add(std::move(c));
+    }
+  }
+}
+
+}  // namespace
+
+Library parse_liberty(std::istream& is, const tech::TechNode& node,
+                      core::DiagEngine* diag) {
+  core::DiagEngine own;
+  core::DiagEngine& eng = diag ? *diag : own;
+  Ctx ctx{eng};
+  Library lib(node);
+  try {
+    parse_impl(is, lib, ctx);
+  } catch (const std::invalid_argument& e) {
+    // Structural damage (truncation, token mismatch): record and return
+    // what parsed so far instead of propagating out of the flow.
+    eng.error("LIB-SYNTAX", e.what(), "", "liberty");
+  }
+  if (!diag && eng.has_errors()) {
+    std::ostringstream os;
+    os << "parse_liberty: " << eng.summary() << "\n";
+    eng.print(os);
+    throw std::invalid_argument(os.str());
   }
   return lib;
 }

@@ -2,6 +2,7 @@
 #include <istream>
 
 #include "cell/library.hpp"
+#include "core/diag.hpp"
 #include "tech/tech_node.hpp"
 
 namespace syndcim::cell {
@@ -15,7 +16,19 @@ namespace syndcim::cell {
 ///
 /// Enables library round-trips (characterize -> write -> parse -> same
 /// timing answers) and loading externally characterized tables.
+///
+/// Malformed input never aborts the process: every numeric field is
+/// validated (rule LIB-BADNUM), unknown attributes are skipped with a
+/// LIB-UNKNOWN-ATTR error (our dialect is closed — an unrecognized
+/// member means the file is corrupted), bad arc references are
+/// LIB-BADREF, and
+/// structural damage (truncation, token mismatch) is LIB-SYNTAX. With a
+/// DiagEngine the findings are collected there — carrying the source file
+/// line — and the cells parsed so far are returned; without one,
+/// error-severity findings are aggregated into a single
+/// std::invalid_argument thrown after parsing stops (legacy behavior).
 [[nodiscard]] Library parse_liberty(std::istream& is,
-                                    const tech::TechNode& node);
+                                    const tech::TechNode& node,
+                                    core::DiagEngine* diag = nullptr);
 
 }  // namespace syndcim::cell

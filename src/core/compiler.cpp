@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <random>
+#include <stdexcept>
 
 #include "netlist/flatten.hpp"
 #include "num/int_ops.hpp"
@@ -65,8 +66,18 @@ Implementation SynDcimCompiler::implement(const rtlgen::MacroConfig& cfg,
   const netlist::FlatNetlist flat =
       netlist::flatten(impl.macro.design, impl.macro.top);
 
+  // Static netlist checks before any physical or timing work: an
+  // error-severity finding means the netlist itself is broken and every
+  // downstream number would be meaningless.
+  impl.lint = lint::lint_netlist(flat, lib_, impl.diagnostics);
+  if (!impl.lint.clean()) {
+    throw std::runtime_error("SynDcimCompiler::implement: netlist lint "
+                             "failed (" + impl.diagnostics.summary() + ")");
+  }
+
   // APR: structured-data-path placement, then signoff checks.
-  impl.floorplan = layout::sdp_place(flat, lib_, cfg);
+  impl.floorplan =
+      layout::sdp_place(flat, lib_, cfg, {}, &impl.diagnostics);
   impl.drc = layout::run_drc(flat, lib_, impl.floorplan);
   impl.lvs = layout::run_lvs(flat, lib_, impl.floorplan);
   const sta::WireModel wire =
@@ -80,6 +91,7 @@ Implementation SynDcimCompiler::implement(const rtlgen::MacroConfig& cfg,
   topt.vdd = spec.vdd;
   topt.wire = wire;
   topt.static_inputs = impl.macro.static_control_ports();
+  topt.diag = &impl.diagnostics;
   impl.timing = sta.analyze(topt);
   impl.fmax_mhz = impl.timing.fmax_mhz;
 

@@ -3,8 +3,10 @@
 #include <string>
 
 #include "cell/library.hpp"
+#include "core/diag.hpp"
 #include "core/searcher.hpp"
 #include "layout/floorplan.hpp"
+#include "lint/lint.hpp"
 #include "power/power.hpp"
 #include "rtlgen/macro.hpp"
 #include "sta/sta.hpp"
@@ -27,6 +29,8 @@ struct Workload {
 struct Implementation {
   rtlgen::MacroDesign macro;
   layout::Floorplan floorplan;
+  lint::LintSummary lint;        ///< netlist static checks (pre-signoff)
+  DiagEngine diagnostics;        ///< lint/STA/floorplan findings
   layout::DrcReport drc;
   layout::LvsReport lvs;
   sta::TimingReport timing;      ///< with back-annotated wire parasitics
@@ -43,7 +47,7 @@ struct Implementation {
     return macro_area_mm2 > 0 ? tops_1b / macro_area_mm2 : 0.0;
   }
   [[nodiscard]] bool signoff_clean() const {
-    return drc.clean() && lvs.clean() && timing.met();
+    return lint.clean() && drc.clean() && lvs.clean() && timing.met();
   }
 };
 
@@ -73,6 +77,13 @@ class SynDcimCompiler {
 
   /// Implements one concrete configuration (used for every point a user
   /// picks off the Pareto front, and by the baseline compiler models).
+  ///
+  /// The flattened netlist is linted before placement; error-severity
+  /// findings (multiply-driven nets, floating nets, combinational loops,
+  /// ...) abort the flow with std::runtime_error — running STA/power on a
+  /// structurally broken netlist would produce confident garbage. The
+  /// full diagnostic list (including warnings from the floorplanner and
+  /// STA constraint checks) is kept in Implementation::diagnostics.
   [[nodiscard]] Implementation implement(const rtlgen::MacroConfig& cfg,
                                          const PerfSpec& spec,
                                          const Workload& workload = {});

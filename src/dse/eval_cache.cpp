@@ -1,6 +1,8 @@
 #include "dse/eval_cache.hpp"
 
+#include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -172,6 +174,8 @@ EvalCacheStats EvalCache::stats() const {
   s.entries = size();
   s.loaded = static_cast<std::size_t>(
       loaded_.load(std::memory_order_relaxed));
+  s.rejected = static_cast<std::size_t>(
+      rejected_.load(std::memory_order_relaxed));
   return s;
 }
 
@@ -218,6 +222,38 @@ bool next_quoted(const std::string& s, std::size_t& pos, std::string& out) {
   return true;
 }
 
+/// Strict double parse: the token must be a complete finite number
+/// (strtod consumes everything, no trailing junk, not inf/nan).
+bool parse_finite(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end != begin + s.size()) return false;
+  if (!std::isfinite(v)) return false;
+  out = v;
+  return true;
+}
+
+/// Strict int parse of the bare number that follows `pos` (after optional
+/// whitespace and one leading comma, matching save_json's ", N" layout).
+bool parse_bare_int(const std::string& s, std::size_t& pos, long& out) {
+  std::size_t i = s.find(',', pos);
+  if (i == std::string::npos) return false;
+  ++i;
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+  const char* begin = s.c_str() + i;
+  char* end = nullptr;
+  const long v = std::strtol(begin, &end, 10);
+  if (end == begin) return false;
+  pos = static_cast<std::size_t>(end - s.c_str());
+  out = v;
+  return true;
+}
+
 }  // namespace
 
 bool EvalCache::save_json(const std::string& path) const {
@@ -249,68 +285,130 @@ bool EvalCache::save_json(const std::string& path) const {
   return f.good();
 }
 
-std::size_t EvalCache::load_json(const std::string& path) {
+std::size_t EvalCache::load_json(const std::string& path,
+                                 core::DiagEngine* diag) {
   std::ifstream f(path);
   if (!f) return 0;
   std::stringstream buf;
   buf << f.rdbuf();
   const std::string text = buf.str();
-  if (text.find("\"syndcim-eval-cache\"") == std::string::npos) return 0;
+  if (text.find("\"syndcim-eval-cache\"") == std::string::npos) {
+    if (diag) {
+      diag->warning("CACHE-BADFILE",
+                    "persisted cache is missing the "
+                    "\"syndcim-eval-cache\" format marker; ignoring it",
+                    path, "eval-cache");
+    }
+    return 0;
+  }
 
   // Entries are parsed positionally: the key string, then 6 quoted
   // hexfloat PPA numbers + 1 bare int, then 3 quoted hexfloats + 3 bare
-  // ints for the timing status. This mirrors save_json exactly.
+  // ints for the timing status. This mirrors save_json exactly, but
+  // treats the file as untrusted: literal field names are checked, every
+  // number must fully round-trip, and a malformed entry is rejected
+  // (counted, reported) with the scan resuming at the next entry rather
+  // than installing garbage or dropping the rest of the file.
   std::size_t n = 0;
+  std::size_t rejected = 0;
+  constexpr std::size_t kMaxReported = 8;
   std::size_t pos = text.find("\"entries\"");
-  if (pos == std::string::npos) return 0;
+  if (pos == std::string::npos) {
+    if (diag) {
+      diag->warning("CACHE-BADFILE", "persisted cache has no entries array",
+                    path, "eval-cache");
+    }
+    return 0;
+  }
   while (true) {
-    std::size_t obj = text.find("{\"key\"", pos);
+    const std::size_t obj = text.find("{\"key\"", pos);
     if (obj == std::string::npos) break;
-    pos = obj;
+    pos = obj + 1;  // resync point: a failure below rescans from here
+
+    const auto reject = [&](const char* why) {
+      ++rejected;
+      if (diag && rejected <= kMaxReported) {
+        diag->warning("CACHE-BADENTRY",
+                      std::string("rejected malformed cache entry: ") + why,
+                      path, "eval-cache");
+      }
+    };
+
     std::string key;
-    std::size_t p = pos + 1;  // skip '{'
-    if (!next_quoted(text, p, key)) break;   // literal `key`
-    if (!next_quoted(text, p, key)) break;   // the key itself
-    std::vector<std::string> q(10);
-    std::string skip;
-    if (!next_quoted(text, p, skip)) break;  // literal `ppa`
+    std::string lit;
+    std::size_t p = obj + 1;  // skip '{'
+    if (!next_quoted(text, p, lit) || lit != "key" ||
+        !next_quoted(text, p, key)) {
+      reject("bad key field");
+      continue;
+    }
+    if (!next_quoted(text, p, lit) || lit != "ppa") {
+      reject("missing \"ppa\" array");
+      continue;
+    }
+    std::vector<std::string> q(9);
     bool ok = true;
     for (int i = 0; i < 6 && ok; ++i) ok = next_quoted(text, p, q[i]);
-    if (!ok) break;
-    const std::size_t lat_pos = text.find(',', p);
-    if (lat_pos == std::string::npos) break;
-    const int latency = std::atoi(text.c_str() + lat_pos + 1);
-    if (!next_quoted(text, p, skip)) break;  // literal `timing`
-    for (int i = 6; i < 9 && ok; ++i) ok = next_quoted(text, p, q[i]);
-    if (!ok) break;
-    const std::size_t flags_pos = text.find(',', p);
-    if (flags_pos == std::string::npos) break;
-    int b0 = 0, b1 = 0, b2 = 0;
-    if (std::sscanf(text.c_str() + flags_pos + 1, "%d , %d , %d", &b0, &b1,
-                    &b2) != 3) {
-      break;
+    if (!ok) {
+      reject("truncated ppa numbers");
+      continue;
     }
+    long latency = 0;
+    if (!parse_bare_int(text, p, latency) || latency < 0) {
+      reject("bad latency field");
+      continue;
+    }
+    if (!next_quoted(text, p, lit) || lit != "timing") {
+      reject("missing \"timing\" array");
+      continue;
+    }
+    for (int i = 6; i < 9 && ok; ++i) ok = next_quoted(text, p, q[i]);
+    if (!ok) {
+      reject("truncated timing numbers");
+      continue;
+    }
+    long b0 = 0, b1 = 0, b2 = 0;
+    if (!parse_bare_int(text, p, b0) || !parse_bare_int(text, p, b1) ||
+        !parse_bare_int(text, p, b2)) {
+      reject("bad timing status flags");
+      continue;
+    }
+    double d[9];
+    bool finite = true;
+    for (int i = 0; i < 9 && finite; ++i) finite = parse_finite(q[i], d[i]);
+    if (!finite) {
+      reject("numeric field does not round-trip");
+      continue;
+    }
+
     core::EvalOutcome o;
-    o.ppa.fmax_mhz = std::strtod(q[0].c_str(), nullptr);
-    o.ppa.write_fmax_mhz = std::strtod(q[1].c_str(), nullptr);
-    o.ppa.power_uw = std::strtod(q[2].c_str(), nullptr);
-    o.ppa.area_um2 = std::strtod(q[3].c_str(), nullptr);
-    o.ppa.energy_per_mac_fj = std::strtod(q[4].c_str(), nullptr);
-    o.ppa.tops_1b = std::strtod(q[5].c_str(), nullptr);
-    o.ppa.latency_cycles = latency;
-    o.timing.mac_period_ps = std::strtod(q[6].c_str(), nullptr);
-    o.timing.ofu_period_ps = std::strtod(q[7].c_str(), nullptr);
-    o.timing.write_period_ps = std::strtod(q[8].c_str(), nullptr);
+    o.ppa.fmax_mhz = d[0];
+    o.ppa.write_fmax_mhz = d[1];
+    o.ppa.power_uw = d[2];
+    o.ppa.area_um2 = d[3];
+    o.ppa.energy_per_mac_fj = d[4];
+    o.ppa.tops_1b = d[5];
+    o.ppa.latency_cycles = static_cast<int>(latency);
+    o.timing.mac_period_ps = d[6];
+    o.timing.ofu_period_ps = d[7];
+    o.timing.write_period_ps = d[8];
     o.timing.mac_ok = b0 != 0;
     o.timing.ofu_ok = b1 != 0;
     o.timing.write_ok = b2 != 0;
     insert(key, o);
     ++n;
-    pos = text.find('}', flags_pos);
-    if (pos == std::string::npos) break;
+    pos = p;
+  }
+  if (diag && rejected > kMaxReported) {
+    diag->info("CACHE-BADENTRY",
+               std::to_string(rejected - kMaxReported) +
+                   " further malformed cache entries not shown",
+               path, "eval-cache");
   }
   loaded_.fetch_add(static_cast<std::uint64_t>(n),
                     std::memory_order_relaxed);
+  rejected_.fetch_add(static_cast<std::uint64_t>(rejected),
+                      std::memory_order_relaxed);
   return n;
 }
 

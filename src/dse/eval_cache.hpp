@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/diag.hpp"
 #include "core/eval_backend.hpp"
 
 namespace syndcim::dse {
@@ -43,7 +44,8 @@ struct EvalCacheStats {
   /// Wall time spent inside miss-path evaluations.
   double miss_eval_ms = 0.0;
   std::size_t entries = 0;
-  std::size_t loaded = 0;  ///< entries imported from disk
+  std::size_t loaded = 0;    ///< entries imported from disk
+  std::size_t rejected = 0;  ///< malformed persisted entries refused
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
     return total > 0 ? static_cast<double>(hits) / total : 0.0;
@@ -82,8 +84,17 @@ class EvalCache {
   /// save/load round-trip is bit-exact. `load_json` merges into the
   /// current contents and returns the number of entries read; it returns
   /// 0 (not an error) if the file does not exist.
+  ///
+  /// The loader treats the file as untrusted: each entry must have the
+  /// exact field layout save_json writes (checked literal keys and field
+  /// counts) and every numeric field must round-trip as a finite number.
+  /// Truncated or corrupted entries are rejected — counted in
+  /// stats().rejected and reported through `diag` (rule CACHE-BADENTRY)
+  /// — and the scan resynchronizes on the next entry instead of silently
+  /// installing garbage PPA numbers or abandoning the rest of the file.
   bool save_json(const std::string& path) const;
-  std::size_t load_json(const std::string& path);
+  std::size_t load_json(const std::string& path,
+                        core::DiagEngine* diag = nullptr);
 
  private:
   static constexpr std::size_t kShards = 16;
@@ -109,6 +120,7 @@ class EvalCache {
   std::atomic<std::uint64_t> inflight_waits_{0};
   std::atomic<std::uint64_t> miss_eval_ns_{0};
   std::atomic<std::uint64_t> loaded_{0};
+  std::atomic<std::uint64_t> rejected_{0};
 };
 
 /// EvalBackend decorator: memoizes `inner` through `cache`. Thread-safe

@@ -9,6 +9,11 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "core/diag.hpp"
+#include "lint/lint.hpp"
+#include "netlist/flatten.hpp"
+#include "rtlgen/macro.hpp"
+
 namespace syndcim::dse {
 
 namespace {
@@ -37,7 +42,12 @@ void point_json(std::ostringstream& os, const FrontierPoint& fp,
   for (std::size_t i = 0; i < p.applied.size(); ++i) {
     os << (i ? ", " : "") << '"' << p.applied[i] << '"';
   }
-  os << "]}";
+  os << "]";
+  if (fp.lint_errors >= 0) {
+    os << ", \"lint\": {\"errors\": " << fp.lint_errors
+       << ", \"warnings\": " << fp.lint_warnings << "}";
+  }
+  os << "}";
 }
 
 void spec_json(std::ostringstream& os, const core::PerfSpec& s) {
@@ -230,6 +240,23 @@ SweepReport run_sweep(const cell::Library& lib,
   }
   rep.frontier = global_front(std::move(merged));
 
+  // Static sanity of every surviving frontier point: a frontier entry is
+  // what a user will actually implement, so its elaborated netlist gets
+  // the same checks the compiler runs before signoff. Sequential (the
+  // frontier is small) and pure, keeping the report thread-count
+  // independent.
+  if (opt.lint_frontier) {
+    for (FrontierPoint& fp : rep.frontier) {
+      const rtlgen::MacroDesign macro = rtlgen::gen_macro(fp.point.cfg);
+      const netlist::FlatNetlist flat =
+          netlist::flatten(macro.design, macro.top);
+      core::DiagEngine diag;
+      const lint::LintSummary s = lint::lint_netlist(flat, lib, diag);
+      fp.lint_errors = static_cast<int>(s.errors);
+      fp.lint_warnings = static_cast<int>(s.warnings);
+    }
+  }
+
   if (opt.use_cache && !opt.cache_path.empty()) {
     (void)cache.save_json(opt.cache_path);
   }
@@ -265,7 +292,8 @@ std::string sweep_report_json(const SweepReport& r) {
      << ", \"inflight_waits\": " << r.cache.inflight_waits
      << ", \"miss_eval_ms\": " << jnum(r.cache.miss_eval_ms)
      << ", \"entries\": " << r.cache.entries
-     << ", \"loaded\": " << r.cache.loaded << "}"
+     << ", \"loaded\": " << r.cache.loaded
+     << ", \"rejected\": " << r.cache.rejected << "}"
      << ",\n  \"per_spec\": [\n";
   for (std::size_t i = 0; i < r.per_spec.size(); ++i) {
     const SpecResult& sr = r.per_spec[i];

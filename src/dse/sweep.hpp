@@ -26,6 +26,10 @@ struct SweepOptions {
   int threads = 0;         ///< <= 0: hardware concurrency
   bool use_cache = true;   ///< memoize evaluations across specs/trajectories
   std::string cache_path;  ///< warm-start/persist JSON (empty: in-memory)
+  /// Lint the elaborated netlist of every global-frontier point after the
+  /// merge (sequential, so the report stays deterministic). Off for pure
+  /// benchmarking runs.
+  bool lint_frontier = true;
 };
 
 /// One spec's complete search outcome inside the sweep.
@@ -35,10 +39,13 @@ struct SpecResult {
 };
 
 /// A global-frontier member, annotated with the first spec (by sweep
-/// order) that produced it.
+/// order) that produced it and, when SweepOptions::lint_frontier is set,
+/// with the lint result of its elaborated netlist (-1 = not linted).
 struct FrontierPoint {
   core::DesignPoint point;
   std::size_t spec_index = 0;
+  int lint_errors = -1;
+  int lint_warnings = 0;
 };
 
 struct SweepReport {

@@ -58,10 +58,26 @@ double group_logic_area(const std::vector<std::uint32_t>& gates,
   return a;
 }
 
+/// Parses the <N> of a "col<N>" group name. Returns -1 unless the whole
+/// suffix is a non-negative decimal integer — net names like "col_en" or
+/// "col12x" must not crash (or silently misplace) the floorplan.
+int parse_col_index(const std::string& name) {
+  if (name.size() <= 3) return -1;
+  long v = 0;
+  for (std::size_t i = 3; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return -1;
+    v = v * 10 + (c - '0');
+    if (v > 1'000'000) return -1;  // implausible column count
+  }
+  return static_cast<int>(v);
+}
+
 }  // namespace
 
 Floorplan sdp_place(const FlatNetlist& nl, const cell::Library& lib,
-                    const rtlgen::MacroConfig& cfg, const SdpOptions& opt) {
+                    const rtlgen::MacroConfig& cfg, const SdpOptions& opt,
+                    core::DiagEngine* diag) {
   const ResolvedCells rc = resolve(nl, lib);
   const tech::TechNode& node = lib.node();
   const double row_h = node.std_row_height_um;
@@ -156,10 +172,24 @@ Floorplan sdp_place(const FlatNetlist& nl, const cell::Library& lib,
   for (std::size_t gi = 0; gi < group_names.size(); ++gi) {
     const std::string& name = group_names[gi];
     if (name.rfind("col", 0) != 0 || name.rfind("ofu", 0) == 0) continue;
-    int col = -1;
-    try {
-      col = std::stoi(name.substr(3));
-    } catch (...) {
+    const int col = parse_col_index(name);
+    if (col < 0) {
+      if (diag) {
+        diag->warning("FP-BADGROUP",
+                      "group name starts with 'col' but is not of the "
+                      "col<N> shape; not placed as a column strip",
+                      name, "sdp_place");
+      }
+      continue;
+    }
+    if (col >= cfg.cols) {
+      if (diag) {
+        diag->warning("FP-BADGROUP",
+                      "column index " + std::to_string(col) +
+                          " is outside the configured 0.." +
+                          std::to_string(cfg.cols - 1) + " range",
+                      name, "sdp_place");
+      }
       continue;
     }
     ++n_cols_placed;

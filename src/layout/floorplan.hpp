@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cell/library.hpp"
+#include "core/diag.hpp"
 #include "netlist/flatten.hpp"
 #include "rtlgen/arch.hpp"
 #include "sta/sta.hpp"
@@ -45,10 +46,16 @@ struct SdpOptions {
 /// strip beside it, write port below, WL drivers left, alignment unit
 /// above and OFU groups to the right — the regular layout the scalable
 /// Innovus SDP script produces.
+///
+/// Column groups are recognized by the `col<N>` name shape; a group whose
+/// name does not parse as a full non-negative integer after "col" is
+/// skipped and reported through `diag` (rule FP-BADGROUP) instead of
+/// aborting the placement.
 [[nodiscard]] Floorplan sdp_place(const netlist::FlatNetlist& nl,
                                   const cell::Library& lib,
                                   const rtlgen::MacroConfig& cfg,
-                                  const SdpOptions& opt = {});
+                                  const SdpOptions& opt = {},
+                                  core::DiagEngine* diag = nullptr);
 
 /// Ablation baseline: same cells packed row-major in shuffled order with
 /// no structure (what undirected APR placement degenerates to for a

@@ -38,6 +38,7 @@ void expand(FlattenCtx& ctx, const Module& m,
   std::vector<std::uint32_t> local2flat(m.nets().size(), UINT32_MAX);
   for (const auto& [local, flat] : port_nets) local2flat[local] = flat;
 
+  const std::string& group_name = ctx.out.group_names()[group];
   auto flat_net = [&](NetId local) -> std::uint32_t {
     std::uint32_t& slot = local2flat[local.v];
     if (slot != UINT32_MAX) return slot;
@@ -45,16 +46,16 @@ void expand(FlattenCtx& ctx, const Module& m,
     // Share one flat net per constant value design-wide.
     if (tie == NetConst::kZero) {
       if (ctx.shared_const0 == UINT32_MAX) {
-        ctx.shared_const0 = ctx.out.new_net(tie);
+        ctx.shared_const0 = ctx.out.new_net(tie, "const0");
       }
       slot = ctx.shared_const0;
     } else if (tie == NetConst::kOne) {
       if (ctx.shared_const1 == UINT32_MAX) {
-        ctx.shared_const1 = ctx.out.new_net(tie);
+        ctx.shared_const1 = ctx.out.new_net(tie, "const1");
       }
       slot = ctx.shared_const1;
     } else {
-      slot = ctx.out.new_net(tie);
+      slot = ctx.out.new_net(tie, group_name + "." + m.net(local).name);
     }
     return slot;
   };
@@ -90,7 +91,9 @@ void expand(FlattenCtx& ctx, const Module& m,
                                     p.name + " on instance " + inst.name +
                                     " of " + sub.name());
       }
-      sub_ports.emplace(p.net.v, ctx.out.new_net(NetConst::kNone));
+      sub_ports.emplace(
+          p.net.v, ctx.out.new_net(NetConst::kNone,
+                                   inst.name + "." + p.name + ".nc"));
     }
     expand(ctx, sub, sub_ports, group);
   }
@@ -110,8 +113,9 @@ std::uint32_t FlatNetlist::intern_group(const std::string& name) {
   group_names_.push_back(name);
   return static_cast<std::uint32_t>(group_names_.size() - 1);
 }
-std::uint32_t FlatNetlist::new_net(NetConst tie) {
+std::uint32_t FlatNetlist::new_net(NetConst tie, std::string name) {
   net_consts_.push_back(tie);
+  net_names_.push_back(std::move(name));
   return static_cast<std::uint32_t>(net_consts_.size() - 1);
 }
 
@@ -143,7 +147,7 @@ FlatNetlist flatten(const Design& d, const std::string& top) {
 
   std::unordered_map<std::uint32_t, std::uint32_t> top_ports;
   for (const Port& p : t.ports()) {
-    const std::uint32_t net = out.new_net(t.net(p.net).tie);
+    const std::uint32_t net = out.new_net(t.net(p.net).tie, p.name);
     top_ports.emplace(p.net.v, net);
     if (p.dir == PortDir::kIn) {
       out.add_primary_input(p.name, net);
@@ -167,16 +171,16 @@ FlatNetlist flatten(const Design& d, const std::string& top) {
     const NetConst tie = m.net(local).tie;
     if (tie == NetConst::kZero) {
       if (ctx.shared_const0 == UINT32_MAX) {
-        ctx.shared_const0 = out.new_net(tie);
+        ctx.shared_const0 = out.new_net(tie, "const0");
       }
       slot = ctx.shared_const0;
     } else if (tie == NetConst::kOne) {
       if (ctx.shared_const1 == UINT32_MAX) {
-        ctx.shared_const1 = out.new_net(tie);
+        ctx.shared_const1 = out.new_net(tie, "const1");
       }
       slot = ctx.shared_const1;
     } else {
-      slot = out.new_net(tie);
+      slot = out.new_net(tie, m.net(local).name);
     }
     return slot;
   };
@@ -212,7 +216,9 @@ FlatNetlist flatten(const Design& d, const std::string& top) {
         throw std::invalid_argument("flatten: unconnected input port " +
                                     p.name + " on instance " + inst.name);
       }
-      sub_ports.emplace(p.net.v, out.new_net(NetConst::kNone));
+      sub_ports.emplace(p.net.v,
+                        out.new_net(NetConst::kNone,
+                                    inst.name + "." + p.name + ".nc"));
     }
     expand(ctx, sub, sub_ports, group);
   }

@@ -49,6 +49,11 @@ class FlatNetlist {
   [[nodiscard]] NetConst net_const(std::uint32_t net) const {
     return net_consts_[net];
   }
+  /// Best-effort hierarchical net name for reports and lint diagnostics
+  /// ("<group>.<local name>"); may be empty for synthesized nets.
+  [[nodiscard]] const std::string& net_name(std::uint32_t net) const {
+    return net_names_[net];
+  }
 
   /// Primary input/output net by port name; throws if absent.
   [[nodiscard]] std::uint32_t input_net(std::string_view name) const;
@@ -58,7 +63,7 @@ class FlatNetlist {
   std::uint32_t intern_master(const std::string& name);
   std::uint32_t intern_pin(const std::string& name);
   std::uint32_t intern_group(const std::string& name);
-  std::uint32_t new_net(NetConst tie);
+  std::uint32_t new_net(NetConst tie, std::string name = {});
   void add_gate(Gate g) { gates_.push_back(std::move(g)); }
   void add_primary_input(std::string name, std::uint32_t net) {
     primary_inputs_.push_back({std::move(name), net});
@@ -73,6 +78,7 @@ class FlatNetlist {
   std::vector<std::string> pin_names_;
   std::vector<std::string> group_names_;
   std::vector<NetConst> net_consts_;
+  std::vector<std::string> net_names_;
   std::vector<PrimaryIo> primary_inputs_;
   std::vector<PrimaryIo> primary_outputs_;
 };

@@ -94,7 +94,7 @@ struct RawModule {
   std::vector<RawInstance> instances;
 };
 
-RawModule parse_module(Lexer& lex) {
+RawModule parse_module(Lexer& lex, core::DiagEngine* diag) {
   RawModule m;
   m.name = lex.next().text;
   lex.expect("(");
@@ -128,6 +128,11 @@ RawModule parse_module(Lexer& lex) {
         m.ties.emplace_back(net, false);
       } else if (val == "1'b1") {
         m.ties.emplace_back(net, true);
+      } else if (diag) {
+        diag->error("VLOG-BADASSIGN",
+                    "only constant assigns (1'b0/1'b1) are supported, got "
+                    "'" + val + "'",
+                    net, "verilog", t.line);
       } else {
         throw std::invalid_argument("verilog line " +
                                     std::to_string(t.line) +
@@ -158,18 +163,34 @@ RawModule parse_module(Lexer& lex) {
 
 }  // namespace
 
-Design parse_verilog(std::istream& is) {
+Design parse_verilog(std::istream& is, core::DiagEngine* diag) {
   Lexer lex(is);
   std::vector<RawModule> raw;
-  while (!lex.done()) {
-    lex.expect("module");
-    raw.push_back(parse_module(lex));
+  try {
+    while (!lex.done()) {
+      lex.expect("module");
+      raw.push_back(parse_module(lex, diag));
+    }
+  } catch (const std::invalid_argument& e) {
+    // Structural damage (truncation, token mismatch): without a
+    // DiagEngine keep the legacy throw; with one, record the finding and
+    // build a Design from the modules that parsed cleanly.
+    if (!diag) throw;
+    diag->error("VLOG-SYNTAX", e.what(), "", "verilog");
   }
   std::map<std::string, const RawModule*> by_name;
   for (const RawModule& m : raw) by_name.emplace(m.name, &m);
 
   Design d;
   for (const RawModule& rm : raw) {
+    if (d.has_module(rm.name)) {
+      if (!diag) {
+        throw std::invalid_argument("verilog: duplicate module " + rm.name);
+      }
+      diag->error("VLOG-DUPMODULE", "duplicate module definition", rm.name,
+                  "verilog");
+      continue;
+    }
     Module m(rm.name);
     std::map<std::string, NetId> nets;
     auto net_of = [&](const std::string& name) {

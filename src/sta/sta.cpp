@@ -164,6 +164,25 @@ double VariationReport::yield_at(double freq_mhz) const {
 }
 
 TimingReport StaEngine::analyze(const StaOptions& opt) const {
+  if (opt.diag) {
+    // Constraint sanity: a static_inputs name matching no primary input
+    // is almost always a typo, and the path it was meant to exclude
+    // silently stays in the timing graph.
+    for (const std::string& name : opt.static_inputs) {
+      bool found = false;
+      for (const auto& io : nl_.primary_inputs()) {
+        if (io.name == name) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        opt.diag->warning("STA-UNKNOWN-INPUT",
+                          "static_inputs name matches no primary input",
+                          name, "sta");
+      }
+    }
+  }
   return analyze_impl(opt, nullptr);
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cell/library.hpp"
+#include "core/diag.hpp"
 #include "netlist/flatten.hpp"
 
 namespace syndcim::sta {
@@ -43,8 +44,12 @@ struct StaOptions {
   /// Primary inputs held static during operation (bank selects, precision
   /// mode, FP select): excluded from timing like a case analysis, exactly
   /// as a constraints file would declare them. Names must match primary
-  /// input ports; unknown names are ignored.
+  /// input ports; unknown names are ignored (reported as
+  /// STA-UNKNOWN-INPUT warnings when `diag` is set — a misspelled name
+  /// silently re-times a path that should be static).
   std::vector<std::string> static_inputs;
+  /// Optional diagnostics sink for constraint-sanity warnings.
+  core::DiagEngine* diag = nullptr;
 };
 
 /// One stage of a reported path, already resolved to names.

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "cell/characterize.hpp"
 #include "cell/liberty.hpp"
+#include "cell/liberty_parser.hpp"
 #include "cell/library.hpp"
+#include "core/diag.hpp"
 #include "tech/tech_node.hpp"
 
 namespace {
@@ -217,6 +220,79 @@ TEST_F(CellLibTest, DuplicateCellRejected) {
   c.name = "X";
   l.add(c);
   EXPECT_THROW(l.add(c), std::invalid_argument);
+}
+
+TEST_F(CellLibTest, ParserReportsBadNumbersWithLineAndContinues) {
+  // Corrupt one numeric attribute of the real library dump: the parser
+  // must pinpoint it (rule + line), keep the value at a safe default and
+  // keep parsing every other cell.
+  std::ostringstream os;
+  cell::write_liberty(lib(), os);
+  std::string text = os.str();
+  const std::size_t pos = text.find("area : ");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t end = text.find(';', pos);
+  text.replace(pos, end - pos, "area : 12banana");
+  const int bad_line =
+      1 + static_cast<int>(std::count(text.begin(), text.begin() +
+                                      static_cast<std::ptrdiff_t>(pos), '\n'));
+
+  std::istringstream is(text);
+  core::DiagEngine diag;
+  const cell::Library parsed =
+      cell::parse_liberty(is, tech::make_default_40nm(), &diag);
+  ASSERT_EQ(diag.count_rule("LIB-BADNUM"), 1u);
+  EXPECT_EQ(diag.first_of("LIB-BADNUM")->line, bad_line);
+  EXPECT_EQ(parsed.all().size(), lib().all().size());
+}
+
+TEST_F(CellLibTest, ParserSurvivesFuzzedTruncationsWithoutAborting) {
+  // Chopping the dump at arbitrary points must never crash: legacy mode
+  // throws a clean invalid_argument, diag mode records LIB-SYNTAX (or
+  // parses a clean prefix) and returns the cells seen so far.
+  std::ostringstream os;
+  cell::write_liberty(lib(), os);
+  const std::string text = os.str();
+  for (const double frac : {0.1, 0.33, 0.5, 0.77, 0.95}) {
+    const std::string cut =
+        text.substr(0, static_cast<std::size_t>(frac * text.size()));
+    std::istringstream legacy(cut);
+    try {
+      (void)cell::parse_liberty(legacy, tech::make_default_40nm());
+    } catch (const std::invalid_argument&) {
+      // acceptable: aggregated error report
+    }
+    std::istringstream lenient(cut);
+    core::DiagEngine diag;
+    const cell::Library parsed =
+        cell::parse_liberty(lenient, tech::make_default_40nm(), &diag);
+    EXPECT_LT(parsed.all().size(), lib().all().size());
+  }
+}
+
+TEST_F(CellLibTest, ParserRecoversFromUnknownAttributes) {
+  // Unknown members are closed-dialect violations: errors, but parsing
+  // continues and the surrounding cell still comes out usable.
+  const std::string text =
+      "library (l) {\n"
+      "  cell (INVX1) {\n"
+      "    area : 1.0;\n"
+      "    shiny_new_attr : 42;\n"
+      "    pin (A) { direction : input; capacitance : 0.001; }\n"
+      "    pin (Y) { direction : output;\n"
+      "      timing () { related_pin : \"A\";\n"
+      "        wibble (x) { values (\"1, 2\"); }\n"
+      "      }\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  std::istringstream is(text);
+  core::DiagEngine diag;
+  const cell::Library parsed =
+      cell::parse_liberty(is, tech::make_default_40nm(), &diag);
+  EXPECT_GE(diag.count_rule("LIB-UNKNOWN-ATTR"), 2u);
+  ASSERT_TRUE(parsed.has("INVX1"));
+  EXPECT_DOUBLE_EQ(parsed.get("INVX1").area_um2, 1.0);
 }
 
 }  // namespace

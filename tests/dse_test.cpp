@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -242,6 +244,118 @@ TEST(EvalCache, DiskRoundTrip) {
   EXPECT_FALSE(r2->timing.mac_ok);
 
   EXPECT_EQ(dse::EvalCache{}.load_json("does_not_exist.json"), 0u);
+  std::remove(path.c_str());
+}
+
+namespace {
+
+core::EvalOutcome sample_outcome(double power) {
+  core::EvalOutcome o;
+  o.ppa.fmax_mhz = 400.0;
+  o.ppa.power_uw = power;
+  o.ppa.area_um2 = 1234.5;
+  o.ppa.latency_cycles = 3;
+  o.timing.mac_ok = true;
+  return o;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+void spit(const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  f << text;
+}
+
+}  // namespace
+
+TEST(EvalCache, CorruptedEntryIsRejectedAndCountedNotInstalled) {
+  const std::string path = "dse_cache_corrupt_test.json";
+  std::remove(path.c_str());
+  dse::EvalCache cache;
+  cache.insert("cfg{good1}|spec{x}", sample_outcome(1.0));
+  cache.insert("cfg{victim}|spec{x}", sample_outcome(2.0));
+  cache.insert("cfg{good2}|spec{x}", sample_outcome(3.0));
+  ASSERT_TRUE(cache.save_json(path));
+
+  // Mangle the first PPA number of the victim entry only.
+  std::string text = slurp(path);
+  const std::size_t at = text.find("cfg{victim}|spec{x}");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t vbegin = text.find("\"ppa\": [\"", at) + 9;
+  const std::size_t vend = text.find('"', vbegin);
+  text.replace(vbegin, vend - vbegin, "banana");
+  spit(path, text);
+
+  dse::EvalCache loaded;
+  core::DiagEngine diag;
+  EXPECT_EQ(loaded.load_json(path, &diag), 2u);
+  const dse::EvalCacheStats st = loaded.stats();
+  EXPECT_EQ(st.loaded, 2u);
+  EXPECT_EQ(st.rejected, 1u);
+  EXPECT_GE(diag.count_rule("CACHE-BADENTRY"), 1u);
+  EXPECT_FALSE(loaded.lookup("cfg{victim}|spec{x}").has_value());
+  EXPECT_TRUE(loaded.lookup("cfg{good1}|spec{x}").has_value());
+  EXPECT_TRUE(loaded.lookup("cfg{good2}|spec{x}").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(EvalCache, TruncatedEntriesNeverInstallGarbage) {
+  // Fuzz-ish: chop the persisted file at many points; whatever loads must
+  // be an entry that round-trips exactly, never a half-parsed one.
+  const std::string path = "dse_cache_truncate_test.json";
+  std::remove(path.c_str());
+  dse::EvalCache cache;
+  cache.insert("cfg{only}|spec{x}", sample_outcome(7.5));
+  ASSERT_TRUE(cache.save_json(path));
+  const std::string text = slurp(path);
+
+  for (long cut = static_cast<long>(text.size()) - 1; cut > 0; cut -= 17) {
+    spit(path, text.substr(0, static_cast<std::size_t>(cut)));
+    dse::EvalCache loaded;
+    const std::size_t n = loaded.load_json(path);
+    if (n == 1) {
+      const auto r = loaded.lookup("cfg{only}|spec{x}");
+      ASSERT_TRUE(r.has_value());
+      EXPECT_EQ(r->ppa.power_uw, 7.5);
+      EXPECT_EQ(r->ppa.latency_cycles, 3);
+    } else {
+      EXPECT_EQ(loaded.size(), 0u) << "cut=" << cut;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EvalCache, MissingFormatMarkerIsReported) {
+  const std::string path = "dse_cache_badfile_test.json";
+  spit(path, "{\"entries\": [{\"key\": \"k\"}]}");
+  dse::EvalCache cache;
+  core::DiagEngine diag;
+  EXPECT_EQ(cache.load_json(path, &diag), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(diag.count_rule("CACHE-BADFILE"), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(EvalCache, NonFiniteNumbersAreRejected) {
+  const std::string path = "dse_cache_inf_test.json";
+  std::remove(path.c_str());
+  dse::EvalCache cache;
+  cache.insert("cfg{a}|spec{x}", sample_outcome(1.0));
+  ASSERT_TRUE(cache.save_json(path));
+  std::string text = slurp(path);
+  const std::size_t vbegin = text.find("\"ppa\": [\"") + 9;
+  const std::size_t vend = text.find('"', vbegin);
+  text.replace(vbegin, vend - vbegin, "inf");
+  spit(path, text);
+
+  dse::EvalCache loaded;
+  EXPECT_EQ(loaded.load_json(path), 0u);
+  EXPECT_EQ(loaded.stats().rejected, 1u);
   std::remove(path.c_str());
 }
 

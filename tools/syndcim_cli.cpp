@@ -10,6 +10,8 @@
 //           [sweep_bits=...] [sweep_pref=...] [--threads N]
 //           [--cache FILE] [--no-cache] [--json FILE]
 //           [--frontier-json FILE]
+//   syndcim lint <netlist.v> [--top NAME] [--lib FILE] [--json FILE]
+//           [--write-clock PORT]
 //
 // Spec keys: rows, cols, mcr, input_bits (comma list), weight_bits,
 // fp (fp4|fp8|bf16|fp16, comma list), mac_mhz, wupdate_mhz, vdd,
@@ -33,10 +35,14 @@
 #include <vector>
 
 #include "cell/characterize.hpp"
+#include "cell/liberty_parser.hpp"
 #include "core/artifacts.hpp"
 #include "core/compiler.hpp"
+#include "core/diag.hpp"
 #include "core/report.hpp"
 #include "dse/sweep.hpp"
+#include "lint/lint.hpp"
+#include "netlist/verilog_parser.hpp"
 #include "tech/tech_node.hpp"
 
 using namespace syndcim;
@@ -273,9 +279,126 @@ int run_sweep_command(int argc, char** argv) {
   return any_feasible ? 0 : 1;
 }
 
+/// `syndcim lint`: static netlist checks with no implementation flow.
+/// Exit 0 = clean (warnings allowed), 1 = error-severity findings,
+/// 2 = usage / IO problems.
+int run_lint_command(int argc, char** argv) {
+  std::string netlist_path, top, lib_path, json_path, write_clock;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--top" && i + 1 < argc) {
+      top = argv[++i];
+    } else if (a == "--lib" && i + 1 < argc) {
+      lib_path = argv[++i];
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--write-clock" && i + 1 < argc) {
+      write_clock = argv[++i];
+    } else if (!a.empty() && a[0] != '-' && netlist_path.empty()) {
+      netlist_path = a;
+    } else {
+      std::cerr << "unknown lint argument: " << a << "\n";
+      return 2;
+    }
+  }
+  if (netlist_path.empty()) {
+    std::cerr << "usage: syndcim lint <netlist.v> [--top NAME] "
+                 "[--lib FILE] [--json FILE] [--write-clock PORT]\n";
+    return 2;
+  }
+
+  std::ifstream vf(netlist_path);
+  if (!vf) {
+    std::cerr << "error: cannot open " << netlist_path << "\n";
+    return 2;
+  }
+  core::DiagEngine diag;
+  const netlist::Design design = netlist::parse_verilog(vf, &diag);
+
+  const cell::Library lib = [&] {
+    if (!lib_path.empty()) {
+      std::ifstream lf(lib_path);
+      if (!lf) {
+        throw std::invalid_argument("cannot open library " + lib_path);
+      }
+      return cell::parse_liberty(lf, tech::make_default_40nm(), &diag);
+    }
+    return cell::characterize_default_library(tech::make_default_40nm());
+  }();
+
+  // Top inference: the unique module never instantiated as a submodule.
+  const std::vector<std::string> modules = design.module_names();
+  if (top.empty()) {
+    std::vector<std::string> roots;
+    for (const std::string& name : modules) {
+      bool used = false;
+      for (const std::string& other : modules) {
+        for (const auto& inst : design.module(other).instances()) {
+          used = used || (!inst.is_cell && inst.master == name);
+        }
+      }
+      if (!used) roots.push_back(name);
+    }
+    if (roots.size() == 1) {
+      top = roots.front();
+    } else if (modules.empty()) {
+      diag.error("LINT-STRUCT", "netlist contains no modules",
+                 netlist_path, "lint");
+    } else {
+      std::string list;
+      for (const std::string& r : roots) {
+        list += (list.empty() ? "" : ", ") + r;
+      }
+      std::cerr << "error: cannot infer top module (candidates: " << list
+                << "); pass --top\n";
+      return 2;
+    }
+  }
+
+  lint::LintOptions lopt;
+  lopt.write_clock = write_clock;
+  if (!top.empty()) {
+    (void)lint::lint_design(design, top, diag, lopt);
+    if (design.has_module(top)) {
+      // Flattening a structurally broken hierarchy can throw; the
+      // hierarchy-level findings above already explain why.
+      try {
+        const netlist::FlatNetlist flat = netlist::flatten(design, top);
+        (void)lint::lint_netlist(flat, lib, diag, lopt);
+      } catch (const std::exception& e) {
+        diag.error("LINT-STRUCT",
+                   std::string("cannot flatten for netlist-level checks: ") +
+                       e.what(),
+                   top, "lint");
+      }
+    }
+  }
+
+  diag.print(std::cerr);
+  if (!json_path.empty()) {
+    std::ofstream jf(json_path);
+    if (!jf) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 2;
+    }
+    jf << diag.to_json();
+    std::cerr << "wrote " << json_path << "\n";
+  }
+  std::cerr << netlist_path << ": " << diag.summary() << "\n";
+  return diag.has_errors() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "lint") {
+    try {
+      return run_lint_command(argc, argv);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
   if (argc > 1 && std::string(argv[1]) == "sweep") {
     try {
       return run_sweep_command(argc, argv);
