@@ -21,6 +21,7 @@
 #include "core/report.hpp"
 #include "core/searcher.hpp"
 #include "dse/sweep.hpp"
+#include "obs/obs.hpp"
 #include "tech/tech_node.hpp"
 
 using namespace syndcim;
@@ -48,7 +49,29 @@ std::vector<core::PerfSpec> make_grid() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional per-stage breakdowns: `--trace FILE` dumps a Chrome
+  // trace-event JSON of the whole benchmark (all three legs), and
+  // `--metrics FILE` dumps the metrics registry (cache/pool counters,
+  // queue-depth histogram). Either flag enables instrumentation, so the
+  // default run still measures the uninstrumented hot path.
+  std::string trace_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (a == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::cerr << "usage: perf_dse_sweep [--trace FILE] [--metrics FILE]\n";
+      return 2;
+    }
+  }
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    obs::set_enabled(true);
+    obs::tracer().set_thread_name("main");
+  }
+
   const auto lib =
       cell::characterize_default_library(tech::make_default_40nm());
   const std::vector<core::PerfSpec> specs = make_grid();
@@ -118,5 +141,21 @@ int main() {
   std::cout << (ok ? "PASS" : "FAIL") << ": threads+cache speedup "
             << core::TextTable::num(best_speedup, 2) << "x (>= 2x required), "
             << warm.cache.hits << " warm hits (nonzero required)\n";
+
+  if (!trace_path.empty()) {
+    if (obs::tracer().save(trace_path)) {
+      std::cerr << "wrote " << trace_path << " ("
+                << obs::tracer().event_count() << " spans)\n";
+    } else {
+      std::cerr << "error: cannot write " << trace_path << "\n";
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (obs::metrics().save(metrics_path)) {
+      std::cerr << "wrote " << metrics_path << "\n";
+    } else {
+      std::cerr << "error: cannot write " << metrics_path << "\n";
+    }
+  }
   return ok ? 0 : 1;
 }

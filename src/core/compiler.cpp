@@ -62,66 +62,94 @@ Implementation SynDcimCompiler::implement(const rtlgen::MacroConfig& cfg,
                                           const PerfSpec& spec,
                                           const Workload& workload) {
   Implementation impl;
-  impl.macro = rtlgen::gen_macro(cfg);
-  const netlist::FlatNetlist flat =
-      netlist::flatten(impl.macro.design, impl.macro.top);
+
+  // Each pipeline stage is scoped both into the implementation's phase
+  // timeline (always recorded) and, when observability is enabled, into
+  // the global tracer as a `compile.<phase>` span.
+  {
+    obs::PhaseScope phase(impl.timeline, "rtlgen");
+    impl.macro = rtlgen::gen_macro(cfg);
+  }
+  const netlist::FlatNetlist flat = [&] {
+    obs::PhaseScope phase(impl.timeline, "map");
+    return netlist::flatten(impl.macro.design, impl.macro.top);
+  }();
 
   // Static netlist checks before any physical or timing work: an
   // error-severity finding means the netlist itself is broken and every
   // downstream number would be meaningless.
-  impl.lint = lint::lint_netlist(flat, lib_, impl.diagnostics);
+  {
+    obs::PhaseScope phase(impl.timeline, "lint");
+    impl.lint = lint::lint_netlist(flat, lib_, impl.diagnostics);
+  }
   if (!impl.lint.clean()) {
     throw std::runtime_error("SynDcimCompiler::implement: netlist lint "
                              "failed (" + impl.diagnostics.summary() + ")");
   }
 
   // APR: structured-data-path placement, then signoff checks.
-  impl.floorplan =
-      layout::sdp_place(flat, lib_, cfg, {}, &impl.diagnostics);
-  impl.drc = layout::run_drc(flat, lib_, impl.floorplan);
-  impl.lvs = layout::run_lvs(flat, lib_, impl.floorplan);
-  const sta::WireModel wire =
-      layout::extract_wire_model(flat, impl.floorplan, lib_.node());
+  {
+    obs::PhaseScope phase(impl.timeline, "floorplan");
+    impl.floorplan =
+        layout::sdp_place(flat, lib_, cfg, {}, &impl.diagnostics);
+  }
+  const sta::WireModel wire = [&] {
+    obs::PhaseScope phase(impl.timeline, "route");
+    impl.drc = layout::run_drc(flat, lib_, impl.floorplan);
+    impl.lvs = layout::run_lvs(flat, lib_, impl.floorplan);
+    return layout::extract_wire_model(flat, impl.floorplan, lib_.node());
+  }();
 
   // Post-layout STA with back-annotated parasitics.
-  sta::StaEngine sta(flat, lib_);
-  sta::StaOptions topt;
-  topt.clock_period_ps = spec.period_ps();
-  topt.write_period_ps = spec.write_period_ps();
-  topt.vdd = spec.vdd;
-  topt.wire = wire;
-  topt.static_inputs = impl.macro.static_control_ports();
-  topt.diag = &impl.diagnostics;
-  impl.timing = sta.analyze(topt);
-  impl.fmax_mhz = impl.timing.fmax_mhz;
+  {
+    obs::PhaseScope phase(impl.timeline, "sta");
+    sta::StaEngine sta(flat, lib_);
+    sta::StaOptions topt;
+    topt.clock_period_ps = spec.period_ps();
+    topt.write_period_ps = spec.write_period_ps();
+    topt.vdd = spec.vdd;
+    topt.wire = wire;
+    topt.static_inputs = impl.macro.static_control_ports();
+    topt.diag = &impl.diagnostics;
+    impl.timing = sta.analyze(topt);
+    impl.fmax_mhz = impl.timing.fmax_mhz;
+  }
 
   // Post-layout power from gate-level simulated activity.
-  sim::MacroTestbench tb(impl.macro, lib_);
-  sim::DcimMacroModel model(cfg);
-  Workload wl = workload;
-  wl.input_bits = std::min(wl.input_bits, cfg.max_input_bits());
-  wl.weight_bits = std::min(wl.weight_bits, cfg.max_weight_bits());
-  drive_workload(tb, model, wl);
-  const power::ActivityModel act =
-      power::activity_from_sim(flat, lib_, tb.sim());
-  power::PowerOptions popt;
-  popt.vdd = spec.vdd;
-  popt.freq_mhz = std::min(spec.mac_freq_mhz, impl.fmax_mhz);
-  popt.wire = wire;
-  impl.power = power::analyze_power(flat, lib_, act, popt);
-  impl.cell_area = power::analyze_area(flat, lib_);
+  const double power_freq_mhz = std::min(spec.mac_freq_mhz, impl.fmax_mhz);
+  {
+    obs::PhaseScope phase(impl.timeline, "power");
+    sim::MacroTestbench tb(impl.macro, lib_);
+    sim::DcimMacroModel model(cfg);
+    Workload wl = workload;
+    wl.input_bits = std::min(wl.input_bits, cfg.max_input_bits());
+    wl.weight_bits = std::min(wl.weight_bits, cfg.max_weight_bits());
+    drive_workload(tb, model, wl);
+    const power::ActivityModel act =
+        power::activity_from_sim(flat, lib_, tb.sim());
+    power::PowerOptions popt;
+    popt.vdd = spec.vdd;
+    popt.freq_mhz = power_freq_mhz;
+    popt.wire = wire;
+    impl.power = power::analyze_power(flat, lib_, act, popt);
+    impl.cell_area = power::analyze_area(flat, lib_);
+  }
 
   impl.macro_area_mm2 = impl.floorplan.outline.area() * 1e-6;
   impl.total_power_uw = impl.power.total_uw();
   impl.tops_1b =
-      2.0 * cfg.rows * cfg.cols * popt.freq_mhz * 1.0e6 * 1.0e-12;
+      2.0 * cfg.rows * cfg.cols * power_freq_mhz * 1.0e6 * 1.0e-12;
   return impl;
 }
 
 CompileResult SynDcimCompiler::compile(const PerfSpec& spec,
                                        const Workload& workload) {
+  OBS_SPAN("core.compile");
   CompileResult res;
-  res.search = searcher_.search(spec);
+  {
+    OBS_SPAN("core.search");
+    res.search = searcher_.search(spec);
+  }
 
   // Implement Pareto points in preference order; post-layout verification
   // can reject an aggressive point whose extracted parasitics exceed the

@@ -7,6 +7,7 @@
 #include "core/searcher.hpp"
 #include "layout/floorplan.hpp"
 #include "lint/lint.hpp"
+#include "obs/obs.hpp"
 #include "power/power.hpp"
 #include "rtlgen/macro.hpp"
 #include "sta/sta.hpp"
@@ -36,6 +37,10 @@ struct Implementation {
   sta::TimingReport timing;      ///< with back-annotated wire parasitics
   power::PowerReport power;      ///< simulation-based activity
   power::AreaReport cell_area;
+  /// Wall time + peak RSS of every pipeline stage this implementation
+  /// went through (rtlgen → map → lint → floorplan → route → sta →
+  /// power), always recorded; trace spans mirror it when obs is enabled.
+  obs::PhaseTimeline timeline;
   double fmax_mhz = 0.0;
   double macro_area_mm2 = 0.0;
   double total_power_uw = 0.0;

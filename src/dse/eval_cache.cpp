@@ -9,6 +9,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace syndcim::dse {
 
 namespace {
@@ -119,6 +121,7 @@ core::EvalOutcome EvalCache::get_or_compute(
   const auto t0 = std::chrono::steady_clock::now();
   core::EvalOutcome outcome;
   try {
+    OBS_SPAN("dse.eval.miss");
     outcome = compute();
   } catch (...) {
     {

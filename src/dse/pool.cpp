@@ -17,6 +17,8 @@ int WorkStealingPool::default_threads() {
 }
 
 WorkStealingPool::WorkStealingPool(int threads) {
+  queue_depth_hist_ = &obs::metrics().histogram(
+      "dse.pool.queue_depth", {0, 1, 2, 4, 8, 16, 32, 64, 128});
   const int n = std::max(1, threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -44,9 +46,14 @@ void WorkStealingPool::submit(std::function<void()> task) {
     target = rr_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
   }
   pending_.fetch_add(1, std::memory_order_acq_rel);
+  std::size_t depth;
   {
     const std::lock_guard<std::mutex> lock(workers_[target]->mu);
     workers_[target]->deque.push_front(std::move(task));
+    depth = workers_[target]->deque.size();
+  }
+  if (obs::enabled()) {
+    queue_depth_hist_->observe(static_cast<double>(depth));
   }
   work_cv_.notify_all();
 }
@@ -77,13 +84,19 @@ bool WorkStealingPool::try_steal(std::size_t self,
 void WorkStealingPool::worker_loop(std::size_t self) {
   tl_pool = this;
   tl_worker = self;
+  if (obs::enabled()) {
+    obs::tracer().set_thread_name("pool-worker-" + std::to_string(self));
+  }
   Worker& me = *workers_[self];
   while (true) {
     std::function<void()> task;
     const bool own = try_pop_own(self, task);
     const bool got = own || try_steal(self, task);
     if (got) {
-      task();
+      {
+        OBS_SPAN(own ? "dse.task.run" : "dse.task.steal");
+        task();
+      }
       me.executed.fetch_add(1, std::memory_order_relaxed);
       if (!own) me.stolen.fetch_add(1, std::memory_order_relaxed);
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace syndcim::dse {
 
 /// Work-stealing thread pool for the DSE sweep: every worker owns a deque
@@ -62,6 +64,9 @@ class WorkStealingPool {
   bool try_steal(std::size_t self, std::function<void()>& task);
 
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// Submission-time deque-depth samples (`dse.pool.queue_depth`);
+  /// resolved once here, observed only while obs is enabled.
+  obs::Histogram* queue_depth_hist_ = nullptr;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> pending_{0};
   std::atomic<std::uint64_t> rr_{0};  ///< round-robin external submission

@@ -11,6 +11,7 @@
 
 #include "core/diag.hpp"
 #include "lint/lint.hpp"
+#include "obs/obs.hpp"
 #include "netlist/flatten.hpp"
 #include "rtlgen/macro.hpp"
 
@@ -27,7 +28,7 @@ std::string jnum(double v) {
 }
 
 void point_json(std::ostringstream& os, const FrontierPoint& fp,
-                const char* indent) {
+                const char* indent, bool with_timeline = false) {
   const core::DesignPoint& p = fp.point;
   os << indent << "{\"label\": \"" << p.label << "\", \"spec_index\": "
      << fp.spec_index << ", \"feasible\": "
@@ -46,6 +47,9 @@ void point_json(std::ostringstream& os, const FrontierPoint& fp,
   if (fp.lint_errors >= 0) {
     os << ", \"lint\": {\"errors\": " << fp.lint_errors
        << ", \"warnings\": " << fp.lint_warnings << "}";
+  }
+  if (with_timeline && !fp.timeline.phases.empty()) {
+    os << ", \"phases\": " << fp.timeline.to_json();
   }
   os << "}";
 }
@@ -153,6 +157,7 @@ std::vector<core::PerfSpec> SweepGrid::expand() const {
 SweepReport run_sweep(const cell::Library& lib,
                       const std::vector<core::PerfSpec>& specs,
                       const SweepOptions& opt) {
+  OBS_SPAN("dse.sweep");
   const auto t0 = std::chrono::steady_clock::now();
   const int threads =
       opt.threads > 0 ? opt.threads : WorkStealingPool::default_threads();
@@ -235,7 +240,10 @@ SweepReport run_sweep(const cell::Library& lib,
       const std::string key = canonical_config_key(p.cfg) + "|" +
                               canonical_spec_knobs_key(rep.per_spec[i].spec);
       if (!seen.insert(key).second) continue;
-      merged.push_back({p, i});
+      FrontierPoint fp;
+      fp.point = p;
+      fp.spec_index = i;
+      merged.push_back(std::move(fp));
     }
   }
   rep.frontier = global_front(std::move(merged));
@@ -246,10 +254,17 @@ SweepReport run_sweep(const cell::Library& lib,
   // frontier is small) and pure, keeping the report thread-count
   // independent.
   if (opt.lint_frontier) {
+    OBS_SPAN("dse.frontier.lint");
     for (FrontierPoint& fp : rep.frontier) {
-      const rtlgen::MacroDesign macro = rtlgen::gen_macro(fp.point.cfg);
-      const netlist::FlatNetlist flat =
-          netlist::flatten(macro.design, macro.top);
+      const rtlgen::MacroDesign macro = [&] {
+        obs::PhaseScope phase(fp.timeline, "rtlgen");
+        return rtlgen::gen_macro(fp.point.cfg);
+      }();
+      const netlist::FlatNetlist flat = [&] {
+        obs::PhaseScope phase(fp.timeline, "map");
+        return netlist::flatten(macro.design, macro.top);
+      }();
+      obs::PhaseScope phase(fp.timeline, "lint");
       core::DiagEngine diag;
       const lint::LintSummary s = lint::lint_netlist(flat, lib, diag);
       fp.lint_errors = static_cast<int>(s.errors);
@@ -264,6 +279,24 @@ SweepReport run_sweep(const cell::Library& lib,
   rep.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
+
+  // Publish this run's authoritative pool/cache statistics into the
+  // metrics registry (the hot paths themselves only feed trace spans and
+  // the queue-depth histogram, so nothing is counted twice). Always on:
+  // one registry pass per sweep is noise, and it keeps the CLI summary
+  // and --metrics dumps truthful even when tracing is off.
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter("dse.cache.hit").inc(rep.cache.hits);
+  m.counter("dse.cache.miss").inc(rep.cache.misses);
+  m.counter("dse.cache.inflight_wait").inc(rep.cache.inflight_waits);
+  m.counter("dse.cache.load").inc(rep.cache.loaded);
+  m.counter("dse.cache.reject").inc(rep.cache.rejected);
+  m.counter("dse.pool.execute").inc(rep.pool.executed);
+  m.counter("dse.pool.steal").inc(rep.pool.stolen);
+  m.counter("dse.sweep.task").inc(rep.n_tasks);
+  m.counter("dse.sweep.run").inc();
+  m.gauge("dse.pool.threads").set(static_cast<double>(rep.pool.threads));
+  m.gauge("dse.sweep.wall_ms").set(rep.wall_ms);
   return rep;
 }
 
@@ -305,14 +338,17 @@ std::string sweep_report_json(const SweepReport& r) {
        << ", \"feasible\": " << (sr.result.feasible() ? "true" : "false");
     if (sr.result.feasible()) {
       os << ", \"best\": ";
-      point_json(os, {sr.result.best(sr.spec.pref), i}, "");
+      FrontierPoint best;
+      best.point = sr.result.best(sr.spec.pref);
+      best.spec_index = i;
+      point_json(os, best, "");
     }
     os << "}";
   }
   os << "\n  ],\n  \"frontier\": [\n";
   for (std::size_t i = 0; i < r.frontier.size(); ++i) {
     if (i) os << ",\n";
-    point_json(os, r.frontier[i], "    ");
+    point_json(os, r.frontier[i], "    ", /*with_timeline=*/true);
   }
   os << "\n  ]\n}\n";
   return os.str();

@@ -6,6 +6,7 @@
 #include "core/searcher.hpp"
 #include "dse/eval_cache.hpp"
 #include "dse/pool.hpp"
+#include "obs/obs.hpp"
 
 namespace syndcim::dse {
 
@@ -46,6 +47,11 @@ struct FrontierPoint {
   std::size_t spec_index = 0;
   int lint_errors = -1;
   int lint_warnings = 0;
+  /// Per-point elaboration phases (rtlgen → map → lint) recorded while
+  /// the frontier was linted. Emitted in the full report JSON only —
+  /// wall times are nondeterministic, and the frontier JSON must stay
+  /// byte-identical across runs and thread counts.
+  obs::PhaseTimeline timeline;
 };
 
 struct SweepReport {

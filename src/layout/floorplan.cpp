@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
+
 namespace syndcim::layout {
 
 using netlist::FlatNetlist;
@@ -78,6 +80,7 @@ int parse_col_index(const std::string& name) {
 Floorplan sdp_place(const FlatNetlist& nl, const cell::Library& lib,
                     const rtlgen::MacroConfig& cfg, const SdpOptions& opt,
                     core::DiagEngine* diag) {
+  OBS_SPAN("layout.place");
   const ResolvedCells rc = resolve(nl, lib);
   const tech::TechNode& node = lib.node();
   const double row_h = node.std_row_height_um;
@@ -312,6 +315,7 @@ double total_hpwl_um(const FlatNetlist& nl, const Floorplan& fp) {
 
 sta::WireModel extract_wire_model(const FlatNetlist& nl, const Floorplan& fp,
                                   const tech::TechNode& node) {
+  OBS_SPAN("layout.extract");
   struct BBox {
     double x0 = 1e30, y0 = 1e30, x1 = -1e30, y1 = -1e30;
     int pins = 0;
@@ -353,6 +357,7 @@ sta::WireModel extract_wire_model(const FlatNetlist& nl, const Floorplan& fp,
 
 DrcReport run_drc(const FlatNetlist& nl, const cell::Library& lib,
                   const Floorplan& fp) {
+  OBS_SPAN("layout.drc");
   const ResolvedCells rc = resolve(nl, lib);
   DrcReport rep;
   const double eps = 1e-6;
@@ -400,6 +405,7 @@ DrcReport run_drc(const FlatNetlist& nl, const cell::Library& lib,
 
 LvsReport run_lvs(const FlatNetlist& nl, const cell::Library& lib,
                   const Floorplan& fp) {
+  OBS_SPAN("layout.lvs");
   const ResolvedCells rc = resolve(nl, lib);
   LvsReport rep;
   if (fp.gate_rects.size() != nl.gates().size()) {

@@ -4,11 +4,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace syndcim::layout {
 
 RouteReport global_route(const netlist::FlatNetlist& nl, const Floorplan& fp,
                          const tech::TechNode& node, double gcell_um,
                          double capacity_derate) {
+  OBS_SPAN("layout.route");
   if (gcell_um <= 0 || capacity_derate <= 0) {
     throw std::invalid_argument("global_route: bad parameters");
   }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 #include "tech/units.hpp"
 
 namespace syndcim::power {
@@ -25,6 +27,7 @@ double AreaReport::group_um2(std::string_view g) const {
 PowerReport analyze_power(const FlatNetlist& nl, const cell::Library& lib,
                           const ActivityModel& activity,
                           const PowerOptions& opt) {
+  OBS_SPAN("power.analyze");
   if (activity.toggle_rate.size() != nl.net_count()) {
     throw std::invalid_argument("analyze_power: activity/netlist mismatch");
   }

@@ -5,6 +5,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace syndcim::sta {
 
 using netlist::FlatNetlist;
@@ -222,6 +224,7 @@ VariationReport StaEngine::analyze_variation(const StaOptions& opt,
 
 TimingReport StaEngine::analyze_impl(const StaOptions& opt,
                                      const float* gate_derate) const {
+  OBS_SPAN("sta.analyze");
   const tech::TechNode& node = lib_.node();
   if (!node.vdd_in_range(opt.vdd)) {
     throw std::invalid_argument("StaEngine::analyze: vdd out of range");
@@ -380,6 +383,11 @@ TimingReport StaEngine::analyze_impl(const StaOptions& opt,
   if (eps.empty()) rep.wns_ps = std::numeric_limits<double>::infinity();
   for (GroupSlack& gs : groups) {
     if (std::isfinite(gs.wns_ps)) rep.groups.push_back(std::move(gs));
+  }
+  if (obs::enabled()) {
+    // One timed path per setup endpoint in this analysis pass.
+    obs::metrics().counter("sta.paths.timed").inc(eps.size());
+    obs::metrics().counter("sta.analyze.runs").inc();
   }
 
   if (worst != nullptr) {

@@ -1,0 +1,518 @@
+// src/obs: span recording and thread attribution, Chrome-trace JSON
+// well-formedness (round-trip parsed by a minimal JSON reader), metric
+// counter/gauge/histogram semantics (including concurrent increments —
+// exercised under the sanitizer CI legs), and phase timelines.
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace syndcim;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON parser — enough to round-trip the obs dumps and
+// fail on any malformed output (trailing commas, bad escapes, ...).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  const JsonValue* get(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();  // no trailing garbage
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(
+                                   s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool value(JsonValue& out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.kind = JsonValue::kString; return string(out.str);
+      case 't': out.kind = JsonValue::kBool; out.b = true;
+                return literal("true");
+      case 'f': out.kind = JsonValue::kBool; out.b = false;
+                return literal("false");
+      case 'n': out.kind = JsonValue::kNull; return literal("null");
+      default:  out.kind = JsonValue::kNumber; return number(out.num);
+    }
+  }
+  bool number(double& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      std::size_t used = 0;
+      out = std::stod(s_.substr(start, pos_ - start), &used);
+      return used == pos_ - start && std::isfinite(out);
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  bool string(std::string& out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        const char e = s_[pos_ + 1];
+        if (e == 'u') {
+          if (pos_ + 5 >= s_.size()) return false;
+          for (int k = 0; k < 4; ++k) {
+            if (!std::isxdigit(static_cast<unsigned char>(
+                    s_[pos_ + 2 + k]))) {
+              return false;
+            }
+          }
+          out += '?';  // codepoint value irrelevant for these tests
+          pos_ += 6;
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+            e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+        out += e;
+        pos_ += 2;
+        continue;
+      }
+      out += s_[pos_++];
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      skip_ws();
+      if (!value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || !string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!value(v)) return false;
+      out.obj[key] = std::move(v);
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Fresh obs state for every test: the tracer/metrics singletons are
+/// process-global, so tests scrub them and restore the disabled default.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(false);
+    obs::tracer().clear();
+    obs::metrics().clear();
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::tracer().clear();
+    obs::metrics().clear();
+  }
+};
+
+}  // namespace
+
+// Span tests need the instrumentation compiled in; under
+// -DSYNDCIM_OBS_DISABLED they verify nothing and are skipped.
+#define OBS_REQUIRE_COMPILED_IN()                       \
+  do {                                                  \
+    if (!obs::kCompiledIn) {                            \
+      GTEST_SKIP() << "built with OBS_DISABLED";        \
+    }                                                   \
+  } while (false)
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledRecordsNothing) {
+  const std::size_t before = obs::tracer().event_count();
+  {
+    OBS_SPAN("should.not.appear");
+  }
+  EXPECT_EQ(obs::tracer().event_count(), before);
+}
+
+TEST_F(ObsTest, SpanNestingIsContained) {
+  OBS_REQUIRE_COMPILED_IN();
+  obs::set_enabled(true);
+  {
+    OBS_SPAN("outer");
+    {
+      OBS_SPAN("inner");
+    }
+  }
+  const auto spans = obs::tracer().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const obs::RecordedSpan* outer = nullptr;
+  const obs::RecordedSpan* inner = nullptr;
+  for (const auto& s : spans) {
+    if (s.ev.name == "outer") outer = &s;
+    if (s.ev.name == "inner") inner = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // Same thread; the inner interval sits inside the outer one.
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_GE(inner->ev.start_ns, outer->ev.start_ns);
+  EXPECT_LE(inner->ev.start_ns + inner->ev.dur_ns,
+            outer->ev.start_ns + outer->ev.dur_ns);
+}
+
+TEST_F(ObsTest, ThreadAttribution) {
+  OBS_REQUIRE_COMPILED_IN();
+  obs::set_enabled(true);
+  obs::tracer().set_thread_name("obs-test-main");
+  {
+    OBS_SPAN("on.main");
+  }
+  std::thread t([] {
+    obs::tracer().set_thread_name("obs-test-worker");
+    OBS_SPAN("on.worker");
+  });
+  t.join();
+
+  int main_tid = -1, worker_tid = -1;
+  for (const auto& s : obs::tracer().snapshot()) {
+    if (s.ev.name == "on.main") {
+      main_tid = s.tid;
+      EXPECT_EQ(s.thread_name, "obs-test-main");
+    }
+    if (s.ev.name == "on.worker") {
+      worker_tid = s.tid;
+      EXPECT_EQ(s.thread_name, "obs-test-worker");
+    }
+  }
+  ASSERT_GE(main_tid, 0);
+  ASSERT_GE(worker_tid, 0);
+  EXPECT_NE(main_tid, worker_tid);
+}
+
+TEST_F(ObsTest, DynamicSpanNamesAndManyEventsCrossChunks) {
+  OBS_REQUIRE_COMPILED_IN();
+  obs::set_enabled(true);
+  // More events than one chunk holds, to cover the spill path.
+  for (int i = 0; i < 3000; ++i) {
+    obs::SpanGuard span("bulk." + std::to_string(i % 7));
+  }
+  EXPECT_GE(obs::tracer().event_count(), 3000u);
+}
+
+TEST_F(ObsTest, TraceJsonRoundTrips) {
+  OBS_REQUIRE_COMPILED_IN();
+  obs::set_enabled(true);
+  obs::tracer().set_thread_name("json \"escaped\" \\ name");
+  {
+    OBS_SPAN("phase.one");
+    OBS_SPAN("phase\nwith\tescapes");
+  }
+  const std::string json = obs::tracer().to_json();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).parse(root)) << json;
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  ASSERT_NE(root.get("format"), nullptr);
+  EXPECT_EQ(root.get("format")->str, "syndcim-trace");
+  ASSERT_NE(root.get("version"), nullptr);
+  EXPECT_EQ(root.get("version")->num, 1.0);
+  const JsonValue* events = root.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+  std::size_t complete = 0, meta = 0;
+  for (const JsonValue& e : events->arr) {
+    ASSERT_EQ(e.kind, JsonValue::kObject);
+    ASSERT_NE(e.get("ph"), nullptr);
+    ASSERT_NE(e.get("pid"), nullptr);
+    ASSERT_NE(e.get("tid"), nullptr);
+    ASSERT_NE(e.get("name"), nullptr);
+    if (e.get("ph")->str == "X") {
+      ++complete;
+      ASSERT_NE(e.get("ts"), nullptr);
+      ASSERT_NE(e.get("dur"), nullptr);
+      EXPECT_GE(e.get("dur")->num, 0.0);
+    } else if (e.get("ph")->str == "M") {
+      ++meta;
+      EXPECT_EQ(e.get("name")->str, "thread_name");
+    }
+  }
+  EXPECT_EQ(complete, 2u);
+  EXPECT_EQ(meta, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, CounterAndGaugeBasics) {
+  obs::Counter& c = obs::metrics().counter("test.counter.inc");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(obs::metrics().counter("test.counter.inc").value(), 42u);
+
+  obs::Gauge& g = obs::metrics().gauge("test.gauge.set");
+  g.set(2.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(obs::metrics().gauge("test.gauge.set").value(), -1.25);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  // bucket i counts v <= bounds[i]; above the last bound -> overflow.
+  obs::Histogram& h =
+      obs::metrics().histogram("test.hist.bounds", {1.0, 10.0, 100.0});
+  ASSERT_EQ(h.bucket_count(), 4u);
+  h.observe(0.5);    // bucket 0
+  h.observe(1.0);    // bucket 0 (inclusive upper bound)
+  h.observe(1.0001); // bucket 1
+  h.observe(10.0);   // bucket 1
+  h.observe(99.9);   // bucket 2
+  h.observe(100.0);  // bucket 2
+  h.observe(100.5);  // overflow
+  h.observe(1e9);    // overflow
+  EXPECT_EQ(h.count_in_bucket(0), 2u);
+  EXPECT_EQ(h.count_in_bucket(1), 2u);
+  EXPECT_EQ(h.count_in_bucket(2), 2u);
+  EXPECT_EQ(h.count_in_bucket(3), 2u);
+  EXPECT_EQ(h.total_count(), 8u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 99.9 + 100.0 + 100.5 + 1e9,
+              1e-3);
+}
+
+TEST_F(ObsTest, ConcurrentCounterIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 20000;
+  obs::Counter& c = obs::metrics().counter("test.counter.concurrent");
+  obs::Histogram& h =
+      obs::metrics().histogram("test.hist.concurrent", {0.5});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kIncsPerThread; ++i) {
+        c.inc();
+        h.observe(static_cast<double>(i & 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncsPerThread);
+  EXPECT_EQ(h.total_count(),
+            static_cast<std::uint64_t>(kThreads) * kIncsPerThread);
+  EXPECT_EQ(h.count_in_bucket(0), h.count_in_bucket(1));
+}
+
+TEST_F(ObsTest, ConcurrentSpansFromManyThreadsAllLand) {
+  OBS_REQUIRE_COMPILED_IN();
+  obs::set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  const std::size_t before = obs::tracer().event_count();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        OBS_SPAN("concurrent.span");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(obs::tracer().event_count() - before,
+            static_cast<std::size_t>(kThreads) * kSpansPerThread);
+}
+
+TEST_F(ObsTest, MetricsJsonRoundTrips) {
+  obs::metrics().counter("dse.cache.hit").inc(7);
+  obs::metrics().gauge("compile.rss.peak_kb").set(12345.0);
+  obs::Histogram& h =
+      obs::metrics().histogram("dse.pool.queue_depth", {1.0, 2.0});
+  h.observe(0.0);
+  h.observe(5.0);
+
+  const std::string json = obs::metrics().to_json();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).parse(root)) << json;
+  ASSERT_NE(root.get("format"), nullptr);
+  EXPECT_EQ(root.get("format")->str, "syndcim-metrics");
+  ASSERT_NE(root.get("version"), nullptr);
+  EXPECT_EQ(root.get("version")->num, 1.0);
+
+  const JsonValue* counters = root.get("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->get("dse.cache.hit"), nullptr);
+  EXPECT_EQ(counters->get("dse.cache.hit")->num, 7.0);
+
+  const JsonValue* gauges = root.get("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->get("compile.rss.peak_kb"), nullptr);
+  EXPECT_EQ(gauges->get("compile.rss.peak_kb")->num, 12345.0);
+
+  const JsonValue* hists = root.get("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* hd = hists->get("dse.pool.queue_depth");
+  ASSERT_NE(hd, nullptr);
+  ASSERT_NE(hd->get("bounds"), nullptr);
+  ASSERT_EQ(hd->get("bounds")->arr.size(), 2u);
+  ASSERT_NE(hd->get("counts"), nullptr);
+  ASSERT_EQ(hd->get("counts")->arr.size(), 3u);
+  EXPECT_EQ(hd->get("counts")->arr[0].num, 1.0);
+  EXPECT_EQ(hd->get("counts")->arr[2].num, 1.0);
+  ASSERT_NE(hd->get("count"), nullptr);
+  EXPECT_EQ(hd->get("count")->num, 2.0);
+}
+
+TEST_F(ObsTest, EmptyRegistryJsonIsWellFormed) {
+  const std::string json = obs::metrics().to_json();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).parse(root)) << json;
+  ASSERT_NE(root.get("counters"), nullptr);
+  EXPECT_TRUE(root.get("counters")->obj.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Phase timelines
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, PhaseTimelineRecordsOrderedPhases) {
+  obs::PhaseTimeline tl;
+  {
+    obs::PhaseScope a(tl, "rtlgen");
+  }
+  {
+    obs::PhaseScope b(tl, "sta");
+  }
+  ASSERT_EQ(tl.phases.size(), 2u);
+  EXPECT_EQ(tl.phases[0].name, "rtlgen");
+  EXPECT_EQ(tl.phases[1].name, "sta");
+  EXPECT_GE(tl.phases[1].start_ms, tl.phases[0].start_ms);
+  EXPECT_GE(tl.phases[0].dur_ms, 0.0);
+  ASSERT_NE(tl.find("sta"), nullptr);
+  EXPECT_EQ(tl.find("nope"), nullptr);
+#if defined(__linux__)
+  EXPECT_GT(tl.phases[0].rss_peak_kb, 0);
+#endif
+
+  // Timeline JSON parses and carries the recorded names.
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(tl.to_json()).parse(root)) << tl.to_json();
+  ASSERT_EQ(root.kind, JsonValue::kArray);
+  ASSERT_EQ(root.arr.size(), 2u);
+  EXPECT_EQ(root.arr[0].get("name")->str, "rtlgen");
+  EXPECT_EQ(root.arr[1].get("name")->str, "sta");
+}
+
+TEST_F(ObsTest, PhaseScopeEmitsTraceSpanWhenEnabled) {
+  OBS_REQUIRE_COMPILED_IN();
+  obs::set_enabled(true);
+  obs::PhaseTimeline tl;
+  {
+    obs::PhaseScope p(tl, "floorplan");
+  }
+  bool found = false;
+  for (const auto& s : obs::tracer().snapshot()) {
+    found = found || s.ev.name == "compile.floorplan";
+  }
+  EXPECT_TRUE(found);
+  // The RSS gauge was refreshed by the scope.
+  EXPECT_EQ(obs::metrics().gauge("compile.rss.peak_kb").value(),
+            static_cast<double>(tl.phases[0].rss_peak_kb));
+}

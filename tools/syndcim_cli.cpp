@@ -3,15 +3,21 @@
 // search + implementation, prints the Pareto frontier and writes the
 // back-end artifact bundle.
 //
-// Usage:
-//   syndcim --spec macro.spec [--out DIR] [--search-only]
-//   syndcim rows=64 cols=64 mcr=2 mac_mhz=400 [--out DIR]
+// Subcommands (run `syndcim <subcommand> --help` for details):
+//   syndcim [compile] --spec macro.spec [--out DIR] [--search-only]
+//   syndcim [compile] rows=64 cols=64 mcr=2 mac_mhz=400 [--out DIR]
 //   syndcim sweep [base spec keys] [sweep_mac_mhz=...] [sweep_mcr=...]
 //           [sweep_bits=...] [sweep_pref=...] [--threads N]
 //           [--cache FILE] [--no-cache] [--json FILE]
 //           [--frontier-json FILE]
 //   syndcim lint <netlist.v> [--top NAME] [--lib FILE] [--json FILE]
 //           [--write-clock PORT]
+//   syndcim --version | --help
+//
+// Every subcommand additionally accepts the common observability options
+// `--trace FILE` (Chrome trace-event JSON, loads in chrome://tracing and
+// ui.perfetto.dev) and `--metrics FILE` (versioned metrics-registry
+// JSON); either one enables instrumentation for the run.
 //
 // Spec keys: rows, cols, mcr, input_bits (comma list), weight_bits,
 // fp (fp4|fp8|bf16|fp16, comma list), mac_mhz, wupdate_mhz, vdd,
@@ -43,11 +49,94 @@
 #include "dse/sweep.hpp"
 #include "lint/lint.hpp"
 #include "netlist/verilog_parser.hpp"
+#include "obs/obs.hpp"
 #include "tech/tech_node.hpp"
+
+#ifndef SYNDCIM_VERSION
+#define SYNDCIM_VERSION "0.0.0"
+#endif
+#ifndef SYNDCIM_GIT_SHA
+#define SYNDCIM_GIT_SHA "unknown"
+#endif
 
 using namespace syndcim;
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Usage blocks — one uniform format per subcommand.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kCommonOptions =
+    "  common options (every subcommand):\n"
+    "    --trace FILE      enable observability and write a Chrome\n"
+    "                      trace-event JSON (chrome://tracing, Perfetto)\n"
+    "    --metrics FILE    enable observability and write the metrics\n"
+    "                      registry JSON (counters/gauges/histograms)\n"
+    "    --help, -h        show this subcommand's usage\n";
+
+void usage_compile(std::ostream& os) {
+  os << "usage: syndcim [compile] [--spec FILE] [key=value ...]\n"
+        "               [--out DIR] [--search-only] [common options]\n"
+        "  options:\n"
+        "    --spec FILE       read key=value spec lines from FILE\n"
+        "    --out DIR         artifact bundle directory (default\n"
+        "                      syndcim_out)\n"
+        "    --search-only     print the Pareto frontier, skip\n"
+        "                      implementation\n"
+        "    key=value         inline spec keys (rows, cols, mcr,\n"
+        "                      input_bits, weight_bits, fp, mac_mhz,\n"
+        "                      wupdate_mhz, vdd, pref_power, pref_area,\n"
+        "                      pref_perf, bitcell, mux, temp_c)\n"
+     << kCommonOptions
+     << "  exit status: 0 signoff-clean, 1 infeasible/dirty, 2 usage/IO\n";
+}
+
+void usage_sweep(std::ostream& os) {
+  os << "usage: syndcim sweep [--spec FILE] [key=value ...]\n"
+        "               [sweep_mac_mhz=...] [sweep_mcr=...]\n"
+        "               [sweep_bits=...] [sweep_pref=...] [--threads N]\n"
+        "               [--cache FILE] [--no-cache] [--json FILE]\n"
+        "               [--frontier-json FILE] [common options]\n"
+        "  options:\n"
+        "    --threads N       worker threads (default: hardware)\n"
+        "    --cache FILE      warm-start/persist the evaluation cache\n"
+        "    --no-cache        disable evaluation memoization\n"
+        "    --json FILE       full sweep report JSON (default: stdout)\n"
+        "    --frontier-json FILE  deterministic global-frontier JSON\n"
+        "    sweep_mac_mhz=250,350  MAC frequency grid dimension\n"
+        "    sweep_mcr=1,2          memory-compute-ratio dimension\n"
+        "    sweep_bits=4;8;4,8     precision groups (`;`-separated)\n"
+        "    sweep_pref=balanced,power  preference presets\n"
+     << kCommonOptions
+     << "  exit status: 0 any spec feasible, 1 none feasible, 2 usage/IO\n";
+}
+
+void usage_lint(std::ostream& os) {
+  os << "usage: syndcim lint <netlist.v> [--top NAME] [--lib FILE]\n"
+        "               [--json FILE] [--write-clock PORT]\n"
+        "               [common options]\n"
+        "  options:\n"
+        "    --top NAME        top module (default: inferred root)\n"
+        "    --lib FILE        Liberty cell library (default: built-in)\n"
+        "    --json FILE       machine-readable diagnostics JSON\n"
+        "    --write-clock PORT  weight-update clock for CDC checks\n"
+     << kCommonOptions
+     << "  exit status: 0 clean, 1 error findings, 2 usage/IO\n";
+}
+
+void usage_global(std::ostream& os) {
+  os << "usage: syndcim <subcommand> [options]\n"
+        "  subcommands:\n"
+        "    compile (default)  spec -> search -> implementation ->\n"
+        "                       artifact bundle\n"
+        "    sweep              parallel multi-spec grid exploration\n"
+        "    lint               static netlist checks\n"
+        "    --version          print build version and git commit\n"
+        "    --help, -h         this overview\n"
+     << kCommonOptions
+     << "  run `syndcim <subcommand> --help` for subcommand options\n";
+}
 
 std::vector<int> parse_int_list(const std::string& s) {
   std::vector<int> out;
@@ -172,11 +261,11 @@ dse::SweepGrid grid_from_kv(std::map<std::string, std::string> kv) {
   return grid;
 }
 
-void read_spec_file(const char* path, std::map<std::string, std::string>& kv) {
+void read_spec_file(const std::string& path,
+                    std::map<std::string, std::string>& kv) {
   std::ifstream f(path);
   if (!f) {
-    throw std::invalid_argument(std::string("cannot open spec file ") +
-                                path);
+    throw std::invalid_argument("cannot open spec file " + path);
   }
   std::string line;
   while (std::getline(f, line)) {
@@ -193,35 +282,43 @@ void read_spec_file(const char* path, std::map<std::string, std::string>& kv) {
   }
 }
 
-int run_sweep_command(int argc, char** argv) {
+/// Arguments after the subcommand name, with the common observability
+/// options already stripped by main().
+using Args = std::vector<std::string>;
+
+int run_sweep_command(const Args& args) {
   std::map<std::string, std::string> kv;
   dse::SweepOptions opt;
   std::string json_path, frontier_path;
-  for (int i = 2; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--spec" && i + 1 < argc) {
-      read_spec_file(argv[++i], kv);
-    } else if (a == "--threads" && i + 1 < argc) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      usage_sweep(std::cout);
+      return 0;
+    } else if (a == "--spec" && i + 1 < args.size()) {
+      read_spec_file(args[++i], kv);
+    } else if (a == "--threads" && i + 1 < args.size()) {
       try {
-        opt.threads = std::stoi(argv[++i]);
+        opt.threads = std::stoi(args[++i]);
       } catch (const std::exception&) {
-        std::cerr << "error: --threads wants an integer, got '" << argv[i]
+        std::cerr << "error: --threads wants an integer, got '" << args[i]
                   << "'\n";
         return 2;
       }
-    } else if (a == "--cache" && i + 1 < argc) {
-      opt.cache_path = argv[++i];
+    } else if (a == "--cache" && i + 1 < args.size()) {
+      opt.cache_path = args[++i];
     } else if (a == "--no-cache") {
       opt.use_cache = false;
-    } else if (a == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (a == "--frontier-json" && i + 1 < argc) {
-      frontier_path = argv[++i];
+    } else if (a == "--json" && i + 1 < args.size()) {
+      json_path = args[++i];
+    } else if (a == "--frontier-json" && i + 1 < args.size()) {
+      frontier_path = args[++i];
     } else if (a.find('=') != std::string::npos) {
       const auto eq = a.find('=');
       kv[a.substr(0, eq)] = a.substr(eq + 1);
     } else {
       std::cerr << "unknown sweep argument: " << a << "\n";
+      usage_sweep(std::cerr);
       return 2;
     }
   }
@@ -251,14 +348,26 @@ int run_sweep_command(int argc, char** argv) {
                core::TextTable::num(fp.point.ppa.fmax_mhz, 0)});
   }
   t.print(std::cerr);
+
+  // Cache effectiveness and pool behaviour, read back from the metrics
+  // registry the sweep published into (`dse.cache.*` / `dse.pool.*`).
+  obs::MetricsRegistry& m = obs::metrics();
+  const std::uint64_t hits = m.counter("dse.cache.hit").value();
+  const std::uint64_t misses = m.counter("dse.cache.miss").value();
+  const std::uint64_t inflight = m.counter("dse.cache.inflight_wait").value();
+  const double hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
   std::cerr << "frontier: " << rep.frontier.size() << " points from "
             << rep.per_spec.size() << " specs, " << rep.n_tasks
             << " trajectory tasks in " << core::TextTable::num(rep.wall_ms, 0)
-            << " ms; cache " << rep.cache.hits << " hits / "
-            << rep.cache.misses << " misses ("
-            << core::TextTable::num(100.0 * rep.cache.hit_rate(), 1)
-            << "% hit rate), pool stole " << rep.pool.stolen << " of "
-            << rep.pool.executed << " tasks\n";
+            << " ms; cache " << hits << " hits / " << misses << " misses / "
+            << inflight << " in-flight waits ("
+            << core::TextTable::num(100.0 * hit_rate, 1)
+            << "% hit rate), pool stole "
+            << m.counter("dse.pool.steal").value() << " of "
+            << m.counter("dse.pool.execute").value() << " tasks\n";
 
   if (!json_path.empty()) {
     std::ofstream f(json_path);
@@ -282,28 +391,31 @@ int run_sweep_command(int argc, char** argv) {
 /// `syndcim lint`: static netlist checks with no implementation flow.
 /// Exit 0 = clean (warnings allowed), 1 = error-severity findings,
 /// 2 = usage / IO problems.
-int run_lint_command(int argc, char** argv) {
+int run_lint_command(const Args& args) {
   std::string netlist_path, top, lib_path, json_path, write_clock;
-  for (int i = 2; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--top" && i + 1 < argc) {
-      top = argv[++i];
-    } else if (a == "--lib" && i + 1 < argc) {
-      lib_path = argv[++i];
-    } else if (a == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (a == "--write-clock" && i + 1 < argc) {
-      write_clock = argv[++i];
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      usage_lint(std::cout);
+      return 0;
+    } else if (a == "--top" && i + 1 < args.size()) {
+      top = args[++i];
+    } else if (a == "--lib" && i + 1 < args.size()) {
+      lib_path = args[++i];
+    } else if (a == "--json" && i + 1 < args.size()) {
+      json_path = args[++i];
+    } else if (a == "--write-clock" && i + 1 < args.size()) {
+      write_clock = args[++i];
     } else if (!a.empty() && a[0] != '-' && netlist_path.empty()) {
       netlist_path = a;
     } else {
       std::cerr << "unknown lint argument: " << a << "\n";
+      usage_lint(std::cerr);
       return 2;
     }
   }
   if (netlist_path.empty()) {
-    std::cerr << "usage: syndcim lint <netlist.v> [--top NAME] "
-                 "[--lib FILE] [--json FILE] [--write-clock PORT]\n";
+    usage_lint(std::cerr);
     return 2;
   }
 
@@ -388,40 +500,24 @@ int run_lint_command(int argc, char** argv) {
   return diag.has_errors() ? 1 : 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc > 1 && std::string(argv[1]) == "lint") {
-    try {
-      return run_lint_command(argc, argv);
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << "\n";
-      return 2;
-    }
-  }
-  if (argc > 1 && std::string(argv[1]) == "sweep") {
-    try {
-      return run_sweep_command(argc, argv);
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << "\n";
-      return 2;
-    }
-  }
-
+int run_compile_command(const Args& args) {
   std::map<std::string, std::string> kv;
   std::string out_dir = "syndcim_out";
   bool search_only = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--spec" && i + 1 < argc) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      usage_compile(std::cout);
+      return 0;
+    } else if (a == "--spec" && i + 1 < args.size()) {
       try {
-        read_spec_file(argv[++i], kv);
+        read_spec_file(args[++i], kv);
       } catch (const std::exception& e) {
         std::cerr << e.what() << "\n";
         return 2;
       }
-    } else if (a == "--out" && i + 1 < argc) {
-      out_dir = argv[++i];
+    } else if (a == "--out" && i + 1 < args.size()) {
+      out_dir = args[++i];
     } else if (a == "--search-only") {
       search_only = true;
     } else if (a.find('=') != std::string::npos) {
@@ -429,6 +525,7 @@ int main(int argc, char** argv) {
       kv[a.substr(0, eq)] = a.substr(eq + 1);
     } else {
       std::cerr << "unknown argument: " << a << "\n";
+      usage_compile(std::cerr);
       return 2;
     }
   }
@@ -468,6 +565,18 @@ int main(int argc, char** argv) {
               << ", LVS " << (result.impl.lvs.clean() ? "clean" : "DIRTY")
               << ", timing "
               << (result.impl.timing.met() ? "met" : "VIOLATED") << "\n";
+    // Where the compile's time and memory went, phase by phase.
+    std::cerr << "phases:";
+    for (const obs::Phase& p : result.impl.timeline.phases) {
+      std::cerr << " " << p.name << "="
+                << core::TextTable::num(p.dur_ms, 1) << "ms";
+    }
+    if (!result.impl.timeline.phases.empty()) {
+      std::cerr << " (peak rss "
+                << result.impl.timeline.phases.back().rss_peak_kb
+                << " kB)";
+    }
+    std::cerr << "\n";
     for (const auto& f :
          core::write_artifacts(result, spec, lib, out_dir)) {
       std::cout << "wrote " << f << "\n";
@@ -477,4 +586,70 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the common observability options first so every subcommand
+  // accepts them uniformly; either flag enables instrumentation.
+  std::string trace_path, metrics_path;
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (a == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    obs::set_enabled(true);
+    obs::tracer().set_thread_name("main");
+  }
+
+  int rc = 2;
+  try {
+    if (!args.empty() && args[0] == "--version") {
+      std::cout << "syndcim " << SYNDCIM_VERSION << " (" << SYNDCIM_GIT_SHA
+                << ")\n";
+      rc = 0;
+    } else if (!args.empty() && (args[0] == "--help" || args[0] == "-h")) {
+      usage_global(std::cout);
+      rc = 0;
+    } else if (!args.empty() && args[0] == "lint") {
+      rc = run_lint_command({args.begin() + 1, args.end()});
+    } else if (!args.empty() && args[0] == "sweep") {
+      rc = run_sweep_command({args.begin() + 1, args.end()});
+    } else if (!args.empty() && args[0] == "compile") {
+      rc = run_compile_command({args.begin() + 1, args.end()});
+    } else {
+      rc = run_compile_command(args);  // bare invocation = compile
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    rc = 2;
+  }
+
+  // Emit observability artifacts even when the command failed — a trace
+  // of a failing run is exactly what one wants to look at.
+  if (!trace_path.empty()) {
+    if (obs::tracer().save(trace_path)) {
+      std::cerr << "wrote " << trace_path << "\n";
+    } else {
+      std::cerr << "error: cannot write " << trace_path << "\n";
+      rc = rc == 0 ? 2 : rc;
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (obs::metrics().save(metrics_path)) {
+      std::cerr << "wrote " << metrics_path << "\n";
+    } else {
+      std::cerr << "error: cannot write " << metrics_path << "\n";
+      rc = rc == 0 ? 2 : rc;
+    }
+  }
+  return rc;
 }
