@@ -1,0 +1,187 @@
+// Incremental-compile performance: the content-addressed subcircuit
+// artifact store vs. the cold path on a one-knob edit sequence.
+//
+// The workload models a user iterating on a macro: compile a base
+// configuration, rebuild it untouched, re-spin voltage and frequency,
+// widen the array, and bounce back — eight implement() calls where only
+// one knob moves at a time. Two legs run the identical sequence:
+//
+//   1. cold — every artifact tier disabled; each call re-runs the full
+//      rtlgen -> map -> lint -> floorplan -> route -> sta -> power flow
+//   2. warm — shared ArtifactStore; unchanged stages splice cached
+//      artifacts (results are byte-identical, see incremental_test)
+//
+// Prints per-leg wall clock, stage run/skip counts and the speedup;
+// `--json FILE` dumps the numbers plus per-tier artifact-store stats.
+// Exits nonzero if the warm leg is not at least 2x faster or fewer than
+// half of its stage executions were skipped.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cell/characterize.hpp"
+#include "core/compiler.hpp"
+#include "core/stage.hpp"
+#include "tech/tech_node.hpp"
+
+using namespace syndcim;
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+struct Step {
+  const char* what;
+  rtlgen::MacroConfig cfg;
+  core::PerfSpec spec;
+};
+
+std::vector<Step> edit_sequence() {
+  rtlgen::MacroConfig base;
+  base.rows = 32;
+  base.cols = 32;
+  base.mcr = 2;
+  base.input_bits = {4, 8};
+  base.weight_bits = {4, 8};
+
+  core::PerfSpec spec;
+  spec.mac_freq_mhz = 300.0;
+  core::PerfSpec vdd = spec;
+  vdd.vdd = spec.vdd * 0.9;
+  core::PerfSpec freq = spec;
+  freq.mac_freq_mhz = 400.0;
+  rtlgen::MacroConfig wide = base;
+  wide.cols = 64;
+
+  return {{"base", base, spec},         {"rebuild", base, spec},
+          {"vdd-respin", base, vdd},    {"freq-respin", base, freq},
+          {"widen-cols", wide, spec},   {"back-to-base", base, spec},
+          {"wide-again", wide, spec},   {"vdd-again", base, vdd}};
+}
+
+struct LegResult {
+  double wall_s = 0.0;
+  std::size_t runs = 0;
+  std::size_t skips = 0;
+};
+
+LegResult run_leg(const cell::Library& lib, const std::vector<Step>& steps,
+                  bool artifacts,
+                  std::vector<core::ArtifactTierStats>* stats_out) {
+  core::SynDcimCompiler compiler(lib);
+  compiler.scl().artifacts().set_enabled(artifacts);
+  LegResult leg;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Step& s : steps) {
+    const core::Implementation impl =
+        compiler.implement(s.cfg, s.spec);
+    for (const core::StageRecord& r : impl.stages) {
+      (r.skipped ? leg.skips : leg.runs) += 1;
+    }
+  }
+  leg.wall_s = seconds_since(t0);
+  if (stats_out != nullptr) *stats_out = compiler.scl().artifacts().stats();
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: perf_incremental [--json FILE]\n";
+      return 2;
+    }
+  }
+
+  const auto lib =
+      cell::characterize_default_library(tech::make_default_40nm());
+  const std::vector<Step> steps = edit_sequence();
+
+  const LegResult cold = run_leg(lib, steps, /*artifacts=*/false, nullptr);
+  std::vector<core::ArtifactTierStats> tiers;
+  const LegResult warm = run_leg(lib, steps, /*artifacts=*/true, &tiers);
+
+  const double speedup =
+      warm.wall_s > 0.0 ? cold.wall_s / warm.wall_s : 0.0;
+  const std::size_t warm_total = warm.runs + warm.skips;
+  const double skip_frac =
+      warm_total > 0
+          ? static_cast<double>(warm.skips) / static_cast<double>(warm_total)
+          : 0.0;
+
+  std::printf("edit sequence: %zu implement() calls, %zu stages each\n",
+              steps.size(), warm_total / steps.size());
+  std::printf("cold: %7.1f ms  (%zu stage runs, %zu skips)\n",
+              cold.wall_s * 1e3, cold.runs, cold.skips);
+  std::printf("warm: %7.1f ms  (%zu stage runs, %zu skips, %.0f%% skipped)\n",
+              warm.wall_s * 1e3, warm.runs, warm.skips, 100.0 * skip_frac);
+  std::printf("speedup: %.2fx\n", speedup);
+  for (const core::ArtifactTierStats& t : tiers) {
+    if (t.lookups() == 0 && t.entries == 0) continue;
+    std::printf("  tier %-10s %4llu hits / %4llu misses, %4zu entries\n",
+                t.name.c_str(), static_cast<unsigned long long>(t.hits),
+                static_cast<unsigned long long>(t.misses), t.entries);
+  }
+
+  if (!json_path.empty()) {
+    std::ostringstream os;
+    os << "{\"format\": \"syndcim-perf-incremental\", \"version\": 1,\n"
+       << " \"steps\": " << steps.size() << ",\n"
+       << " \"cold\": {\"wall_ms\": " << cold.wall_s * 1e3
+       << ", \"stage_runs\": " << cold.runs
+       << ", \"stage_skips\": " << cold.skips << "},\n"
+       << " \"warm\": {\"wall_ms\": " << warm.wall_s * 1e3
+       << ", \"stage_runs\": " << warm.runs
+       << ", \"stage_skips\": " << warm.skips << "},\n"
+       << " \"speedup\": " << speedup
+       << ", \"skip_fraction\": " << skip_frac << ",\n"
+       << " \"artifact_tiers\": [";
+    bool first = true;
+    for (const core::ArtifactTierStats& t : tiers) {
+      if (!first) os << ", ";
+      first = false;
+      os << "{\"name\": \"" << t.name << "\", \"hits\": " << t.hits
+         << ", \"misses\": " << t.misses << ", \"entries\": " << t.entries
+         << "}";
+    }
+    os << "]}\n";
+    std::ofstream f(json_path);
+    f << os.str();
+    if (!f.good()) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 2;
+    }
+    std::cout << "wrote " << json_path << "\n";
+  }
+
+  // Acceptance gates: the incremental path must at least halve the wall
+  // time and skip at least half of the warm leg's stage executions.
+  if (cold.skips != 0) {
+    std::cerr << "FAIL: cold leg skipped stages with tiers disabled\n";
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::cerr << "FAIL: warm speedup " << speedup << "x < 2x\n";
+    return 1;
+  }
+  if (skip_frac < 0.5) {
+    std::cerr << "FAIL: warm skip fraction " << skip_frac << " < 0.5\n";
+    return 1;
+  }
+  std::cout << "OK\n";
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/artifact_cache.hpp"
+
 namespace syndcim::cell {
 
 const Cell& Library::add(Cell c) {
@@ -23,6 +25,7 @@ const Cell& Library::add(Cell c) {
   }
   index_.emplace(c.name, cells_.size());
   cells_.push_back(std::move(c));
+  fingerprint_.clear();  // stale once the cell set changes
   return cells_.back();
 }
 
@@ -38,6 +41,68 @@ const Cell& Library::get(std::string_view name) const {
                             "'");
   }
   return *c;
+}
+
+const std::string& Library::fingerprint() const {
+  if (!fingerprint_.empty()) return fingerprint_;
+  core::ArtifactHasher h;
+  h.str("lib1");
+  const tech::TechNode& n = node_;
+  h.str(n.name);
+  h.dbl(n.feature_nm);
+  h.dbl(n.vdd_nominal);
+  h.dbl(n.vdd_min);
+  h.dbl(n.vdd_max);
+  h.dbl(n.vth);
+  h.dbl(n.alpha);
+  h.dbl(n.unit_r_kohm);
+  h.dbl(n.unit_cin_ff);
+  h.dbl(n.unit_leak_nw);
+  h.dbl(n.wire_c_ff_per_um);
+  h.dbl(n.wire_r_kohm_per_um);
+  h.dbl(n.track_pitch_um);
+  h.dbl(n.std_row_height_um);
+  h.dbl(n.sram6t_w_um);
+  h.dbl(n.sram6t_h_um);
+  h.dbl(n.temp_nominal_c);
+  h.u64(cells_.size());
+  const auto hash_lut = [&h](const Lut2d& t) {
+    h.u64(t.slew_axis().size());
+    for (const double v : t.slew_axis()) h.dbl(v);
+    h.u64(t.load_axis().size());
+    for (const double v : t.load_axis()) h.dbl(v);
+    h.u64(t.values().size());
+    for (const double v : t.values()) h.dbl(v);
+  };
+  for (const Cell& c : cells_) {
+    h.str(c.name);
+    h.i32(static_cast<int>(c.kind));
+    h.dbl(c.drive_x);
+    h.u64(c.pins.size());
+    for (const Pin& p : c.pins) {
+      h.str(p.name);
+      h.b(p.is_input);
+      h.b(p.is_clock);
+      h.dbl(p.cap_ff);
+    }
+    h.u64(c.arcs.size());
+    for (const TimingArc& a : c.arcs) {
+      h.i32(a.from_pin);
+      h.i32(a.to_pin);
+      hash_lut(a.delay_ps);
+      hash_lut(a.out_slew_ps);
+    }
+    h.dbl(c.area_um2);
+    h.dbl(c.width_um);
+    h.dbl(c.height_um);
+    h.dbl(c.leakage_nw);
+    h.dbl(c.internal_energy_fj);
+    h.dbl(c.clock_energy_fj);
+    h.dbl(c.setup_ps);
+    h.dbl(c.hold_ps);
+  }
+  fingerprint_ = h.hex();
+  return fingerprint_;
 }
 
 std::vector<const Cell*> Library::variants_of(Kind k) const {

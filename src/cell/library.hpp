@@ -27,10 +27,21 @@ class Library {
   /// All drive variants of `k`, sorted by ascending drive strength.
   [[nodiscard]] std::vector<const Cell*> variants_of(Kind k) const;
 
+  /// Content fingerprint of the characterized library: technology-node
+  /// parameters plus every cell's pins, timing tables and power/area
+  /// numbers. Artifact keys of library-dependent stage outputs (timing,
+  /// power, area — not netlist structure) embed it so artifacts never leak
+  /// across differently characterized libraries. Computed lazily and
+  /// cached; the first call is not thread-safe, so callers that share a
+  /// library across worker threads force it once up front (the SCL
+  /// constructor does).
+  [[nodiscard]] const std::string& fingerprint() const;
+
  private:
   tech::TechNode node_;
   std::vector<Cell> cells_;
   std::map<std::string, std::size_t, std::less<>> index_;
+  mutable std::string fingerprint_;  ///< lazily computed cache
 };
 
 }  // namespace syndcim::cell

@@ -1,0 +1,149 @@
+#pragma once
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+// Header-only, dependency-free: included from netlist/power/layout as well
+// as core, without adding link edges between those libraries.
+
+namespace syndcim::core {
+
+/// 64-bit FNV-1a over raw bytes (artifact content keys).
+[[nodiscard]] inline std::uint64_t artifact_fnv1a64(
+    const void* data, std::size_t n,
+    std::uint64_t h = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Incremental structural hasher for artifact keys. Doubles are hashed
+/// bitwise so keys are exact (no decimal rounding); a tag byte separates
+/// fields so concatenations cannot alias.
+class ArtifactHasher {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    h_ = artifact_fnv1a64(data, n, h_);
+    h2_ = artifact_fnv1a64(data, n, h2_ * 0x9e3779b97f4a7c15ULL + 1);
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void u32(std::uint32_t v) { bytes(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void i32(std::int32_t v) { bytes(&v, sizeof(v)); }
+  void b(bool v) {
+    const unsigned char c = v ? 1 : 0;
+    bytes(&c, 1);
+  }
+  void dbl(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  /// 32-hex-digit digest (two independent FNV streams, so single-stream
+  /// collisions cannot alias two different artifacts).
+  [[nodiscard]] std::string hex() const {
+    static const char* kHex = "0123456789abcdef";
+    std::string out(32, '0');
+    std::uint64_t a = h_, b = h2_;
+    for (int i = 15; i >= 0; --i) {
+      out[static_cast<std::size_t>(i)] = kHex[a & 0xf];
+      out[static_cast<std::size_t>(16 + i)] = kHex[b & 0xf];
+      a >>= 4;
+      b >>= 4;
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+  std::uint64_t h2_ = 0x84222325cbf29ce4ULL;
+};
+
+/// Hit/miss/occupancy snapshot of one artifact tier.
+struct ArtifactTierStats {
+  std::string name;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+  [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
+};
+
+/// One content-addressed artifact tier: immutable values keyed by a
+/// content key. Thread-safe; values are shared_ptr<const T> so a hit is a
+/// pointer copy and entries never mutate after insertion (a prerequisite
+/// for the cold-path == warm-path byte-identity guarantee). Disabling a
+/// tier turns every lookup into a silent bypass — the cold reference path
+/// runs the exact same code with `enabled(false)`.
+template <typename T>
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] std::shared_ptr<const T> find(const std::string& key) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) return nullptr;
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    return it->second;
+  }
+
+  /// Stores `value` (first writer wins) and returns the stored artifact.
+  std::shared_ptr<const T> put(const std::string& key, T value) {
+    auto sp = std::make_shared<const T>(std::move(value));
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_) return sp;
+    const auto [it, inserted] = map_.emplace(key, sp);
+    return it->second;
+  }
+
+  template <typename Fn>
+  std::shared_ptr<const T> get_or_compute(const std::string& key, Fn&& fn) {
+    if (auto hit = find(key)) return hit;
+    return put(key, std::forward<Fn>(fn)());
+  }
+
+  void set_enabled(bool on) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    enabled_ = on;
+  }
+  [[nodiscard]] bool enabled() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return enabled_;
+  }
+
+  [[nodiscard]] ArtifactTierStats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return {name_, hits_, misses_, map_.size()};
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    hits_ = misses_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::string name_;
+  bool enabled_ = true;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::unordered_map<std::string, std::shared_ptr<const T>> map_;
+};
+
+}  // namespace syndcim::core

@@ -4,14 +4,28 @@
 #include <random>
 #include <stdexcept>
 
-#include "netlist/flatten.hpp"
+#include "netlist/stitch.hpp"
 #include "num/int_ops.hpp"
+#include "rtlgen/content_key.hpp"
 #include "sim/macro_tb.hpp"
 #include "tech/units.hpp"
 
 namespace syndcim::core {
 
 namespace {
+
+/// Content key of the workload the power stage simulates.
+std::string workload_key(const Workload& wl) {
+  ArtifactHasher h;
+  h.str("wl1");
+  h.i32(wl.n_macs);
+  h.dbl(wl.input_density);
+  h.dbl(wl.weight_density);
+  h.i32(wl.input_bits);
+  h.i32(wl.weight_bits);
+  h.u32(wl.seed);
+  return h.hex();
+}
 
 /// Random workload run on the gate-level netlist for measured activity.
 void drive_workload(sim::MacroTestbench& tb, sim::DcimMacroModel& model,
@@ -63,82 +77,133 @@ Implementation SynDcimCompiler::implement(const rtlgen::MacroConfig& cfg,
                                           const Workload& workload) {
   Implementation impl;
 
-  // Each pipeline stage is scoped both into the implementation's phase
-  // timeline (always recorded) and, when observability is enabled, into
-  // the global tracer as a `compile.<phase>` span.
-  {
-    obs::PhaseScope phase(impl.timeline, "rtlgen");
-    impl.macro = rtlgen::gen_macro(cfg);
-  }
-  const netlist::FlatNetlist flat = [&] {
-    obs::PhaseScope phase(impl.timeline, "map");
-    return netlist::flatten(impl.macro.design, impl.macro.top);
-  }();
+  // Pass pipeline over the shared subcircuit-artifact store: every stage
+  // declares its input key and skips (splicing the cached artifact,
+  // including the diagnostics it originally emitted) when that key is
+  // unchanged. Each stage still lands in the implementation's phase
+  // timeline — the established phase names are kept — and, when
+  // observability is enabled, in the tracer.
+  ArtifactStore& as = scl_.artifacts();
+  StagePipeline pipe("compile", &impl.timeline);
+  const std::string ckey = rtlgen::config_content_key(cfg);
+  const std::string& libfp = lib_.fingerprint();
+  const std::string lkey = ckey + "|" + libfp;
+
+  // rtlgen always materializes the MacroDesign (the caller keeps it for
+  // testbench hookup and module keys); its subcircuit modules still come
+  // from — and land in — the modules tier.
+  const auto macro = pipe.run<rtlgen::MacroDesign>(
+      "rtlgen", nullptr, ckey,
+      [&] { return rtlgen::gen_macro(cfg, &as.modules); });
+  impl.macro = *macro;
+
+  const auto flat = pipe.run("map", &as.flats, "flatm1|" + ckey, [&] {
+    netlist::StitchResult sr = netlist::stitch_flatten(
+        impl.macro.design, impl.macro.top, &as.blocks);
+    return std::move(sr.nl);
+  });
 
   // Static netlist checks before any physical or timing work: an
   // error-severity finding means the netlist itself is broken and every
   // downstream number would be meaningless.
-  {
-    obs::PhaseScope phase(impl.timeline, "lint");
-    impl.lint = lint::lint_netlist(flat, lib_, impl.diagnostics);
-  }
+  const auto lint_art =
+      pipe.run("lint", &as.lints, "lint1|" + lkey, [&] {
+        LintArtifact la;
+        DiagEngine dg;
+        la.summary = lint::lint_netlist(*flat, lib_, dg);
+        la.diags = dg.diags();
+        return la;
+      });
+  replay_diags(lint_art->diags, impl.diagnostics);
+  impl.lint = lint_art->summary;
   if (!impl.lint.clean()) {
     throw std::runtime_error("SynDcimCompiler::implement: netlist lint "
                              "failed (" + impl.diagnostics.summary() + ")");
   }
 
   // APR: structured-data-path placement, then signoff checks.
-  {
-    obs::PhaseScope phase(impl.timeline, "floorplan");
-    impl.floorplan =
-        layout::sdp_place(flat, lib_, cfg, {}, &impl.diagnostics);
-  }
-  const sta::WireModel wire = [&] {
-    obs::PhaseScope phase(impl.timeline, "route");
-    impl.drc = layout::run_drc(flat, lib_, impl.floorplan);
-    impl.lvs = layout::run_lvs(flat, lib_, impl.floorplan);
-    return layout::extract_wire_model(flat, impl.floorplan, lib_.node());
-  }();
+  const auto placed =
+      pipe.run("floorplan", &as.placed, "place1|" + lkey, [&] {
+        PlacedArtifact pa;
+        DiagEngine dg;
+        pa.floorplan = layout::sdp_place(*flat, lib_, cfg, {}, &dg);
+        pa.diags = dg.diags();
+        return pa;
+      });
+  replay_diags(placed->diags, impl.diagnostics);
+  impl.floorplan = placed->floorplan;
 
-  // Post-layout STA with back-annotated parasitics.
-  {
-    obs::PhaseScope phase(impl.timeline, "sta");
-    sta::StaEngine sta(flat, lib_);
-    sta::StaOptions topt;
-    topt.clock_period_ps = spec.period_ps();
-    topt.write_period_ps = spec.write_period_ps();
-    topt.vdd = spec.vdd;
-    topt.wire = wire;
-    topt.static_inputs = impl.macro.static_control_ports();
-    topt.diag = &impl.diagnostics;
-    impl.timing = sta.analyze(topt);
-    impl.fmax_mhz = impl.timing.fmax_mhz;
-  }
+  const auto route = pipe.run("route", &as.routes, "route1|" + lkey, [&] {
+    RouteArtifact ra;
+    ra.drc = layout::run_drc(*flat, lib_, placed->floorplan);
+    ra.lvs = layout::run_lvs(*flat, lib_, placed->floorplan);
+    ra.wire =
+        layout::extract_wire_model(*flat, placed->floorplan, lib_.node());
+    return ra;
+  });
+  impl.drc = route->drc;
+  impl.lvs = route->lvs;
 
-  // Post-layout power from gate-level simulated activity.
+  // Post-layout STA with back-annotated parasitics. The key adds the spec
+  // timing knobs — the only spec fields this stage reads.
+  const std::string skey = spec_knobs_key(spec);
+  const auto timing =
+      pipe.run("sta", &as.timings, "sta1|" + lkey + "|" + skey, [&] {
+        TimingArtifact ta;
+        DiagEngine dg;
+        sta::StaEngine sta(*flat, lib_);
+        sta::StaOptions topt;
+        topt.clock_period_ps = spec.period_ps();
+        topt.write_period_ps = spec.write_period_ps();
+        topt.vdd = spec.vdd;
+        topt.wire = route->wire;
+        topt.static_inputs = impl.macro.static_control_ports();
+        topt.collect_group_interfaces = true;
+        topt.diag = &dg;
+        ta.timing = sta.analyze(topt);
+        ta.diags = dg.diags();
+        return ta;
+      });
+  replay_diags(timing->diags, impl.diagnostics);
+  impl.timing = timing->timing;
+  impl.fmax_mhz = impl.timing.fmax_mhz;
+
+  // Post-layout power from gate-level simulated activity. The simulated
+  // activity model is spec-independent (configuration x workload x
+  // library), so a voltage/frequency re-spin skips the simulation and
+  // only re-prices the power.
   const double power_freq_mhz = std::min(spec.mac_freq_mhz, impl.fmax_mhz);
-  {
-    obs::PhaseScope phase(impl.timeline, "power");
-    sim::MacroTestbench tb(impl.macro, lib_);
-    sim::DcimMacroModel model(cfg);
-    Workload wl = workload;
-    wl.input_bits = std::min(wl.input_bits, cfg.max_input_bits());
-    wl.weight_bits = std::min(wl.weight_bits, cfg.max_weight_bits());
-    drive_workload(tb, model, wl);
-    const power::ActivityModel act =
-        power::activity_from_sim(flat, lib_, tb.sim());
-    power::PowerOptions popt;
-    popt.vdd = spec.vdd;
-    popt.freq_mhz = power_freq_mhz;
-    popt.wire = wire;
-    impl.power = power::analyze_power(flat, lib_, act, popt);
-    impl.cell_area = power::analyze_area(flat, lib_);
-  }
+  const std::string wkey = workload_key(workload);
+  const auto pw = pipe.run(
+      "power", &as.powers, "pow1|" + lkey + "|" + skey + "|" + wkey, [&] {
+        const auto act = as.act_models.get_or_compute(
+            "simact1|" + lkey + "|" + wkey, [&] {
+              sim::MacroTestbench tb(impl.macro, lib_);
+              sim::DcimMacroModel model(cfg);
+              Workload wl = workload;
+              wl.input_bits = std::min(wl.input_bits, cfg.max_input_bits());
+              wl.weight_bits =
+                  std::min(wl.weight_bits, cfg.max_weight_bits());
+              drive_workload(tb, model, wl);
+              return power::activity_from_sim(*flat, lib_, tb.sim());
+            });
+        power::PowerOptions popt;
+        popt.vdd = spec.vdd;
+        popt.freq_mhz = power_freq_mhz;
+        popt.wire = route->wire;
+        PowerArtifact pa;
+        pa.power = power::analyze_power(*flat, lib_, *act, popt);
+        pa.area = power::analyze_area(*flat, lib_);
+        return pa;
+      });
+  impl.power = pw->power;
+  impl.cell_area = pw->area;
 
   impl.macro_area_mm2 = impl.floorplan.outline.area() * 1e-6;
   impl.total_power_uw = impl.power.total_uw();
   impl.tops_1b =
       2.0 * cfg.rows * cfg.cols * power_freq_mhz * 1.0e6 * 1.0e-12;
+  impl.stages = pipe.records();
   return impl;
 }
 

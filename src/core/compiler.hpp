@@ -2,9 +2,12 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "cell/library.hpp"
 #include "core/diag.hpp"
 #include "core/searcher.hpp"
+#include "core/stage.hpp"
 #include "layout/floorplan.hpp"
 #include "lint/lint.hpp"
 #include "obs/obs.hpp"
@@ -40,7 +43,12 @@ struct Implementation {
   /// Wall time + peak RSS of every pipeline stage this implementation
   /// went through (rtlgen → map → lint → floorplan → route → sta →
   /// power), always recorded; trace spans mirror it when obs is enabled.
+  /// Skipped stages appear too — a stage whose artifact was cached is
+  /// still a phase the compile went through, just a near-instant one.
   obs::PhaseTimeline timeline;
+  /// Per-stage run/skip trace: which stages executed and which spliced a
+  /// cached artifact, with the content key each ran under.
+  std::vector<StageRecord> stages;
   double fmax_mhz = 0.0;
   double macro_area_mm2 = 0.0;
   double total_power_uw = 0.0;

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
+#include <utility>
 
 #include "layout/floorplan.hpp"
-#include "netlist/flatten.hpp"
+#include "netlist/stitch.hpp"
 #include "power/power.hpp"
+#include "rtlgen/content_key.hpp"
 #include "rtlgen/macro.hpp"
 #include "rtlgen/ofu.hpp"
 #include "sta/sta.hpp"
@@ -26,83 +27,123 @@ constexpr double kRefPeriodPs = 1.0e5;
 }
 }  // namespace
 
-std::string SubcircuitLibrary::cache_key(const MacroConfig& c) {
-  std::ostringstream os;
-  os << c.rows << '/' << c.cols << '/' << c.mcr << '/'
-     << static_cast<int>(c.bitcell) << '/' << static_cast<int>(c.mux) << '/'
-     << static_cast<int>(c.tree.style) << '/' << c.tree.fa_fraction << '/'
-     << c.tree.carry_reorder << '/' << c.pipe.reg_after_tree << '/'
-     << c.pipe.retime_tree_cpa << '/' << c.column_split << '/'
-     << c.ofu.input_reg << '/' << c.ofu.pipeline_regs << '/'
-     << c.ofu.retime_stage1 << "/ib";
-  for (const int b : c.input_bits) os << '.' << b;
-  os << "/wb";
-  for (const int b : c.weight_bits) os << '.' << b;
-  os << "/fp";
-  for (const auto& f : c.fp_formats) os << '.' << f.name();
-  os << '/' << c.fp_guard_bits;
-  return os.str();
+SubcircuitLibrary::SubcircuitLibrary(const cell::Library& lib,
+                                     std::shared_ptr<ArtifactStore> store)
+    : lib_(lib), store_(std::move(store)) {
+  // Artifact keys of library-dependent stages embed the fingerprint;
+  // computing it here (single-threaded) makes later concurrent reads safe.
+  (void)lib_.fingerprint();
 }
 
 const SliceEval& SubcircuitLibrary::slice(const MacroConfig& cfg) {
-  const std::string key = cache_key(cfg);
-  const auto it = cache_.find(key);
+  // The slice content key already normalizes the column count, so every
+  // configuration differing only in `cols` maps to one characterization.
+  const std::string skey = rtlgen::slice_content_key(cfg);
+  const auto it = cache_.find(skey);
   if (it != cache_.end()) return it->second;
 
   // Slice: one OFU group wide (min 8 columns to satisfy the generator).
   MacroConfig sc = cfg;
   sc.cols = std::max(cfg.max_weight_bits(), 8);
   sc.validate();
-  const rtlgen::MacroDesign md = rtlgen::gen_macro(sc);
-  const netlist::FlatNetlist flat = netlist::flatten(md.design, md.top);
+
+  ArtifactStore& as = *store_;
+  StagePipeline pipe("scl.slice");
+  const std::string& libfp = lib_.fingerprint();
+  const std::string lkey = skey + "|" + libfp;
+
+  // Elaborate + stitch. Netlist structure is library-independent, so the
+  // flat artifact is keyed by generator parameters alone; on a hit the
+  // generator does not run at all.
+  const auto flat =
+      pipe.run("flatten", &as.flats, "slflat1|" + skey, [&] {
+        const rtlgen::MacroDesign md = rtlgen::gen_macro(sc, &as.modules);
+        netlist::StitchResult sr =
+            netlist::stitch_flatten(md.design, md.top, &as.blocks);
+        return std::move(sr.nl);
+      });
 
   SliceEval ev;
   ev.slice_cols = sc.cols;
-  ev.gate_count = flat.gates().size();
+  ev.gate_count = flat->gates().size();
 
   // Characterize the slice post-placement so the searcher's estimates see
   // extracted wire parasitics (the cross-region accumulator and OFU nets
   // dominate the fused configurations' timing).
-  const layout::Floorplan fp = layout::sdp_place(flat, lib_, sc);
-  const sta::WireModel wire =
-      layout::extract_wire_model(flat, fp, lib_.node());
+  const auto placed =
+      pipe.run("floorplan", &as.placed, "slplace1|" + lkey, [&] {
+        PlacedArtifact pa;
+        pa.floorplan = layout::sdp_place(*flat, lib_, sc);
+        return pa;
+      });
+  const auto route = pipe.run("route", &as.routes, "slwire1|" + lkey, [&] {
+    RouteArtifact ra;
+    ra.wire = layout::extract_wire_model(*flat, placed->floorplan,
+                                         lib_.node());
+    return ra;
+  });
 
-  sta::StaEngine sta(flat, lib_);
-  sta::StaOptions topt;
-  topt.clock_period_ps = kRefPeriodPs;
-  topt.write_period_ps = kRefPeriodPs;
-  topt.vdd = lib_.node().vdd_nominal;
-  topt.wire = wire;
-  topt.static_inputs = md.static_control_ports();
-  const sta::TimingReport rep = sta.analyze(topt);
+  // static_control_ports() is a pure function of the configuration, so it
+  // is available even when the generator stage was skipped.
+  rtlgen::MacroDesign ports;
+  ports.cfg = sc;
+
+  const auto timing = pipe.run("sta", &as.timings, "slsta1|" + lkey, [&] {
+    sta::StaEngine sta(*flat, lib_);
+    sta::StaOptions topt;
+    topt.clock_period_ps = kRefPeriodPs;
+    topt.write_period_ps = kRefPeriodPs;
+    topt.vdd = lib_.node().vdd_nominal;
+    topt.wire = route->wire;
+    topt.static_inputs = ports.static_control_ports();
+    TimingArtifact ta;
+    ta.timing = sta.analyze(topt);
+    return ta;
+  });
+  const sta::TimingReport& rep = timing->timing;
   ev.min_period_ps = rep.min_period_ps;
   ev.min_write_period_ps = rep.min_write_period_ps;
   for (const sta::GroupSlack& gs : rep.groups) {
     const double req = kRefPeriodPs - gs.wns_ps;
     const bool ofu_side =
-        starts_with(gs.group, "ofu_g") || gs.group == md.top;
+        starts_with(gs.group, "ofu_g") || gs.group == ports.top;
     (ofu_side ? ev.ofu_path_period_ps : ev.mac_path_period_ps) =
         std::max(ofu_side ? ev.ofu_path_period_ps : ev.mac_path_period_ps,
                  req);
   }
 
-  const power::ActivityModel act =
-      power::propagate_activity(flat, lib_, power::ActivitySpec{});
-  power::PowerOptions popt;
-  popt.vdd = lib_.node().vdd_nominal;
-  popt.freq_mhz = 1000.0;  // 1 GHz reference: uW == fJ/cycle
-  const power::PowerReport pw = power::analyze_power(flat, lib_, act, popt);
-  const power::AreaReport ar = power::analyze_area(flat, lib_);
+  // Search-time activity: one grouped propagation whose per-cone results
+  // come from the shared activity tier; the whole model is additionally
+  // memoized so an identical slice skips even the splicing.
+  const auto act = pipe.run<power::ActivityModel>(
+      "activity", &as.act_models, "slact1|" + lkey, [&] {
+        return power::propagate_activity_grouped(
+            *flat, lib_, power::ActivitySpec{}, &as.activity);
+      });
 
-  for (std::size_t g = 0; g < pw.by_group.size(); ++g) {
+  const auto pw = pipe.run("power", &as.powers, "slpow1|" + lkey, [&] {
+    power::PowerOptions popt;
+    popt.vdd = lib_.node().vdd_nominal;
+    popt.freq_mhz = 1000.0;  // 1 GHz reference: uW == fJ/cycle
+    PowerArtifact pa;
+    pa.power = power::analyze_power(*flat, lib_, *act, popt);
+    pa.area = power::analyze_area(*flat, lib_);
+    return pa;
+  });
+
+  for (std::size_t g = 0; g < pw->power.by_group.size(); ++g) {
     SliceEval::GroupCost gc;
-    gc.group = pw.by_group[g].group;
-    gc.dynamic_fj = pw.by_group[g].dynamic_uw;  // at 1 GHz: uW == fJ/cycle
-    gc.leakage_nw = pw.by_group[g].leakage_uw * 1.0e3;
-    gc.area_um2 = g < ar.by_group.size() ? ar.by_group[g].area_um2 : 0.0;
+    gc.group = pw->power.by_group[g].group;
+    gc.dynamic_fj =
+        pw->power.by_group[g].dynamic_uw;  // at 1 GHz: uW == fJ/cycle
+    gc.leakage_nw = pw->power.by_group[g].leakage_uw * 1.0e3;
+    gc.area_um2 = g < pw->area.by_group.size()
+                      ? pw->area.by_group[g].area_um2
+                      : 0.0;
     ev.groups.push_back(std::move(gc));
   }
-  return cache_.emplace(key, std::move(ev)).first->second;
+  last_stages_ = pipe.records();
+  return cache_.emplace(skey, std::move(ev)).first->second;
 }
 
 SubcircuitLibrary::PathStatus SubcircuitLibrary::timing_status(

@@ -1,11 +1,13 @@
 #pragma once
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cell/library.hpp"
 #include "core/design_point.hpp"
 #include "core/spec.hpp"
+#include "core/stage.hpp"
 #include "rtlgen/arch.hpp"
 
 namespace syndcim::core {
@@ -41,9 +43,26 @@ struct SliceEval {
 };
 
 /// The SynDCIM Subcircuit Library (SCL).
+///
+/// Characterization runs as a staged pipeline (gen+stitch -> floorplan ->
+/// route -> sta -> activity -> power) over a content-addressed
+/// ArtifactStore; each stage skips when its input key is already present.
+/// Because the slice content key normalizes the column count, every
+/// configuration differing only in `cols` shares one characterization,
+/// and a one-knob delta re-runs only the stages its knob reaches.
+///
+/// The store can be shared across SubcircuitLibrary instances (and with
+/// the compiler / DSE worker threads): the tiers are thread-safe, while
+/// `slice()` itself is not — callers serialize it (SclEvalBackend does).
 class SubcircuitLibrary {
  public:
-  explicit SubcircuitLibrary(const cell::Library& lib) : lib_(lib) {}
+  /// Owns a private artifact store.
+  explicit SubcircuitLibrary(const cell::Library& lib)
+      : SubcircuitLibrary(lib, std::make_shared<ArtifactStore>()) {}
+  /// Shares `store` — the sweep points every worker at one store so
+  /// subcircuit artifacts are reused across specs and threads.
+  SubcircuitLibrary(const cell::Library& lib,
+                    std::shared_ptr<ArtifactStore> store);
 
   /// Cached slice characterization of `cfg`.
   const SliceEval& slice(const rtlgen::MacroConfig& cfg);
@@ -75,10 +94,23 @@ class SubcircuitLibrary {
   [[nodiscard]] const cell::Library& cells() const { return lib_; }
   [[nodiscard]] std::size_t cache_entries() const { return cache_.size(); }
 
+  /// The subcircuit-artifact store this library characterizes through.
+  [[nodiscard]] ArtifactStore& artifacts() { return *store_; }
+  [[nodiscard]] const std::shared_ptr<ArtifactStore>& artifact_store()
+      const {
+    return store_;
+  }
+  /// Stage run/skip records of the most recent slice() characterization
+  /// that missed the SliceEval memo (empty before the first miss).
+  [[nodiscard]] const std::vector<StageRecord>& last_slice_stages() const {
+    return last_stages_;
+  }
+
  private:
-  [[nodiscard]] static std::string cache_key(const rtlgen::MacroConfig& cfg);
   const cell::Library& lib_;
-  std::map<std::string, SliceEval> cache_;
+  std::shared_ptr<ArtifactStore> store_;
+  std::map<std::string, SliceEval> cache_;  ///< keyed by slice content key
+  std::vector<StageRecord> last_stages_;
 };
 
 }  // namespace syndcim::core

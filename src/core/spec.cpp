@@ -1,8 +1,27 @@
 #include "core/spec.hpp"
 
+#include <cstdio>
+#include <sstream>
+
 #include "tech/units.hpp"
 
 namespace syndcim::core {
+
+namespace {
+/// Exact, locale-independent double rendering (round-trips via strtod).
+std::string hexd(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+}  // namespace
+
+std::string spec_knobs_key(const PerfSpec& s) {
+  std::ostringstream os;
+  os << "spec{f" << hexd(s.mac_freq_mhz) << ",w" << hexd(s.wupdate_freq_mhz)
+     << ",v" << hexd(s.vdd) << ",tm" << hexd(s.timing_margin) << "}";
+  return os.str();
+}
 
 rtlgen::MacroConfig PerfSpec::base_config() const {
   rtlgen::MacroConfig cfg;

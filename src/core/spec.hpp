@@ -1,5 +1,6 @@
 #pragma once
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "num/fp_format.hpp"
@@ -50,5 +51,14 @@ struct PerfSpec {
   [[nodiscard]] double period_ps() const;
   [[nodiscard]] double write_period_ps() const;
 };
+
+/// Canonical serialization of the PerfSpec fields that influence an
+/// evaluation outcome: the timing knobs (frequencies, voltage, margin).
+/// PPA *preference* weights are deliberately excluded — they only affect
+/// final selection, so specs differing in preference alone share cache
+/// entries. Doubles are rendered as hexfloat, so no two distinct values
+/// collide by rounding. Stage artifact keys and the DSE evaluation cache
+/// both embed this string (dse::canonical_spec_knobs_key forwards here).
+[[nodiscard]] std::string spec_knobs_key(const PerfSpec& s);
 
 }  // namespace syndcim::core

@@ -1,0 +1,190 @@
+#pragma once
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/artifact_cache.hpp"
+#include "core/diag.hpp"
+#include "layout/floorplan.hpp"
+#include "lint/lint.hpp"
+#include "netlist/stitch.hpp"
+#include "obs/obs.hpp"
+#include "power/activity.hpp"
+#include "power/power.hpp"
+#include "rtlgen/macro.hpp"
+#include "sta/sta.hpp"
+
+namespace syndcim::core {
+
+// ---------------------------------------------------------------------------
+// Stage artifacts
+// ---------------------------------------------------------------------------
+// Every artifact is the complete observable output of its stage, including
+// the diagnostics it emitted: replaying a cached artifact must be
+// indistinguishable from re-running the stage, or the warm path would drop
+// findings the cold path reports.
+
+/// Pre-signoff netlist lint result (lint stage).
+struct LintArtifact {
+  lint::LintSummary summary;
+  std::vector<Diagnostic> diags;
+};
+
+/// SDP placement result (floorplan stage).
+struct PlacedArtifact {
+  layout::Floorplan floorplan;
+  std::vector<Diagnostic> diags;
+};
+
+/// Signoff checks plus extracted parasitics (route stage).
+struct RouteArtifact {
+  layout::DrcReport drc;
+  layout::LvsReport lvs;
+  sta::WireModel wire;
+};
+
+/// Timing analysis result (sta stage).
+struct TimingArtifact {
+  sta::TimingReport timing;
+  std::vector<Diagnostic> diags;
+};
+
+/// Power + cell-area roll-up (power stage).
+struct PowerArtifact {
+  power::PowerReport power;
+  power::AreaReport area;
+};
+
+/// Replays `diags` into `sink` (used when a cached artifact is spliced in
+/// place of running its stage).
+void replay_diags(const std::vector<Diagnostic>& diags, DiagEngine& sink);
+
+// ---------------------------------------------------------------------------
+// ArtifactStore
+// ---------------------------------------------------------------------------
+
+/// The subcircuit-artifact cache: one content-addressed tier per compile
+/// stage output, shared across configurations, specs and sweep worker
+/// threads. This is the fine-grained second cache tier under the DSE's
+/// whole-config evaluation cache — a one-knob configuration delta misses
+/// the whole-config tier but still reuses every subcircuit artifact the
+/// delta did not touch.
+///
+/// Keys are 32-hex content digests (see ArtifactHasher) prefixed with a
+/// stage/version tag. What a key covers is stage-specific:
+///  - modules / blocks / flats: generator parameters only (netlist
+///    structure is library-independent),
+///  - activity: group structure + boundary probabilities + workload spec
+///    + library fingerprint,
+///  - lints / placed / routes / timings / powers / sim_activity: config
+///    key + library fingerprint (+ spec timing knobs / workload where the
+///    stage reads them).
+///
+/// Disabling the store (`set_enabled(false)`) turns every tier into a
+/// silent bypass: the cold reference path runs the exact same code, which
+/// is what makes cold-vs-warm byte-identity testable.
+struct ArtifactStore {
+  rtlgen::ModuleCache modules{"modules"};
+  netlist::FlatBlockCache blocks{"blocks"};
+  ArtifactCache<netlist::FlatNetlist> flats{"flats"};
+  power::ActivityCache activity{"activity"};
+  ArtifactCache<LintArtifact> lints{"lints"};
+  ArtifactCache<PlacedArtifact> placed{"placed"};
+  ArtifactCache<RouteArtifact> routes{"routes"};
+  ArtifactCache<TimingArtifact> timings{"timings"};
+  ArtifactCache<PowerArtifact> powers{"powers"};
+  /// Whole activity models: search-time propagated (slice pipeline) and
+  /// workload-simulated (implement pipeline), distinguished by key prefix.
+  ArtifactCache<power::ActivityModel> act_models{"act_models"};
+
+  void set_enabled(bool on);
+  [[nodiscard]] bool enabled() const { return flats.enabled(); }
+
+  /// Per-tier snapshots, in declaration order.
+  [[nodiscard]] std::vector<ArtifactTierStats> stats() const;
+  [[nodiscard]] std::uint64_t total_hits() const;
+  [[nodiscard]] std::uint64_t total_misses() const;
+  [[nodiscard]] std::size_t total_entries() const;
+
+  /// {"format": "syndcim-artifact-store", "tiers": [{"name", "hits",
+  ///  "misses", "entries"}, ...]} — tier order is stable.
+  [[nodiscard]] std::string stats_json() const;
+
+  /// Publishes per-tier hit/miss/entry counts into the obs metrics
+  /// registry as `<prefix>.<tier>.{hits,misses,entries}` (no-op when
+  /// observability is disabled).
+  void publish_metrics(const std::string& prefix = "artifact") const;
+};
+
+// ---------------------------------------------------------------------------
+// StagePipeline
+// ---------------------------------------------------------------------------
+
+/// One executed (or skipped) stage of a pipeline run.
+struct StageRecord {
+  std::string stage;
+  std::string key;       ///< artifact content key the stage ran under
+  bool skipped = false;  ///< true: artifact cache hit, stage body not run
+  double wall_ms = 0.0;
+};
+
+/// Deterministic stage runner: each stage declares its input key and its
+/// artifact tier; when the tier already holds the key the stage body is
+/// skipped and the cached artifact spliced in. Stages always land in the
+/// attached phase timeline (skipped stages too — a skip is still a phase
+/// the compile went through, just a near-instant one), and skips emit
+/// `<pipeline>.<stage>.skip` trace spans plus `pipeline.stage.skips`
+/// metrics when observability is on.
+class StagePipeline {
+ public:
+  explicit StagePipeline(std::string name,
+                         obs::PhaseTimeline* timeline = nullptr)
+      : name_(std::move(name)), tl_(timeline) {}
+
+  /// Runs one cached stage: `compute` must be a pure function of the
+  /// inputs summarized by `key`. Returns the (possibly cached) artifact.
+  /// Pass `cache == nullptr` for an uncacheable stage (always runs).
+  template <typename T, typename F>
+  std::shared_ptr<const T> run(const std::string& stage,
+                               ArtifactCache<T>* cache,
+                               const std::string& key, F&& compute) {
+    std::optional<obs::PhaseScope> phase;
+    if (tl_ != nullptr) phase.emplace(*tl_, stage);
+    const std::uint64_t t0 = obs::now_ns();
+    if (cache != nullptr) {
+      if (auto hit = cache->find(key)) {
+        note(stage, key, true, t0);
+        return hit;
+      }
+    }
+    std::optional<obs::SpanGuard> span;
+    if (tl_ == nullptr && obs::enabled()) span.emplace(name_ + "." + stage);
+    std::shared_ptr<const T> out;
+    if (cache != nullptr) {
+      out = cache->put(key, std::forward<F>(compute)());
+    } else {
+      out = std::make_shared<const T>(std::forward<F>(compute)());
+    }
+    note(stage, key, false, t0);
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<StageRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t runs() const;
+  [[nodiscard]] std::size_t skips() const;
+
+ private:
+  void note(const std::string& stage, const std::string& key, bool skipped,
+            std::uint64_t t0);
+
+  std::string name_;
+  obs::PhaseTimeline* tl_ = nullptr;
+  std::vector<StageRecord> records_;
+};
+
+}  // namespace syndcim::core

@@ -46,10 +46,9 @@ std::string canonical_config_key(const rtlgen::MacroConfig& c) {
 }
 
 std::string canonical_spec_knobs_key(const core::PerfSpec& s) {
-  std::ostringstream os;
-  os << "spec{f" << hexd(s.mac_freq_mhz) << ",w" << hexd(s.wupdate_freq_mhz)
-     << ",v" << hexd(s.vdd) << ",tm" << hexd(s.timing_margin) << "}";
-  return os.str();
+  // Single source of truth: stage artifact keys embed the same string, so
+  // the two cache tiers can never disagree about what a "spec knob" is.
+  return core::spec_knobs_key(s);
 }
 
 std::uint64_t fnv1a64(const std::string& s) {
@@ -260,32 +259,49 @@ bool parse_bare_int(const std::string& s, std::size_t& pos, long& out) {
 }  // namespace
 
 bool EvalCache::save_json(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << "{\n  \"format\": \"syndcim-eval-cache\",\n  \"version\": 1,\n"
-    << "  \"entries\": [\n";
-  bool first = true;
-  for (const Shard& sh : shards_) {
-    const std::lock_guard<std::mutex> lock(sh.mu);
-    for (const auto& [key, e] : sh.map) {
-      if (!e.ready) continue;
-      const core::PpaEstimate& p = e.outcome.ppa;
-      const auto& t = e.outcome.timing;
-      if (!first) f << ",\n";
-      first = false;
-      f << "    {\"key\": \"" << json_escape(key) << "\", \"ppa\": [\""
-        << hexd(p.fmax_mhz) << "\", \"" << hexd(p.write_fmax_mhz)
-        << "\", \"" << hexd(p.power_uw) << "\", \"" << hexd(p.area_um2)
-        << "\", \"" << hexd(p.energy_per_mac_fj) << "\", \""
-        << hexd(p.tops_1b) << "\", " << p.latency_cycles
-        << "], \"timing\": [\"" << hexd(t.mac_period_ps) << "\", \""
-        << hexd(t.ofu_period_ps) << "\", \"" << hexd(t.write_period_ps)
-        << "\", " << (t.mac_ok ? 1 : 0) << ", " << (t.ofu_ok ? 1 : 0)
-        << ", " << (t.write_ok ? 1 : 0) << "]}";
+  // Crash-safe persistence: write the whole file to a sibling temp path,
+  // then atomically rename it over the destination. A crash (or full
+  // disk) mid-write leaves the previous cache intact instead of a
+  // truncated file that the next run would reject with CACHE-BADFILE.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) return false;
+    f << "{\n  \"format\": \"syndcim-eval-cache\",\n  \"version\": 1,\n"
+      << "  \"entries\": [\n";
+    bool first = true;
+    for (const Shard& sh : shards_) {
+      const std::lock_guard<std::mutex> lock(sh.mu);
+      for (const auto& [key, e] : sh.map) {
+        if (!e.ready) continue;
+        const core::PpaEstimate& p = e.outcome.ppa;
+        const auto& t = e.outcome.timing;
+        if (!first) f << ",\n";
+        first = false;
+        f << "    {\"key\": \"" << json_escape(key) << "\", \"ppa\": [\""
+          << hexd(p.fmax_mhz) << "\", \"" << hexd(p.write_fmax_mhz)
+          << "\", \"" << hexd(p.power_uw) << "\", \"" << hexd(p.area_um2)
+          << "\", \"" << hexd(p.energy_per_mac_fj) << "\", \""
+          << hexd(p.tops_1b) << "\", " << p.latency_cycles
+          << "], \"timing\": [\"" << hexd(t.mac_period_ps) << "\", \""
+          << hexd(t.ofu_period_ps) << "\", \"" << hexd(t.write_period_ps)
+          << "\", " << (t.mac_ok ? 1 : 0) << ", " << (t.ofu_ok ? 1 : 0)
+          << ", " << (t.write_ok ? 1 : 0) << "]}";
+      }
+    }
+    f << "\n  ]\n}\n";
+    f.flush();
+    if (!f.good()) {
+      f.close();
+      std::remove(tmp.c_str());
+      return false;
     }
   }
-  f << "\n  ]\n}\n";
-  return f.good();
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::size_t EvalCache::load_json(const std::string& path,

@@ -12,7 +12,7 @@
 #include "core/diag.hpp"
 #include "lint/lint.hpp"
 #include "obs/obs.hpp"
-#include "netlist/flatten.hpp"
+#include "netlist/stitch.hpp"
 #include "rtlgen/macro.hpp"
 
 namespace syndcim::dse {
@@ -164,7 +164,12 @@ SweepReport run_sweep(const cell::Library& lib,
 
   // One shared SCL (its slice cache is spec-independent, so every task
   // benefits), wrapped in the thread-safe backend, optionally memoized.
-  core::SubcircuitLibrary scl(lib);
+  // Every worker characterizes through one subcircuit-artifact store —
+  // the fine-grained second cache tier; disabling it bypasses the tiers
+  // but runs the identical code path.
+  auto store = std::make_shared<core::ArtifactStore>();
+  store->set_enabled(opt.use_artifact_cache);
+  core::SubcircuitLibrary scl(lib, store);
   core::SclEvalBackend raw(scl);
   EvalCache cache;
   if (opt.use_cache && !opt.cache_path.empty()) {
@@ -258,11 +263,16 @@ SweepReport run_sweep(const cell::Library& lib,
     for (FrontierPoint& fp : rep.frontier) {
       const rtlgen::MacroDesign macro = [&] {
         obs::PhaseScope phase(fp.timeline, "rtlgen");
-        return rtlgen::gen_macro(fp.point.cfg);
+        return rtlgen::gen_macro(fp.point.cfg, &store->modules);
       }();
       const netlist::FlatNetlist flat = [&] {
         obs::PhaseScope phase(fp.timeline, "map");
-        return netlist::flatten(macro.design, macro.top);
+        // Stitch pre-flattened subcircuit blocks (byte-identical to a
+        // monolithic flatten; the search above already populated the
+        // block tier with this point's subcircuits).
+        return std::move(
+            netlist::stitch_flatten(macro.design, macro.top, &store->blocks)
+                .nl);
       }();
       obs::PhaseScope phase(fp.timeline, "lint");
       core::DiagEngine diag;
@@ -276,6 +286,7 @@ SweepReport run_sweep(const cell::Library& lib,
     (void)cache.save_json(opt.cache_path);
   }
   rep.cache = cache.stats();
+  rep.artifacts = store->stats();
   rep.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
@@ -297,7 +308,25 @@ SweepReport run_sweep(const cell::Library& lib,
   m.counter("dse.sweep.run").inc();
   m.gauge("dse.pool.threads").set(static_cast<double>(rep.pool.threads));
   m.gauge("dse.sweep.wall_ms").set(rep.wall_ms);
+  m.counter("dse.artifact.hit").inc(rep.artifact_hits());
+  m.counter("dse.artifact.miss").inc(rep.artifact_misses());
+  for (const core::ArtifactTierStats& t : rep.artifacts) {
+    m.gauge("dse.artifact." + t.name + ".entries")
+        .set(static_cast<double>(t.entries));
+  }
   return rep;
+}
+
+std::uint64_t SweepReport::artifact_hits() const {
+  std::uint64_t n = 0;
+  for (const core::ArtifactTierStats& t : artifacts) n += t.hits;
+  return n;
+}
+
+std::uint64_t SweepReport::artifact_misses() const {
+  std::uint64_t n = 0;
+  for (const core::ArtifactTierStats& t : artifacts) n += t.misses;
+  return n;
 }
 
 std::string sweep_frontier_json(const SweepReport& r) {
@@ -327,6 +356,16 @@ std::string sweep_report_json(const SweepReport& r) {
      << ", \"entries\": " << r.cache.entries
      << ", \"loaded\": " << r.cache.loaded
      << ", \"rejected\": " << r.cache.rejected << "}"
+     << ",\n  \"artifacts\": {\"hits\": " << r.artifact_hits()
+     << ", \"misses\": " << r.artifact_misses() << ", \"tiers\": [";
+  for (std::size_t i = 0; i < r.artifacts.size(); ++i) {
+    const core::ArtifactTierStats& t = r.artifacts[i];
+    if (i) os << ", ";
+    os << "{\"name\": \"" << t.name << "\", \"hits\": " << t.hits
+       << ", \"misses\": " << t.misses << ", \"entries\": " << t.entries
+       << "}";
+  }
+  os << "]}"
      << ",\n  \"per_spec\": [\n";
   for (std::size_t i = 0; i < r.per_spec.size(); ++i) {
     const SpecResult& sr = r.per_spec[i];

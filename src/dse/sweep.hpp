@@ -1,9 +1,11 @@
 #pragma once
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "cell/library.hpp"
 #include "core/searcher.hpp"
+#include "core/stage.hpp"
 #include "dse/eval_cache.hpp"
 #include "dse/pool.hpp"
 #include "obs/obs.hpp"
@@ -27,6 +29,13 @@ struct SweepOptions {
   int threads = 0;         ///< <= 0: hardware concurrency
   bool use_cache = true;   ///< memoize evaluations across specs/trajectories
   std::string cache_path;  ///< warm-start/persist JSON (empty: in-memory)
+  /// Second, finer cache tier under the whole-config evaluation cache:
+  /// the content-addressed subcircuit-artifact store shared by every
+  /// worker. A one-knob config delta misses the whole-config tier but
+  /// still reuses every subcircuit artifact the knob did not touch.
+  /// Disabling it runs the exact same code with the tiers bypassed — the
+  /// frontier JSON is byte-identical either way.
+  bool use_artifact_cache = true;
   /// Lint the elaborated netlist of every global-frontier point after the
   /// merge (sequential, so the report stays deterministic). Off for pure
   /// benchmarking runs.
@@ -63,9 +72,15 @@ struct SweepReport {
   /// power/area objectives because specs differ in clock target.
   std::vector<FrontierPoint> frontier;
   EvalCacheStats cache;
+  /// Per-tier hit/miss/occupancy of the subcircuit-artifact store
+  /// (modules, blocks, flats, activity, ... — see core::ArtifactStore).
+  std::vector<core::ArtifactTierStats> artifacts;
   WorkStealingPool::Stats pool;
   double wall_ms = 0.0;
   std::size_t n_tasks = 0;  ///< (spec, trajectory) tasks executed
+
+  [[nodiscard]] std::uint64_t artifact_hits() const;
+  [[nodiscard]] std::uint64_t artifact_misses() const;
 };
 
 /// Parallel multi-spec exploration: fans (spec x trajectory) tasks out on

@@ -47,39 +47,57 @@ std::vector<std::string> Design::module_names() const {
 namespace {
 void validate_module(const Design& d, const Module& m,
                      std::set<std::string>& visited,
-                     std::vector<std::string>& problems) {
+                     core::DiagEngine& diag) {
   if (!visited.insert(m.name()).second) return;
   std::set<std::string> inst_names;
   for (const Instance& inst : m.instances()) {
     if (!inst_names.insert(inst.name).second) {
-      problems.push_back(m.name() + ": duplicate instance name " + inst.name);
+      diag.error("NET-DUPINST",
+                 m.name() + ": duplicate instance name " + inst.name,
+                 inst.name, m.name());
     }
     if (inst.is_cell) continue;
     if (!d.has_module(inst.master)) {
-      problems.push_back(m.name() + "/" + inst.name + ": unknown submodule " +
-                         inst.master);
+      diag.error("NET-NOMODULE",
+                 m.name() + "/" + inst.name + ": unknown submodule " +
+                     inst.master,
+                 inst.master, m.name());
       continue;
     }
     const Module& sub = d.module(inst.master);
     for (const Conn& c : inst.conns) {
       if (!sub.has_port(c.pin)) {
-        problems.push_back(m.name() + "/" + inst.name + ": no port '" +
-                           c.pin + "' on module " + inst.master);
+        diag.error("NET-NOPORT",
+                   m.name() + "/" + inst.name + ": no port '" + c.pin +
+                       "' on module " + inst.master,
+                   c.pin, m.name());
       }
     }
-    validate_module(d, sub, visited, problems);
+    validate_module(d, sub, visited, diag);
   }
 }
 }  // namespace
 
-std::vector<std::string> validate(const Design& d, const std::string& top) {
-  std::vector<std::string> problems;
+bool validate(const Design& d, const std::string& top,
+              core::DiagEngine& diag) {
+  const std::size_t before = diag.error_count();
   if (!d.has_module(top)) {
-    problems.push_back("top module '" + top + "' not found");
-    return problems;
+    diag.error("NET-NOTOP", "top module '" + top + "' not found", top);
+    return false;
   }
   std::set<std::string> visited;
-  validate_module(d, d.module(top), visited, problems);
+  validate_module(d, d.module(top), visited, diag);
+  return diag.error_count() == before;
+}
+
+std::vector<std::string> validate(const Design& d, const std::string& top) {
+  core::DiagEngine diag;
+  validate(d, top, diag);
+  std::vector<std::string> problems;
+  problems.reserve(diag.diags().size());
+  for (const core::Diagnostic& dg : diag.diags()) {
+    problems.push_back(dg.message);
+  }
   return problems;
 }
 

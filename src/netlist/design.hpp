@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "core/diag.hpp"
 #include "netlist/module.hpp"
 
 namespace syndcim::netlist {
@@ -29,5 +30,12 @@ class Design {
 /// clean).
 [[nodiscard]] std::vector<std::string> validate(const Design& d,
                                                 const std::string& top);
+
+/// Structured validation: the same checks reported as NET-* diagnostics
+/// (NET-NOTOP, NET-DUPINST, NET-NOMODULE, NET-NOPORT) so hierarchy
+/// findings land in the same text/JSON reports as lint and the parsers.
+/// Returns true when the design is clean under `top`.
+bool validate(const Design& d, const std::string& top,
+              core::DiagEngine& diag);
 
 }  // namespace syndcim::netlist

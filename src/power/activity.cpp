@@ -155,4 +155,189 @@ ActivityModel propagate_activity(const FlatNetlist& nl,
   return am;
 }
 
+namespace {
+
+/// Runs the propagate_activity fixpoint over one group's gates only,
+/// reading settled values for everything outside the group.
+void solve_group(const std::vector<ResolvedGate>& gates,
+                 const std::vector<std::uint32_t>& members,
+                 const ActivitySpec& spec, ActivityModel& am) {
+  for (int pass = 0; pass < 8; ++pass) {
+    for (const std::uint32_t gi : members) {
+      const ResolvedGate& g = gates[gi];
+      const cell::TimingRole role = g.cell->timing_role();
+      if (role == cell::TimingRole::kCombinational) continue;
+      const std::uint32_t q = g.out_nets.empty() ? kNoNet : g.out_nets[0];
+      if (q == kNoNet) continue;
+      if (role == cell::TimingRole::kStorage) {
+        am.p_one[q] = spec.weight_p1;
+        am.toggle_rate[q] = 0.0;
+        continue;
+      }
+      const double pd = am.p_one[g.in_nets[0]];
+      am.p_one[q] = pd;
+      am.toggle_rate[q] = 2.0 * pd * (1.0 - pd) * kToggleDamp;
+    }
+    for (const std::uint32_t gi : members) {
+      const ResolvedGate& g = gates[gi];
+      if (g.cell->timing_role() != cell::TimingRole::kCombinational) {
+        continue;
+      }
+      const int n_in = static_cast<int>(g.in_nets.size());
+      const int combos = 1 << n_in;
+      std::vector<double> pout(g.out_nets.size(), 0.0);
+      std::vector<int> in_vals(static_cast<std::size_t>(n_in));
+      for (int v = 0; v < combos; ++v) {
+        double p = 1.0;
+        for (int i = 0; i < n_in; ++i) {
+          const int bit = (v >> i) & 1;
+          in_vals[static_cast<std::size_t>(i)] = bit;
+          const double p1 = am.p_one[g.in_nets[static_cast<std::size_t>(i)]];
+          p *= bit ? p1 : (1.0 - p1);
+        }
+        if (p == 0.0) continue;
+        const auto outs = cell::eval_kind(g.cell->kind, in_vals);
+        for (std::size_t o = 0; o < pout.size(); ++o) {
+          if (outs[o]) pout[o] += p;
+        }
+      }
+      for (std::size_t o = 0; o < g.out_nets.size(); ++o) {
+        const std::uint32_t net = g.out_nets[o];
+        if (net == kNoNet) continue;
+        am.p_one[net] = pout[o];
+        am.toggle_rate[net] = 2.0 * pout[o] * (1.0 - pout[o]) * kToggleDamp;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ActivityModel propagate_activity_grouped(const netlist::FlatNetlist& nl,
+                                         const cell::Library& lib,
+                                         const ActivitySpec& spec,
+                                         ActivityCache* cache,
+                                         GroupedActivityStats* stats) {
+  const auto gates = resolve(nl, lib);
+  ActivityModel am;
+  am.p_one.assign(nl.net_count(), 0.5);
+  am.toggle_rate.assign(nl.net_count(), 0.0);
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    if (nl.net_const(n) != NetConst::kNone) {
+      am.p_one[n] = nl.net_const(n) == NetConst::kOne ? 1.0 : 0.0;
+      am.toggle_rate[n] = 0.0;
+    }
+  }
+  for (const auto& io : nl.primary_inputs()) {
+    am.p_one[io.net] = spec.input_p1;
+    am.toggle_rate[io.net] = spec.input_toggle;
+  }
+
+  // Group membership in first-gate-occurrence order; for generated macros
+  // that order is topological (align -> drivers -> columns -> OFUs), so
+  // each cone sees settled inputs.
+  std::vector<std::int32_t> slot_of(nl.group_names().size(), -1);
+  std::vector<std::vector<std::uint32_t>> cones;
+  for (std::uint32_t gi = 0; gi < nl.gates().size(); ++gi) {
+    std::int32_t& slot = slot_of[nl.gates()[gi].group];
+    if (slot < 0) {
+      slot = static_cast<std::int32_t>(cones.size());
+      cones.emplace_back();
+    }
+    cones[static_cast<std::size_t>(slot)].push_back(gi);
+  }
+
+  const std::string& libfp = lib.fingerprint();
+  std::vector<std::uint32_t> local_of(nl.net_count(), UINT32_MAX);
+  std::vector<std::uint32_t> touched;
+  std::vector<std::uint32_t> driven_list;
+
+  for (const auto& members : cones) {
+    if (stats) ++stats->groups;
+
+    // Local numbering of every net the cone references (first-use order)
+    // plus the cone's driven-net list (first-driver order) — both pure
+    // functions of the cone's structure.
+    touched.clear();
+    driven_list.clear();
+    core::ArtifactHasher h;
+    h.str("act1");
+    h.str(libfp);
+    h.dbl(spec.weight_p1);
+    auto local_id = [&](std::uint32_t net) -> std::uint32_t {
+      std::uint32_t& slot = local_of[net];
+      if (slot == UINT32_MAX) {
+        slot = static_cast<std::uint32_t>(touched.size());
+        touched.push_back(net);
+      }
+      return slot;
+    };
+    for (const std::uint32_t gi : members) {
+      const ResolvedGate& g = gates[gi];
+      h.str(g.cell->name);
+      h.u64(g.in_nets.size());
+      for (const std::uint32_t net : g.in_nets) {
+        h.u32(net == kNoNet ? UINT32_MAX : local_id(net));
+      }
+      h.u64(g.out_nets.size());
+      for (const std::uint32_t net : g.out_nets) {
+        h.u32(net == kNoNet ? UINT32_MAX : local_id(net));
+      }
+    }
+    // Driven list: first-driver order, deduplicated.
+    {
+      std::vector<bool> seen(touched.size(), false);
+      for (const std::uint32_t gi : members) {
+        for (const std::uint32_t net : gates[gi].out_nets) {
+          if (net == kNoNet) continue;
+          const std::uint32_t id = local_of[net];
+          if (!seen[id]) {
+            seen[id] = true;
+            driven_list.push_back(net);
+          }
+        }
+      }
+    }
+    // Observed probabilities of every referenced net (inputs settled by
+    // upstream cones; driven nets carry their pre-cone state, which covers
+    // multi-driven corner cases exactly).
+    for (const std::uint32_t net : touched) h.dbl(am.p_one[net]);
+    const std::string key = h.hex();
+
+    std::shared_ptr<const GroupActivityArtifact> art;
+    if (cache) art = cache->find(key);
+    if (art && art->driven.size() == driven_list.size()) {
+      for (std::size_t j = 0; j < driven_list.size(); ++j) {
+        am.p_one[driven_list[j]] = art->driven[j].first;
+        am.toggle_rate[driven_list[j]] = art->driven[j].second;
+      }
+      if (stats) ++stats->group_hits;
+    } else {
+      solve_group(gates, members, spec, am);
+      if (cache) {
+        GroupActivityArtifact out;
+        out.driven.reserve(driven_list.size());
+        for (const std::uint32_t net : driven_list) {
+          out.driven.emplace_back(am.p_one[net], am.toggle_rate[net]);
+        }
+        cache->put(key, std::move(out));
+      }
+    }
+    for (const std::uint32_t net : touched) local_of[net] = UINT32_MAX;
+  }
+
+  // Clock nets toggle twice per cycle (identical to propagate_activity).
+  for (const auto& g : gates) {
+    std::size_t in = 0;
+    for (const auto& p : g.cell->pins) {
+      if (!p.is_input) continue;
+      if (p.is_clock && g.in_nets[in] != kNoNet) {
+        am.toggle_rate[g.in_nets[in]] = 2.0;
+      }
+      ++in;
+    }
+  }
+  return am;
+}
+
 }  // namespace syndcim::power

@@ -1,7 +1,10 @@
 #pragma once
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "cell/library.hpp"
+#include "core/artifact_cache.hpp"
 #include "netlist/flatten.hpp"
 #include "sim/gate_sim.hpp"
 
@@ -40,5 +43,36 @@ struct ActivitySpec {
 [[nodiscard]] ActivityModel propagate_activity(const netlist::FlatNetlist& nl,
                                                const cell::Library& lib,
                                                const ActivitySpec& spec);
+
+/// One group's propagation result: final (p_one, toggle_rate) of every net
+/// the group drives, in the group's first-driver order. A pure function of
+/// the group's structure and its observed input probabilities — which is
+/// exactly what the artifact key hashes, so replaying a cached artifact is
+/// bit-identical to recomputing it.
+struct GroupActivityArtifact {
+  std::vector<std::pair<double, double>> driven;
+};
+/// Shared activity tier of the subcircuit-artifact cache.
+using ActivityCache = core::ArtifactCache<GroupActivityArtifact>;
+
+struct GroupedActivityStats {
+  std::size_t groups = 0;       ///< cone evaluations requested
+  std::size_t group_hits = 0;   ///< cones spliced from cached artifacts
+};
+
+/// Incremental variant of propagate_activity used by the subcircuit
+/// library: gates are processed one depth-1 group at a time in
+/// first-occurrence order (topological for generated macros — drivers
+/// before columns before OFUs), each group iterated to its own fixpoint
+/// against already-settled upstream values. Every group cone is
+/// content-addressed by (library fingerprint, group structure, observed
+/// boundary probabilities, workload spec), so unchanged cones splice their
+/// cached activity instead of re-running the fixpoint — across
+/// configurations, specs and sweep workers. Cold (cache == nullptr or
+/// disabled) and warm runs produce byte-identical models by construction.
+[[nodiscard]] ActivityModel propagate_activity_grouped(
+    const netlist::FlatNetlist& nl, const cell::Library& lib,
+    const ActivitySpec& spec, ActivityCache* cache = nullptr,
+    GroupedActivityStats* stats = nullptr);
 
 }  // namespace syndcim::power

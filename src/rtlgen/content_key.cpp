@@ -1,0 +1,143 @@
+#include "rtlgen/content_key.hpp"
+
+#include <algorithm>
+
+#include "core/artifact_cache.hpp"
+#include "rtlgen/alignment_unit.hpp"
+#include "rtlgen/drivers.hpp"
+#include "rtlgen/ofu.hpp"
+#include "rtlgen/shift_adder.hpp"
+
+namespace syndcim::rtlgen {
+
+namespace {
+void hash_tree(core::ArtifactHasher& h, const AdderTreeConfig& cfg) {
+  h.str("tree1");
+  h.i32(cfg.rows);
+  h.i32(static_cast<int>(cfg.style));
+  h.dbl(cfg.fa_fraction);
+  h.b(cfg.carry_reorder);
+  h.b(cfg.external_cpa);
+}
+}  // namespace
+
+std::string tree_content_key(const AdderTreeConfig& cfg) {
+  core::ArtifactHasher h;
+  hash_tree(h, cfg);
+  return h.hex();
+}
+
+std::string shift_adder_content_key(const ShiftAdderConfig& cfg) {
+  core::ArtifactHasher h;
+  h.str("sa1");
+  h.i32(cfg.psum_bits);
+  h.i32(cfg.width);
+  h.b(cfg.redundant_psum);
+  return h.hex();
+}
+
+std::string ofu_content_key(const OfuModuleConfig& cfg) {
+  core::ArtifactHasher h;
+  h.str("ofu1");
+  h.i32(cfg.group_cols);
+  h.i32(cfg.col_width);
+  h.b(cfg.arrangement.input_reg);
+  h.i32(cfg.arrangement.pipeline_regs);
+  h.b(cfg.arrangement.retime_stage1);
+  return h.hex();
+}
+
+std::string wl_driver_content_key(const WlDriverConfig& cfg) {
+  core::ArtifactHasher h;
+  h.str("wldrv1");
+  h.i32(cfg.rows);
+  h.i32(cfg.piso_bits);
+  h.i32(cfg.am_bits);
+  h.i32(cfg.mcr);
+  h.b(cfg.oai22_gating);
+  h.i32(cfg.row_fanout);
+  return h.hex();
+}
+
+std::string write_port_content_key(const WritePortConfig& cfg) {
+  core::ArtifactHasher h;
+  h.str("wrport1");
+  h.i32(cfg.rows);
+  h.i32(cfg.cols);
+  h.i32(cfg.mcr);
+  h.b(cfg.invert_data);
+  return h.hex();
+}
+
+std::string alignment_content_key(const AlignmentConfig& cfg) {
+  core::ArtifactHasher h;
+  h.str("align1");
+  h.i32(cfg.format.exp_bits);
+  h.i32(cfg.format.man_bits);
+  h.i32(cfg.lanes);
+  h.i32(cfg.guard_bits);
+  h.b(cfg.pipelined);
+  return h.hex();
+}
+
+std::string column_content_key(const MacroConfig& cfg) {
+  // gen_column reads: rows, mcr, column_split (and the derived segment
+  // geometry), sa_width, mux/bitcell styles and both pipe flags. The
+  // tree/sa submodules are referenced by name, so their parameters do not
+  // enter the column module's own structure.
+  core::ArtifactHasher h;
+  h.str("col1");
+  h.i32(cfg.rows);
+  h.i32(cfg.mcr);
+  h.i32(cfg.column_split);
+  h.i32(cfg.sa_width());
+  h.i32(static_cast<int>(cfg.bitcell));
+  h.i32(static_cast<int>(cfg.mux));
+  h.b(cfg.pipe.reg_after_tree);
+  h.b(cfg.pipe.retime_tree_cpa);
+  return h.hex();
+}
+
+namespace {
+void hash_config(core::ArtifactHasher& h, const MacroConfig& cfg) {
+  h.str("cfg1");
+  h.i32(cfg.rows);
+  h.i32(cfg.cols);
+  h.i32(cfg.mcr);
+  h.u64(cfg.input_bits.size());
+  for (const int b : cfg.input_bits) h.i32(b);
+  h.u64(cfg.weight_bits.size());
+  for (const int b : cfg.weight_bits) h.i32(b);
+  h.u64(cfg.fp_formats.size());
+  for (const num::FpFormat& f : cfg.fp_formats) {
+    h.i32(f.exp_bits);
+    h.i32(f.man_bits);
+  }
+  h.i32(cfg.fp_guard_bits);
+  h.i32(static_cast<int>(cfg.bitcell));
+  h.i32(static_cast<int>(cfg.mux));
+  h.i32(static_cast<int>(cfg.tree.style));
+  h.dbl(cfg.tree.fa_fraction);
+  h.b(cfg.tree.carry_reorder);
+  h.b(cfg.pipe.reg_after_tree);
+  h.b(cfg.pipe.retime_tree_cpa);
+  h.b(cfg.ofu.input_reg);
+  h.i32(cfg.ofu.pipeline_regs);
+  h.b(cfg.ofu.retime_stage1);
+  h.i32(cfg.column_split);
+}
+}  // namespace
+
+std::string config_content_key(const MacroConfig& cfg) {
+  core::ArtifactHasher h;
+  hash_config(h, cfg);
+  return h.hex();
+}
+
+std::string slice_content_key(const MacroConfig& cfg) {
+  MacroConfig sc = cfg;
+  sc.cols = std::max(cfg.max_weight_bits(), 8);
+  return config_content_key(sc);
+}
+
+}  // namespace syndcim::rtlgen

@@ -1,0 +1,42 @@
+#pragma once
+#include <string>
+
+#include "rtlgen/arch.hpp"
+
+namespace syndcim::rtlgen {
+
+struct OfuModuleConfig;
+struct WlDriverConfig;
+struct WritePortConfig;
+struct AlignmentConfig;
+struct ShiftAdderConfig;
+
+// Stable content keys for generated subcircuits: each key is a 128-bit
+// hash (hex) of the generator's version tag plus every parameter the
+// generator reads — parameters in, identical module out. Consumers append
+// the cell-library fingerprint where a downstream artifact (timing, power,
+// area) depends on cell characterization; the module structure itself does
+// not, so these keys deliberately exclude it.
+
+[[nodiscard]] std::string tree_content_key(const AdderTreeConfig& cfg);
+[[nodiscard]] std::string shift_adder_content_key(const ShiftAdderConfig& cfg);
+[[nodiscard]] std::string ofu_content_key(const OfuModuleConfig& cfg);
+[[nodiscard]] std::string wl_driver_content_key(const WlDriverConfig& cfg);
+[[nodiscard]] std::string write_port_content_key(const WritePortConfig& cfg);
+[[nodiscard]] std::string alignment_content_key(const AlignmentConfig& cfg);
+/// Key of the per-column module (covers exactly the MacroConfig fields
+/// gen_column reads; cols-independent).
+[[nodiscard]] std::string column_content_key(const MacroConfig& cfg);
+
+/// Canonical whole-configuration key: every architecture knob of `cfg`
+/// (precision lists and FP formats included). Two configs with equal keys
+/// elaborate to identical macros.
+[[nodiscard]] std::string config_content_key(const MacroConfig& cfg);
+
+/// Key of the characterization slice `cfg` maps to: config_content_key
+/// with `cols` normalized to the one-OFU-group slice width. Configs that
+/// differ only in column count share a slice — and therefore share every
+/// slice-derived artifact.
+[[nodiscard]] std::string slice_content_key(const MacroConfig& cfg);
+
+}  // namespace syndcim::rtlgen

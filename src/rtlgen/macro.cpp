@@ -6,6 +6,7 @@
 #include "num/alignment.hpp"
 #include "rtlgen/adder_tree.hpp"
 #include "rtlgen/alignment_unit.hpp"
+#include "rtlgen/content_key.hpp"
 #include "rtlgen/drivers.hpp"
 #include "rtlgen/gates.hpp"
 #include "rtlgen/ofu.hpp"
@@ -256,6 +257,10 @@ int MacroDesign::ofu_valid_cycle(int input_bits, int stage) const {
 }
 
 MacroDesign gen_macro(const MacroConfig& cfg) {
+  return gen_macro(cfg, nullptr);
+}
+
+MacroDesign gen_macro(const MacroConfig& cfg, ModuleCache* modules) {
   cfg.validate();
   MacroDesign md;
   md.cfg = cfg;
@@ -268,39 +273,73 @@ MacroDesign gen_macro(const MacroConfig& cfg) {
   const int am_bits =
       fp ? num::aligned_mant_bits(*fp, cfg.fp_guard_bits) : 0;
 
+  // Emits one subcircuit module under its content key: served from the
+  // module tier when available, generated (and published) otherwise.
+  const auto emit = [&](const std::string& name, const std::string& key,
+                        auto&& gen) {
+    const std::string full = key + "|" + name;
+    md.module_keys.emplace(name, full);
+    if (modules) {
+      if (const auto hit = modules->find(full)) {
+        md.design.add_module(*hit);
+        return;
+      }
+      Module m = gen();
+      modules->put(full, m);
+      md.design.add_module(std::move(m));
+      return;
+    }
+    md.design.add_module(gen());
+  };
+
   // --- subcircuit modules ---
   AdderTreeConfig tcfg = cfg.tree;
   tcfg.rows = cfg.segment_rows();
   tcfg.external_cpa = cfg.pipe.retime_tree_cpa;
-  md.design.add_module(gen_adder_tree(tcfg, "tree"));
+  emit("tree", tree_content_key(tcfg),
+       [&] { return gen_adder_tree(tcfg, "tree"); });
 
   ShiftAdderConfig scfg;
   scfg.psum_bits = cfg.pipe.retime_tree_cpa ? tcfg.sum_bits()
                                             : log2i(rows) + 1;
   scfg.width = w;
   scfg.redundant_psum = cfg.pipe.retime_tree_cpa;
-  md.design.add_module(gen_shift_adder(scfg, "sa"));
+  emit("sa", shift_adder_content_key(scfg),
+       [&] { return gen_shift_adder(scfg, "sa"); });
 
   OfuModuleConfig ocfg{wp_max, w, cfg.ofu};
-  md.design.add_module(gen_ofu(ocfg, "ofu_g"));
+  emit("ofu_g", ofu_content_key(ocfg), [&] { return gen_ofu(ocfg, "ofu_g"); });
 
   WlDriverConfig wcfg{rows, ib_max, am_bits, mcr,
                       cfg.mux == MuxStyle::kOai22Fused, cols};
-  md.design.add_module(gen_wl_driver(wcfg, "wldrv"));
+  emit("wldrv", wl_driver_content_key(wcfg),
+       [&] { return gen_wl_driver(wcfg, "wldrv"); });
 
   WritePortConfig pcfg{rows, cols, mcr,
                        cfg.mux == MuxStyle::kOai22Fused};
-  md.design.add_module(gen_write_port(pcfg, "wrport"));
+  emit("wrport", write_port_content_key(pcfg),
+       [&] { return gen_write_port(pcfg, "wrport"); });
 
   if (fp) {
     AlignmentConfig acfg{*fp, rows, cfg.fp_guard_bits, /*pipelined=*/true};
-    md.design.add_module(gen_alignment_unit(acfg, "align"));
+    emit("align", alignment_content_key(acfg),
+         [&] { return gen_alignment_unit(acfg, "align"); });
   }
 
   // The column module references tree/sa by name.
-  md.design.add_module(gen_column(cfg, "tree", "sa"));
+  emit("dcim_col", column_content_key(cfg),
+       [&] { return gen_column(cfg, "tree", "sa"); });
 
   // --- top ---
+  const std::string top_key =
+      "top1-" + config_content_key(cfg) + "|" + md.top;
+  md.module_keys.emplace(md.top, top_key);
+  if (modules) {
+    if (const auto hit = modules->find(top_key)) {
+      md.design.add_module(*hit);
+      return md;
+    }
+  }
   Module top(md.top);
   const NetId clk = top.add_port("clk", PortDir::kIn);
   const NetId neg = top.add_port("neg", PortDir::kIn);
@@ -500,6 +539,7 @@ MacroDesign gen_macro(const MacroConfig& cfg) {
                       std::move(conns));
   }
 
+  if (modules) modules->put(top_key, top);
   md.design.add_module(std::move(top));
   return md;
 }

@@ -1,10 +1,17 @@
 #pragma once
+#include <map>
 #include <string>
 
+#include "core/artifact_cache.hpp"
 #include "netlist/design.hpp"
 #include "rtlgen/arch.hpp"
 
 namespace syndcim::rtlgen {
+
+/// Shared subcircuit-module tier of the artifact cache: generated modules
+/// keyed by their content key, reused across configurations that share a
+/// subcircuit (elaborate-stage skip).
+using ModuleCache = core::ArtifactCache<netlist::Module>;
 
 /// A fully elaborated DCIM macro: hierarchical design plus the interface
 /// contract (port names, cycle-level protocol, storage layout) shared by
@@ -30,6 +37,10 @@ struct MacroDesign {
   netlist::Design design;
   std::string top = "dcim_macro";
   MacroConfig cfg;
+  /// Content key of every generated subcircuit module, by module name
+  /// (see rtlgen/content_key.hpp): the stable artifact address each
+  /// module was — or could have been — cached under.
+  std::map<std::string, std::string> module_keys;
 
   /// Cycles after `load` until the S&A accumulator has the full result.
   [[nodiscard]] int sa_done_cycles(int input_bits) const {
@@ -60,7 +71,12 @@ struct MacroDesign {
   [[nodiscard]] int align_latency() const;
 };
 
-/// Elaborates the complete macro (validates `cfg` first).
+/// Elaborates the complete macro (validates `cfg` first). With `modules`
+/// set, each subcircuit is looked up by content key before generating and
+/// newly generated modules are published for later calls — the output is
+/// identical either way (cached modules are exact copies).
 [[nodiscard]] MacroDesign gen_macro(const MacroConfig& cfg);
+[[nodiscard]] MacroDesign gen_macro(const MacroConfig& cfg,
+                                    ModuleCache* modules);
 
 }  // namespace syndcim::rtlgen

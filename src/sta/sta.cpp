@@ -384,6 +384,53 @@ TimingReport StaEngine::analyze_impl(const StaOptions& opt,
   for (GroupSlack& gs : groups) {
     if (std::isfinite(gs.wns_ps)) rep.groups.push_back(std::move(gs));
   }
+
+  if (opt.collect_group_interfaces) {
+    const auto& gnames = nl_.group_names();
+    // Driver group per net (UINT32_MAX: PI, constant, or dangling).
+    std::vector<std::uint32_t> dgroup(nnets, kNoNet);
+    for (std::uint32_t n = 0; n < nnets; ++n) {
+      if (driver_gate_[n] >= 0) {
+        dgroup[n] = gates_[static_cast<std::size_t>(driver_gate_[n])].group;
+      }
+    }
+    // A net leaves its driver's group if any other group consumes it or it
+    // is a primary output.
+    std::vector<std::uint8_t> crosses(nnets, 0);
+    for (const GateInfo& gi : gates_) {
+      for (std::size_t pi = 0; pi < gi.cell->pins.size(); ++pi) {
+        if (!gi.cell->pins[pi].is_input) continue;
+        const std::uint32_t n = gi.pin_nets[pi];
+        if (n != kNoNet && dgroup[n] != gi.group) crosses[n] = 1;
+      }
+    }
+    for (const auto& io : nl_.primary_outputs()) crosses[io.net] = 1;
+
+    rep.interfaces.resize(gnames.size());
+    for (std::size_t i = 0; i < gnames.size(); ++i) {
+      rep.interfaces[i].group = gnames[i];
+    }
+    // First-use dedup: a net is listed once per group per direction.
+    std::vector<std::uint32_t> in_stamp(nnets, kNoNet);
+    std::vector<std::uint32_t> out_stamp(nnets, kNoNet);
+    for (const GateInfo& gi : gates_) {
+      GroupInterface& gif = rep.interfaces[gi.group];
+      for (std::size_t pi = 0; pi < gi.cell->pins.size(); ++pi) {
+        const std::uint32_t n = gi.pin_nets[pi];
+        if (n == kNoNet || nl_.net_const(n) != NetConst::kNone) continue;
+        if (gi.cell->pins[pi].is_input) {
+          if (dgroup[n] == gi.group || in_stamp[n] == gi.group) continue;
+          in_stamp[n] = gi.group;
+          gif.inputs.push_back({nl_.net_name(n), at[n] * ds, slew[n] * ds});
+        } else {
+          if (!crosses[n] || out_stamp[n] == gi.group) continue;
+          out_stamp[n] = gi.group;
+          gif.outputs.push_back({nl_.net_name(n), at[n] * ds, slew[n] * ds});
+        }
+      }
+    }
+  }
+
   if (obs::enabled()) {
     // One timed path per setup endpoint in this analysis pass.
     obs::metrics().counter("sta.paths.timed").inc(eps.size());

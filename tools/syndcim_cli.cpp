@@ -102,6 +102,7 @@ void usage_sweep(std::ostream& os) {
         "    --threads N       worker threads (default: hardware)\n"
         "    --cache FILE      warm-start/persist the evaluation cache\n"
         "    --no-cache        disable evaluation memoization\n"
+        "    --no-artifact-cache  disable the subcircuit-artifact tier\n"
         "    --json FILE       full sweep report JSON (default: stdout)\n"
         "    --frontier-json FILE  deterministic global-frontier JSON\n"
         "    sweep_mac_mhz=250,350  MAC frequency grid dimension\n"
@@ -309,6 +310,8 @@ int run_sweep_command(const Args& args) {
       opt.cache_path = args[++i];
     } else if (a == "--no-cache") {
       opt.use_cache = false;
+    } else if (a == "--no-artifact-cache") {
+      opt.use_artifact_cache = false;
     } else if (a == "--json" && i + 1 < args.size()) {
       json_path = args[++i];
     } else if (a == "--frontier-json" && i + 1 < args.size()) {
@@ -368,6 +371,23 @@ int run_sweep_command(const Args& args) {
             << "% hit rate), pool stole "
             << m.counter("dse.pool.steal").value() << " of "
             << m.counter("dse.pool.execute").value() << " tasks\n";
+
+  // Tiered cache roll-up: the whole-config evaluation cache sits above
+  // the content-addressed subcircuit-artifact store; a config that misses
+  // the first tier usually still shares most subcircuit artifacts.
+  const std::uint64_t art_hits = m.counter("dse.artifact.hit").value();
+  const std::uint64_t art_misses = m.counter("dse.artifact.miss").value();
+  const double art_rate =
+      art_hits + art_misses > 0
+          ? static_cast<double>(art_hits) /
+                static_cast<double>(art_hits + art_misses)
+          : 0.0;
+  std::cerr << "cache tiers: whole-config " << hits
+            << " hits; subcircuit artifacts " << art_hits << " hits / "
+            << art_misses << " misses ("
+            << core::TextTable::num(100.0 * art_rate, 1) << "% hit rate";
+  if (!opt.use_artifact_cache) std::cerr << ", tier disabled";
+  std::cerr << ")\n";
 
   if (!json_path.empty()) {
     std::ofstream f(json_path);
