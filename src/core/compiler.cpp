@@ -14,20 +14,30 @@ namespace syndcim::core {
 
 namespace {
 
-/// Content key of the workload the power stage simulates.
+/// Content key of the workload the power stage simulates. "wl2" covers
+/// the lane count and the lane-parallel stimulus schedule: with lanes > 1
+/// the drive schedule packs independent per-lane input streams, so the
+/// simulated activity is a different (equally valid) workload sample and
+/// must not alias the scalar schedule's cached artifacts.
 std::string workload_key(const Workload& wl) {
   ArtifactHasher h;
-  h.str("wl1");
+  h.str("wl2");
   h.i32(wl.n_macs);
   h.dbl(wl.input_density);
   h.dbl(wl.weight_density);
   h.i32(wl.input_bits);
   h.i32(wl.weight_bits);
   h.u32(wl.seed);
+  h.i32(wl.lanes);
   return h.hex();
 }
 
 /// Random workload run on the gate-level netlist for measured activity.
+/// Weights always come from one mt19937(seed) stream; with lanes == 1 the
+/// inputs continue that same stream (the exact pre-lane schedule), while
+/// lanes > 1 draws each lane's input stream from its own mt19937 seeded
+/// deterministically from (seed, lane) and carries `lanes` independent
+/// MACs per protocol pass, ceil(n_macs / lanes) passes total.
 void drive_workload(sim::MacroTestbench& tb, sim::DcimMacroModel& model,
                     const Workload& wl) {
   std::mt19937 rng(wl.seed);
@@ -55,18 +65,45 @@ void drive_workload(sim::MacroTestbench& tb, sim::DcimMacroModel& model,
   }
   tb.preload_weights(model);
   tb.sim().reset_activity();
-  for (int m = 0; m < wl.n_macs; ++m) {
-    std::vector<std::int64_t> in(static_cast<std::size_t>(cfg.rows));
-    for (auto& v : in) {
-      std::uint64_t bits = 0;
-      for (int b = 0; b < wl.input_bits; ++b) {
-        bits |= static_cast<std::uint64_t>(in_bit(rng)) << b;
-      }
-      v = wl.input_bits > 1 ? num::sign_extend(bits, wl.input_bits)
-                            : static_cast<std::int64_t>(bits);
+
+  auto draw_input = [&](std::mt19937& r, std::int64_t& v) {
+    std::uint64_t bits = 0;
+    for (int b = 0; b < wl.input_bits; ++b) {
+      bits |= static_cast<std::uint64_t>(in_bit(r)) << b;
     }
-    (void)tb.run_mac_int(in, wl.input_bits, wp, m % cfg.mcr,
-                         wl.input_bits > 1);
+    v = wl.input_bits > 1 ? num::sign_extend(bits, wl.input_bits)
+                          : static_cast<std::int64_t>(bits);
+  };
+
+  if (tb.lanes() == 1) {
+    for (int m = 0; m < wl.n_macs; ++m) {
+      std::vector<std::int64_t> in(static_cast<std::size_t>(cfg.rows));
+      for (auto& v : in) draw_input(rng, v);
+      (void)tb.run_mac_int(in, wl.input_bits, wp, m % cfg.mcr,
+                           wl.input_bits > 1);
+    }
+    return;
+  }
+
+  const int lanes = tb.lanes();
+  std::vector<std::mt19937> lane_rng;
+  lane_rng.reserve(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    lane_rng.emplace_back(wl.seed +
+                          0x9e3779b9u * static_cast<unsigned>(l + 1));
+  }
+  const int passes = (wl.n_macs + lanes - 1) / lanes;
+  std::vector<std::vector<std::int64_t>> in(
+      static_cast<std::size_t>(lanes),
+      std::vector<std::int64_t>(static_cast<std::size_t>(cfg.rows)));
+  for (int m = 0; m < passes; ++m) {
+    for (int l = 0; l < lanes; ++l) {
+      for (auto& v : in[static_cast<std::size_t>(l)]) {
+        draw_input(lane_rng[static_cast<std::size_t>(l)], v);
+      }
+    }
+    (void)tb.run_mac_int_lanes(in, wl.input_bits, wp, m % cfg.mcr,
+                               wl.input_bits > 1);
   }
 }
 
@@ -178,13 +215,20 @@ Implementation SynDcimCompiler::implement(const rtlgen::MacroConfig& cfg,
       "power", &as.powers, "pow1|" + lkey + "|" + skey + "|" + wkey, [&] {
         const auto act = as.act_models.get_or_compute(
             "simact1|" + lkey + "|" + wkey, [&] {
-              sim::MacroTestbench tb(impl.macro, lib_);
-              sim::DcimMacroModel model(cfg);
               Workload wl = workload;
               wl.input_bits = std::min(wl.input_bits, cfg.max_input_bits());
               wl.weight_bits =
                   std::min(wl.weight_bits, cfg.max_weight_bits());
+              wl.lanes = std::clamp(wl.lanes, 1, 64);
+              sim::MacroTestbench tb(impl.macro, lib_, wl.lanes);
+              sim::DcimMacroModel model(cfg);
               drive_workload(tb, model, wl);
+              obs::metrics().counter("sim.gate_evals")
+                  .inc(tb.sim().gate_evals());
+              obs::metrics().counter("sim.events_skipped")
+                  .inc(tb.sim().events_skipped());
+              obs::metrics().gauge("sim.lanes").set(
+                  static_cast<double>(tb.sim().lanes()));
               return power::activity_from_sim(*flat, lib_, tb.sim());
             });
         power::PowerOptions popt;

@@ -26,6 +26,12 @@ struct Workload {
   int input_bits = 4;
   int weight_bits = 4;
   unsigned seed = 1;
+  /// Bit-parallel simulation lanes in [1, 64]: each simulated cycle
+  /// carries `lanes` independent MAC workloads through the gate-level
+  /// netlist, with lane stimulus drawn from per-lane RNG streams derived
+  /// deterministically from `seed`. 1 (the default) is the
+  /// scalar-identical control arm — the exact pre-lane drive schedule.
+  int lanes = 1;
 };
 
 /// Post-layout signoff results of one implemented design (the paper's

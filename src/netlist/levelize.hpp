@@ -1,0 +1,33 @@
+#pragma once
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "netlist/flatten.hpp"
+
+namespace syndcim::netlist {
+
+/// One gate as seen by the levelizer: its timing class and its pin nets.
+/// `kNoConn` entries are allowed in both lists (dangling outputs, optional
+/// pins) and are skipped.
+struct LevelizeGate {
+  bool combinational = false;
+  std::vector<std::uint32_t> in_nets;
+  std::vector<std::uint32_t> out_nets;
+};
+
+inline constexpr std::uint32_t kNoConn = UINT32_MAX;
+
+/// Topologically levelizes the combinational gates of a flat netlist:
+/// returns rank buckets such that every gate's fan-in is driven only by
+/// primary inputs, constants, sequential outputs, or gates in strictly
+/// earlier buckets. This is the single levelization scheme shared by
+/// StaEngine and the gate simulators (scalar and bit-parallel), including
+/// its one combinational-loop check: if any combinational gate cannot be
+/// scheduled, throws std::invalid_argument with `who` as the message
+/// prefix and the number of unschedulable gates.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> levelize(
+    const FlatNetlist& nl, const std::vector<LevelizeGate>& gates,
+    std::string_view who);
+
+}  // namespace syndcim::netlist

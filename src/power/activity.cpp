@@ -1,6 +1,7 @@
 #include "power/activity.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -52,12 +53,19 @@ ActivityModel activity_from_sim(const FlatNetlist& nl,
     throw std::invalid_argument("activity_from_sim: no cycles simulated");
   }
   ActivityModel am;
-  const double cycles = static_cast<double>(gs.cycles());
+  // Each simulated cycle carries `lanes` independent workload cycles and
+  // net_toggles() is popcount-summed over lanes, so the per-workload-cycle
+  // rate divides by cycles * lanes (with lanes == 1 this is bit-identical
+  // to the scalar normalization).
+  const double lanes = static_cast<double>(gs.lanes());
+  const double cycles = static_cast<double>(gs.cycles()) * lanes;
   am.toggle_rate.resize(nl.net_count());
   am.p_one.assign(nl.net_count(), 0.5);  // p1 not tracked by the simulator
   for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
     am.toggle_rate[n] = static_cast<double>(gs.net_toggles()[n]) / cycles;
-    am.p_one[n] = gs.net_value(n) ? 1.0 : 0.0;  // final-state approximation
+    // Final-state approximation, averaged over the lane population.
+    am.p_one[n] =
+        static_cast<double>(std::popcount(gs.net_word(n))) / lanes;
   }
   // Clock nets: GateSim's clock is implicit; force 2 transitions/cycle.
   const auto gates = resolve(nl, lib);

@@ -18,9 +18,12 @@ struct ActivityModel {
   std::vector<double> p_one;        ///< P(net == 1)
 };
 
-/// Extracts measured activity from a finished gate-level simulation run
-/// (toggles / cycles). Clock nets (nets driving CK pins) are forced to two
-/// transitions per cycle since GateSim models an implicit clock.
+/// Extracts measured activity from a finished gate-level simulation run:
+/// toggles / (cycles * lanes), since each simulated cycle of the
+/// bit-parallel engine carries `lanes` independent workload cycles. P1 is
+/// the final-state lane population (popcount / lanes). Clock nets (nets
+/// driving CK pins) are forced to two transitions per cycle since GateSim
+/// models an implicit clock.
 [[nodiscard]] ActivityModel activity_from_sim(const netlist::FlatNetlist& nl,
                                               const cell::Library& lib,
                                               const sim::GateSim& gs);

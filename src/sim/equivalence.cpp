@@ -4,6 +4,7 @@
 #include <random>
 
 #include "sim/gate_sim.hpp"
+#include "sim/scalar_ref.hpp"
 
 namespace syndcim::sim {
 
@@ -38,25 +39,46 @@ std::string check_equivalence(
                        bn + "' in B";
   }
 
-  GateSim sa(a, lib), sb(b, lib);
+  // 64 random vectors ride per simulated step, one per lane; the scalar
+  // reference replays lane 0 so a systematic bug in the bit-parallel
+  // engine itself cannot self-certify.
+  const int lanes = n_vectors < 64 ? (n_vectors < 1 ? 1 : n_vectors) : 64;
+  const int steps = (n_vectors + lanes - 1) / lanes;
+  GateSim sa(a, lib, lanes), sb(b, lib, lanes);
+  ScalarGateSim ref(a, lib);
   std::mt19937_64 rng(seed);
-  for (int v = 0; v < n_vectors; ++v) {
+  for (int s = 0; s < steps; ++s) {
     for (const auto& io : a.primary_inputs()) {
-      const int bit = static_cast<int>(rng() & 1);
-      sa.set_input(io.name, bit);
-      sb.set_input(b_name(in_map, io.name), bit);
+      std::uint64_t word = 0;
+      for (int l = 0; l < lanes; ++l) {
+        word |= (rng() & 1u) << l;
+      }
+      sa.set_input_word(io.name, word);
+      sb.set_input_word(b_name(in_map, io.name), word);
+      ref.set_input(io.name, static_cast<int>(word & 1u));
     }
     sa.step();
     sb.step();
+    ref.step();
     sa.eval();
     sb.eval();
+    ref.eval();
     for (const auto& io : a.primary_outputs()) {
-      const int va = sa.output(io.name);
-      const int vb = sb.output(b_name(out_map, io.name));
-      if (va != vb) {
-        return "vector " + std::to_string(v) + ": output '" + io.name +
-               "' differs (A=" + std::to_string(va) +
-               ", B=" + std::to_string(vb) + ")";
+      const std::uint64_t wa = sa.output_word(io.name);
+      const std::uint64_t wb = sb.output_word(b_name(out_map, io.name));
+      if (wa != wb) {
+        int lane = 0;
+        while (((wa ^ wb) >> lane & 1u) == 0) ++lane;
+        return "vector " + std::to_string(s * lanes + lane) + ": output '" +
+               io.name + "' differs (A=" + std::to_string(wa >> lane & 1u) +
+               ", B=" + std::to_string(wb >> lane & 1u) + ")";
+      }
+      const int vr = ref.output(io.name);
+      if (static_cast<int>(wa & 1u) != vr) {
+        return "vector " + std::to_string(s * lanes) + ": output '" +
+               io.name + "' lane 0 (=" + std::to_string(wa & 1u) +
+               ") disagrees with the scalar reference (=" +
+               std::to_string(vr) + ")";
       }
     }
   }

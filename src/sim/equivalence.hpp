@@ -14,7 +14,10 @@ namespace syndcim::sim {
 /// are compared. Sequential state is stepped identically in both.
 ///
 /// Returns an empty string on success, otherwise a description of the
-/// first mismatch. `n_vectors` random input assignments are tried.
+/// first mismatch. `n_vectors` random input assignments are tried, packed
+/// 64 per simulated step into the bit-parallel engine's lanes; lane 0 is
+/// additionally cross-checked against the retained scalar reference
+/// simulator so the packed engine cannot self-certify.
 [[nodiscard]] std::string check_equivalence(
     const netlist::FlatNetlist& a, const netlist::FlatNetlist& b,
     const cell::Library& lib, int n_vectors, unsigned seed = 1,

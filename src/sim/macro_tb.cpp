@@ -17,9 +17,9 @@ namespace {
 }  // namespace
 
 MacroTestbench::MacroTestbench(const MacroDesign& md,
-                               const cell::Library& lib)
+                               const cell::Library& lib, int lanes)
     : md_(md), flat_(netlist::flatten(md.design, md.top)) {
-  sim_ = std::make_unique<GateSim>(flat_, lib);
+  sim_ = std::make_unique<GateSim>(flat_, lib, lanes);
 }
 
 void MacroTestbench::preload_weights(const DcimMacroModel& model) {
@@ -73,7 +73,7 @@ void MacroTestbench::set_mode(int wp) {
   }
 }
 
-std::vector<std::int64_t> MacroTestbench::read_outputs(int wp) {
+std::vector<std::int64_t> MacroTestbench::read_outputs(int wp, int lane) {
   const auto& cfg = md_.cfg;
   const int wp_max = cfg.max_weight_bits();
   const int stage = log2i(wp);
@@ -86,7 +86,7 @@ std::vector<std::int64_t> MacroTestbench::read_outputs(int wp) {
   for (int o = 0; o < n_out; ++o) {
     const int g = o / per_group, j = o % per_group;
     const std::uint64_t raw =
-        sim_->output_bus(MacroDesign::out_bus(g, stage, j), width);
+        sim_->output_bus_lane(MacroDesign::out_bus(g, stage, j), width, lane);
     out.push_back(num::sign_extend(raw, width));
   }
   return out;
@@ -137,6 +137,68 @@ std::vector<std::int64_t> MacroTestbench::run_mac_int(
   }
   sim_->eval();
   return read_outputs(wp);
+}
+
+std::vector<std::vector<std::int64_t>> MacroTestbench::run_mac_int_lanes(
+    const std::vector<std::vector<std::int64_t>>& lane_inputs, int ib,
+    int wp, int bank, bool signed_inputs) {
+  const auto& cfg = md_.cfg;
+  const int lanes = sim_->lanes();
+  if (static_cast<int>(lane_inputs.size()) != lanes) {
+    throw std::invalid_argument("run_mac_int_lanes: wrong lane count");
+  }
+  for (const auto& li : lane_inputs) {
+    if (static_cast<int>(li.size()) != cfg.rows) {
+      throw std::invalid_argument("run_mac_int_lanes: wrong input count");
+    }
+  }
+  const int ib_max = cfg.max_input_bits();
+  idle_controls();
+  set_bank_select(bank);
+  set_mode(wp);
+  if (!cfg.fp_formats.empty()) sim_->set_input("fp_sel", 0);
+
+  // Load cycle: parallel inputs, MSB-aligned in the PISO, one independent
+  // value per lane.
+  sim_->set_input("load", 1);
+  const std::uint64_t mask = ib >= 64 ? ~0ull : ((1ull << ib) - 1);
+  std::vector<std::uint64_t> vals(static_cast<std::size_t>(lanes));
+  for (int r = 0; r < cfg.rows; ++r) {
+    for (int l = 0; l < lanes; ++l) {
+      vals[static_cast<std::size_t>(l)] =
+          (static_cast<std::uint64_t>(
+               lane_inputs[static_cast<std::size_t>(l)]
+                          [static_cast<std::size_t>(r)]) &
+           mask)
+          << (ib_max - ib);
+    }
+    sim_->set_input_bus_lanes("din" + std::to_string(r), vals, ib_max);
+  }
+  sim_->step();
+  sim_->set_input("load", 0);
+
+  // Compute cycles (controls broadcast to every lane).
+  const int sa_done = md_.sa_done_cycles(ib);
+  for (int t = 1; t <= sa_done; ++t) {
+    sim_->set_input("neg", (t == 1 && signed_inputs) ? 1 : 0);
+    sim_->set_input("clr", t == 1 ? 1 : 0);
+    sim_->step();
+  }
+
+  const bool raw_tap = wp == 1 && cfg.ofu.retime_stage1;
+  if (cfg.ofu.input_reg && !raw_tap) {
+    sim_->set_input("cap", 1);
+    sim_->step();
+    sim_->set_input("cap", 0);
+    const rtlgen::OfuModuleConfig ocfg{cfg.max_weight_bits(),
+                                       cfg.sa_width(), cfg.ofu};
+    for (int t = 0; t < ocfg.regs_through(log2i(wp)); ++t) sim_->step();
+  }
+  sim_->eval();
+  std::vector<std::vector<std::int64_t>> out;
+  out.reserve(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) out.push_back(read_outputs(wp, l));
+  return out;
 }
 
 std::vector<std::int64_t> MacroTestbench::run_mac_fp(

@@ -5,6 +5,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "netlist/levelize.hpp"
 #include "obs/obs.hpp"
 
 namespace syndcim::sta {
@@ -91,67 +92,21 @@ StaEngine::StaEngine(const FlatNetlist& nl, const cell::Library& lib)
     }
   }
 
-  // Levelize combinational gates. A net is initially "resolved" if it is a
-  // primary input, a constant, dangling, or driven by a register/storage Q.
-  std::vector<std::uint8_t> resolved(nl.net_count(), 0);
-  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
-    const std::int32_t dg = driver_gate_[n];
-    if (dg < 0 || nl.net_const(n) != NetConst::kNone) {
-      resolved[n] = 1;
-    } else if (gates_[static_cast<std::size_t>(dg)].cell->timing_role() !=
-               cell::TimingRole::kCombinational) {
-      resolved[n] = 1;
-    }
-  }
-  // Count unresolved timed inputs per combinational gate.
-  std::vector<std::uint32_t> pending(gates_.size(), 0);
-  std::vector<std::vector<std::uint32_t>> net_comb_loads(nl.net_count());
-  std::size_t comb_total = 0;
+  // Levelize combinational gates with the shared netlist helper (one
+  // levelization scheme and one comb-loop check for STA and both
+  // simulators).
+  std::vector<netlist::LevelizeGate> lv(gates_.size());
   for (std::uint32_t g = 0; g < gates_.size(); ++g) {
     const GateInfo& gi = gates_[g];
-    if (gi.cell->timing_role() != cell::TimingRole::kCombinational) continue;
-    ++comb_total;
+    lv[g].combinational =
+        gi.cell->timing_role() == cell::TimingRole::kCombinational;
+    if (!lv[g].combinational) continue;
     for (std::size_t pi = 0; pi < gi.cell->pins.size(); ++pi) {
-      if (!gi.cell->pins[pi].is_input) continue;
-      const std::uint32_t net = gi.pin_nets[pi];
-      if (!resolved[net]) {
-        ++pending[g];
-        net_comb_loads[net].push_back(g);
-      }
+      (gi.cell->pins[pi].is_input ? lv[g].in_nets : lv[g].out_nets)
+          .push_back(gi.pin_nets[pi]);
     }
   }
-  std::vector<std::uint32_t> frontier;
-  for (std::uint32_t g = 0; g < gates_.size(); ++g) {
-    const GateInfo& gi = gates_[g];
-    if (gi.cell->timing_role() == cell::TimingRole::kCombinational &&
-        pending[g] == 0) {
-      frontier.push_back(g);
-    }
-  }
-  std::size_t scheduled = 0;
-  while (!frontier.empty()) {
-    gate_order_.push_back(frontier);
-    scheduled += frontier.size();
-    std::vector<std::uint32_t> next;
-    for (const std::uint32_t g : gate_order_.back()) {
-      const GateInfo& gi = gates_[g];
-      for (std::size_t pi = 0; pi < gi.cell->pins.size(); ++pi) {
-        if (gi.cell->pins[pi].is_input) continue;
-        const std::uint32_t net = gi.pin_nets[pi];
-        if (net == kNoNet || resolved[net]) continue;
-        resolved[net] = 1;
-        for (const std::uint32_t lg : net_comb_loads[net]) {
-          if (--pending[lg] == 0) next.push_back(lg);
-        }
-      }
-    }
-    frontier = std::move(next);
-  }
-  if (scheduled != comb_total) {
-    throw std::invalid_argument(
-        "StaEngine: combinational loop detected (" +
-        std::to_string(comb_total - scheduled) + " gates unschedulable)");
-  }
+  gate_order_ = netlist::levelize(nl, lv, "StaEngine");
 }
 
 double StaEngine::net_load_ff(std::uint32_t net, const WireModel& wire) const {

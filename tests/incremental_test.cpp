@@ -273,6 +273,43 @@ TEST(Implement, SpecRespinSkipsSimulationButReprices) {
   EXPECT_EQ(rb.stages.back().stage, "power");
 }
 
+TEST(Implement, SimActivityTierKeysOnLanesAndStillHitsWarm) {
+  core::SynDcimCompiler c(lib());
+  const rtlgen::MacroConfig cfg = small_cfg();
+  core::PerfSpec spec;
+  spec.mac_freq_mhz = 300.0;
+  core::Workload wl;  // lanes = 1, the scalar-identical schedule
+  core::Workload wl64 = wl;
+  wl64.lanes = 64;
+
+  const core::Implementation s1 = c.implement(cfg, spec, wl);
+  const auto st1 = c.scl().artifacts().act_models.stats();
+  // A different lane count is a different stimulus schedule: the "wl2"
+  // workload key must miss and add a new tier entry, not alias the
+  // scalar artifact.
+  const core::Implementation p1 = c.implement(cfg, spec, wl64);
+  const auto st2 = c.scl().artifacts().act_models.stats();
+  EXPECT_EQ(st2.entries, st1.entries + 1);
+
+  // A voltage re-spin at lanes=64 re-prices power but must hit the
+  // 64-lane activity artifact warm — the key change kept the tier
+  // incremental, it did not just invalidate everything.
+  core::PerfSpec respin = spec;
+  respin.vdd = spec.vdd * 0.9;
+  (void)c.implement(cfg, respin, wl64);
+  const auto st3 = c.scl().artifacts().act_models.stats();
+  EXPECT_EQ(st3.entries, st2.entries);
+  EXPECT_GT(st3.hits, st2.hits);
+
+  // Replaying the original lanes=64 implement is byte-identical, and the
+  // scalar schedule's artifact survived untouched alongside it.
+  const core::Implementation p2 = c.implement(cfg, spec, wl64);
+  expect_impl_equal(p1, p2);
+  const core::Implementation s2 = c.implement(cfg, spec, wl);
+  expect_impl_equal(s1, s2);
+  EXPECT_EQ(c.scl().artifacts().act_models.stats().entries, st3.entries);
+}
+
 TEST(SubcircuitLibrary, SharedStoreSkipsEverySliceStage) {
   auto store = std::make_shared<core::ArtifactStore>();
   core::SubcircuitLibrary scl1(lib(), store);

@@ -1,12 +1,19 @@
 // Direct GateSim semantics: levelized evaluation, sequential capture,
-// toggle counting, constants, state access.
+// toggle counting, constants, state access — plus the 64-lane
+// bit-parallel / event-driven engine against the scalar reference.
 #include <gtest/gtest.h>
+
+#include <random>
 
 #include "cell/characterize.hpp"
 #include "netlist/design.hpp"
 #include "netlist/flatten.hpp"
 #include "power/activity.hpp"
+#include "rtlgen/macro.hpp"
 #include "sim/gate_sim.hpp"
+#include "sim/macro_model.hpp"
+#include "sim/macro_tb.hpp"
+#include "sim/scalar_ref.hpp"
 #include "tech/tech_node.hpp"
 
 namespace {
@@ -150,6 +157,185 @@ TEST(GateSim, ActivityFromSimMatchesToggleCounts) {
   // Unsimulated run is rejected.
   sim::GateSim gs2(flat, lib());
   EXPECT_THROW((void)power::activity_from_sim(flat, lib(), gs2),
+               std::invalid_argument);
+}
+
+rtlgen::MacroConfig sim_macro_cfg(int variant) {
+  rtlgen::MacroConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 8;
+  cfg.mcr = 2;
+  cfg.input_bits = {2, 4};
+  cfg.weight_bits = {2, 4};
+  cfg.fp_formats = {};
+  if (variant == 1) {
+    cfg.mux = rtlgen::MuxStyle::kOai22Fused;
+  } else if (variant == 2) {
+    cfg.tree.style = rtlgen::AdderTreeStyle::kCompressor;
+  }
+  return cfg;
+}
+
+// Tentpole contract: with lanes == 1 the bit-parallel event-driven engine
+// is bit-identical to the retained scalar reference — every net value,
+// every toggle count, every cycle — across structurally different
+// generated macros under random stimulus.
+TEST(GateSimLanes, Lanes1BitIdenticalToScalarReference) {
+  for (int variant = 0; variant < 3; ++variant) {
+    const auto md = rtlgen::gen_macro(sim_macro_cfg(variant));
+    const auto flat = netlist::flatten(md.design, md.top);
+    sim::GateSim gs(flat, lib(), /*lanes=*/1, /*event_driven=*/true);
+    sim::ScalarGateSim ref(flat, lib());
+    std::mt19937_64 rng(7 + static_cast<unsigned>(variant));
+    for (int t = 0; t < 40; ++t) {
+      for (const auto& io : flat.primary_inputs()) {
+        const int bit = static_cast<int>(rng() & 1);
+        gs.set_input(io.name, bit);
+        ref.set_input(io.name, bit);
+      }
+      gs.step();
+      ref.step();
+    }
+    gs.eval();
+    ref.eval();
+    ASSERT_EQ(gs.cycles(), ref.cycles());
+    for (std::uint32_t n = 0; n < flat.net_count(); ++n) {
+      ASSERT_EQ(gs.net_value(n), ref.net_value(n))
+          << "variant " << variant << " net " << n;
+      ASSERT_EQ(gs.net_toggles()[n], ref.net_toggles()[n])
+          << "variant " << variant << " net " << n;
+    }
+  }
+}
+
+// Popcount toggle accounting: at lanes == 64 the packed engine's per-net
+// toggle totals equal the sum of 64 independent scalar replays, and every
+// lane's values match its own replay bit-for-bit.
+TEST(GateSimLanes, Lane64TogglesMatchPerLaneScalarReplay) {
+  const auto md = rtlgen::gen_macro(sim_macro_cfg(0));
+  const auto flat = netlist::flatten(md.design, md.top);
+  constexpr int kLanes = 64;
+  constexpr int kSteps = 12;
+  sim::GateSim gs(flat, lib(), kLanes);
+  // stim[t][input] = packed 64-lane word driven at step t.
+  std::vector<std::vector<std::uint64_t>> stim(
+      kSteps, std::vector<std::uint64_t>(flat.primary_inputs().size()));
+  std::mt19937_64 rng(11);
+  for (int t = 0; t < kSteps; ++t) {
+    for (std::size_t i = 0; i < flat.primary_inputs().size(); ++i) {
+      stim[t][i] = rng();
+      gs.set_input_word(flat.primary_inputs()[i].name, stim[t][i]);
+    }
+    gs.step();
+  }
+  gs.eval();
+
+  std::vector<std::uint64_t> toggle_sum(flat.net_count(), 0);
+  for (int l = 0; l < kLanes; ++l) {
+    sim::ScalarGateSim ref(flat, lib());
+    for (int t = 0; t < kSteps; ++t) {
+      for (std::size_t i = 0; i < flat.primary_inputs().size(); ++i) {
+        ref.set_input(flat.primary_inputs()[i].name,
+                      static_cast<int>(stim[t][i] >> l & 1u));
+      }
+      ref.step();
+    }
+    ref.eval();
+    for (std::uint32_t n = 0; n < flat.net_count(); ++n) {
+      toggle_sum[n] += ref.net_toggles()[n];
+      ASSERT_EQ(static_cast<int>(gs.net_word(n) >> l & 1u),
+                ref.net_value(n))
+          << "lane " << l << " net " << n;
+    }
+  }
+  for (std::uint32_t n = 0; n < flat.net_count(); ++n) {
+    ASSERT_EQ(gs.net_toggles()[n], toggle_sum[n]) << "net " << n;
+  }
+}
+
+// The dirty-gate worklist is a pure scheduling optimization: under
+// stimulus that touches only one input per cycle it must produce exactly
+// the full sweep's values and toggles while evaluating strictly fewer
+// gates.
+TEST(GateSimLanes, EventDrivenMatchesFullSweep) {
+  const auto md = rtlgen::gen_macro(sim_macro_cfg(2));
+  const auto flat = netlist::flatten(md.design, md.top);
+  sim::GateSim ev(flat, lib(), 8, /*event_driven=*/true);
+  sim::GateSim sw(flat, lib(), 8, /*event_driven=*/false);
+  const auto& ins = flat.primary_inputs();
+  std::mt19937_64 rng(13);
+  for (int t = 0; t < 60; ++t) {
+    const auto& io = ins[rng() % ins.size()];
+    const std::uint64_t word = rng();
+    ev.set_input_word(io.name, word);
+    sw.set_input_word(io.name, word);
+    ev.step();
+    sw.step();
+  }
+  ev.eval();
+  sw.eval();
+  for (std::uint32_t n = 0; n < flat.net_count(); ++n) {
+    ASSERT_EQ(ev.net_word(n), sw.net_word(n)) << "net " << n;
+    ASSERT_EQ(ev.net_toggles()[n], sw.net_toggles()[n]) << "net " << n;
+  }
+  EXPECT_LT(ev.gate_evals(), sw.gate_evals());
+  EXPECT_GT(ev.events_skipped(), 0u);
+  EXPECT_EQ(ev.gate_evals() + ev.events_skipped(), sw.gate_evals());
+  EXPECT_EQ(sw.events_skipped(), 0u);
+}
+
+// One protocol pass of run_mac_int_lanes carries an independent MAC per
+// lane: each lane's outputs must match the behavioral model for that
+// lane's inputs, and lane 0 must match the scalar-path run_mac_int.
+TEST(GateSimLanes, MacroTestbenchLanesMatchModelPerLane) {
+  const rtlgen::MacroConfig cfg = sim_macro_cfg(0);
+  const auto md = rtlgen::gen_macro(cfg);
+  sim::DcimMacroModel model(cfg);
+  constexpr int kLanes = 5;
+  sim::MacroTestbench tb(md, lib(), kLanes);
+  EXPECT_EQ(tb.lanes(), kLanes);
+
+  std::mt19937 rng(17);
+  const int wp = 4, ib = 4;
+  const num::IntFormat wf{wp, true}, inf{ib, true};
+  std::uniform_int_distribution<std::int64_t> wdist(wf.min_value(),
+                                                    wf.max_value());
+  std::uniform_int_distribution<std::int64_t> idist(inf.min_value(),
+                                                    inf.max_value());
+  std::vector<std::vector<std::int64_t>> w(
+      static_cast<std::size_t>(cfg.cols / wp));
+  for (auto& g : w) {
+    g.resize(static_cast<std::size_t>(cfg.rows));
+    for (auto& v : g) v = wdist(rng);
+  }
+  model.load_weights_int(0, wp, w);
+  tb.preload_weights(model);
+
+  std::vector<std::vector<std::int64_t>> in(
+      kLanes, std::vector<std::int64_t>(static_cast<std::size_t>(cfg.rows)));
+  for (auto& li : in) {
+    for (auto& v : li) v = idist(rng);
+  }
+  const auto out = tb.run_mac_int_lanes(in, ib, wp, 0);
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(kLanes));
+  for (int l = 0; l < kLanes; ++l) {
+    EXPECT_EQ(out[static_cast<std::size_t>(l)],
+              model.mac_int(in[static_cast<std::size_t>(l)], ib, wp, 0))
+        << "lane " << l;
+  }
+  // Lane 0's packed result equals the scalar-path protocol run.
+  sim::MacroTestbench tb0(md, lib());
+  tb0.preload_weights(model);
+  EXPECT_EQ(out[0], tb0.run_mac_int(in[0], ib, wp, 0));
+}
+
+TEST(GateSimLanes, RejectsBadLaneCounts) {
+  const auto md = rtlgen::gen_macro(sim_macro_cfg(0));
+  const auto flat = netlist::flatten(md.design, md.top);
+  EXPECT_THROW((sim::GateSim{flat, lib(), 0}), std::invalid_argument);
+  EXPECT_THROW((sim::GateSim{flat, lib(), 65}), std::invalid_argument);
+  sim::GateSim gs(flat, lib(), 4);
+  EXPECT_THROW(gs.set_input_bus_lanes("din0", {1, 2, 3}, 2),
                std::invalid_argument);
 }
 

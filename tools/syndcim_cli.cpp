@@ -77,11 +77,15 @@ constexpr const char* kCommonOptions =
 
 void usage_compile(std::ostream& os) {
   os << "usage: syndcim [compile] [--spec FILE] [key=value ...]\n"
-        "               [--out DIR] [--search-only] [common options]\n"
+        "               [--out DIR] [--sim-lanes N] [--search-only]\n"
+        "               [common options]\n"
         "  options:\n"
         "    --spec FILE       read key=value spec lines from FILE\n"
         "    --out DIR         artifact bundle directory (default\n"
         "                      syndcim_out)\n"
+        "    --sim-lanes N     bit-parallel simulation lanes for the\n"
+        "                      power workload, 1..64 (default 1; the\n"
+        "                      scalar-identical schedule)\n"
         "    --search-only     print the Pareto frontier, skip\n"
         "                      implementation\n"
         "    key=value         inline spec keys (rows, cols, mcr,\n"
@@ -524,6 +528,7 @@ int run_compile_command(const Args& args) {
   std::map<std::string, std::string> kv;
   std::string out_dir = "syndcim_out";
   bool search_only = false;
+  int sim_lanes = 1;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--help" || a == "-h") {
@@ -540,6 +545,17 @@ int run_compile_command(const Args& args) {
       out_dir = args[++i];
     } else if (a == "--search-only") {
       search_only = true;
+    } else if (a == "--sim-lanes" && i + 1 < args.size()) {
+      try {
+        sim_lanes = std::stoi(args[++i]);
+      } catch (...) {
+        sim_lanes = 0;
+      }
+      if (sim_lanes < 1 || sim_lanes > 64) {
+        std::cerr << "error: --sim-lanes wants an integer in [1, 64], got '"
+                  << args[i] << "'\n";
+        return 2;
+      }
     } else if (a.find('=') != std::string::npos) {
       const auto eq = a.find('=');
       kv[a.substr(0, eq)] = a.substr(eq + 1);
@@ -573,7 +589,9 @@ int run_compile_command(const Args& args) {
       return res.feasible() ? 0 : 1;
     }
 
-    const auto result = compiler.compile(spec);
+    core::Workload workload;
+    workload.lanes = sim_lanes;
+    const auto result = compiler.compile(spec, workload);
     std::cout << "selected " << result.selected.label << " ("
               << result.search.pareto.size() << " Pareto points)\n";
     std::cout << "post-layout: fmax "
