@@ -1,6 +1,7 @@
 #pragma once
 #include <cstdint>
 #include <cstring>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -76,6 +77,11 @@ struct ArtifactTierStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::size_t entries = 0;
+  /// Entries dropped by the LRU capacity bound (0 on unbounded tiers).
+  std::uint64_t evicted = 0;
+  /// Approximate resident bytes (shallow: sizeof(T) + key length per
+  /// entry; deep payload sizes are not tracked).
+  std::size_t bytes = 0;
   [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
 };
 
@@ -85,6 +91,12 @@ struct ArtifactTierStats {
 /// for the cold-path == warm-path byte-identity guarantee). Disabling a
 /// tier turns every lookup into a silent bypass — the cold reference path
 /// runs the exact same code with `enabled(false)`.
+///
+/// Unbounded by default (the batch CLI dies before growth matters); a
+/// long-running daemon calls `set_capacity` to bound the tier, after
+/// which the least-recently-touched entries are evicted past either cap.
+/// Eviction only drops the cache's reference — readers holding the
+/// shared_ptr keep their artifact alive, so a hit can never dangle.
 template <typename T>
 class ArtifactCache {
  public:
@@ -99,7 +111,8 @@ class ArtifactCache {
       return nullptr;
     }
     ++hits_;
-    return it->second;
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return it->second.value;
   }
 
   /// Stores `value` (first writer wins) and returns the stored artifact.
@@ -107,8 +120,16 @@ class ArtifactCache {
     auto sp = std::make_shared<const T>(std::move(value));
     const std::lock_guard<std::mutex> lock(mu_);
     if (!enabled_) return sp;
-    const auto [it, inserted] = map_.emplace(key, sp);
-    return it->second;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      return it->second.value;
+    }
+    lru_.push_front(key);
+    map_.emplace(key, Slot{sp, lru_.begin()});
+    bytes_ += entry_bytes(key);
+    evict_over_capacity();
+    return sp;
   }
 
   template <typename Fn>
@@ -126,24 +147,67 @@ class ArtifactCache {
     return enabled_;
   }
 
+  /// Bounds the tier: at most `max_entries` entries / `max_bytes`
+  /// approximate bytes (0 = unlimited for either knob). Applies
+  /// immediately — a shrinking cap evicts the LRU tail on the spot.
+  void set_capacity(std::size_t max_entries, std::size_t max_bytes = 0) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    max_entries_ = max_entries;
+    max_bytes_ = max_bytes;
+    evict_over_capacity();
+  }
+
   [[nodiscard]] ArtifactTierStats stats() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return {name_, hits_, misses_, map_.size()};
+    return {name_, hits_, misses_, map_.size(), evicted_, bytes_};
   }
 
   void clear() {
     const std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
-    hits_ = misses_ = 0;
+    lru_.clear();
+    hits_ = misses_ = evicted_ = 0;
+    bytes_ = 0;
   }
 
  private:
+  struct Slot {
+    std::shared_ptr<const T> value;
+    std::list<std::string>::iterator lru;
+  };
+
+  /// Shallow per-entry footprint: the payload's own size plus the key
+  /// stored twice (map node and LRU list node). Deep container payloads
+  /// are not walked — the byte cap is an order-of-magnitude bound, the
+  /// entry cap the precise one.
+  static std::size_t entry_bytes(const std::string& key) {
+    return sizeof(T) + sizeof(Slot) + 2 * key.size();
+  }
+
+  /// Drops LRU-tail entries until both caps hold. Caller holds mu_.
+  void evict_over_capacity() {
+    while (!lru_.empty() &&
+           ((max_entries_ > 0 && map_.size() > max_entries_) ||
+            (max_bytes_ > 0 && bytes_ > max_bytes_ && map_.size() > 1))) {
+      const std::string& victim = lru_.back();
+      bytes_ -= entry_bytes(victim);
+      map_.erase(victim);
+      lru_.pop_back();
+      ++evicted_;
+    }
+  }
+
   mutable std::mutex mu_;
   std::string name_;
   bool enabled_ = true;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
-  std::unordered_map<std::string, std::shared_ptr<const T>> map_;
+  std::uint64_t evicted_ = 0;
+  std::size_t bytes_ = 0;
+  std::size_t max_entries_ = 0;  ///< 0 = unlimited
+  std::size_t max_bytes_ = 0;    ///< 0 = unlimited
+  std::unordered_map<std::string, Slot> map_;
+  std::list<std::string> lru_;  ///< front = most recently touched
 };
 
 }  // namespace syndcim::core

@@ -1,0 +1,90 @@
+#pragma once
+// Cooperative cancellation and per-request deadlines, shared by the serve
+// daemon (request deadlines, drain) and the batch CLI (SIGINT/SIGTERM).
+//
+// A CancelToken is a passive flag: nothing is interrupted preemptively.
+// Long-running flows poll it at natural boundaries — StagePipeline checks
+// before every stage, the DSE sweep before every (spec, trajectory) task —
+// and either return partial results (sweep) or unwind with CancelledError
+// (compile pipeline). Both `cancel()` and `cancelled()` are lock-free
+// atomics, so the token is safe to trip from a signal handler and to poll
+// from any number of worker threads.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace syndcim::core {
+
+/// Thrown when a cancellable flow observes its token tripped (deadline
+/// expired or explicit cancel). Callers that want partial results catch
+/// it; the serve daemon maps it to a deadline-exceeded (408) response.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& where)
+      : std::runtime_error("cancelled: " + where) {}
+};
+
+/// Shared cancellation flag with an optional absolute deadline (steady
+/// clock). Thread-safe and reusable: `reset()` re-arms a token between
+/// runs (the batch CLI's process-wide interrupt token is reset only by
+/// tests).
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Trips the token. Lock-free relaxed store — callable from a signal
+  /// handler (std::atomic<bool> is always lock-free on the supported
+  /// platforms).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms an absolute deadline; the token reads as cancelled once the
+  /// steady clock passes it. 0 / time_point::min() clears the deadline.
+  void set_deadline(Clock::time_point tp) noexcept {
+    deadline_ns_.store(
+        tp == Clock::time_point::min()
+            ? 0
+            : std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  tp.time_since_epoch())
+                  .count(),
+        std::memory_order_relaxed);
+  }
+  void set_deadline_after(std::chrono::nanoseconds d) noexcept {
+    set_deadline(Clock::now() + d);
+  }
+  void clear_deadline() noexcept {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool deadline_expired() const noexcept {
+    const std::int64_t dl = deadline_ns_.load(std::memory_order_relaxed);
+    return dl != 0 &&
+           Clock::now().time_since_epoch() >= std::chrono::nanoseconds(dl);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed) || deadline_expired();
+  }
+
+  /// Throws CancelledError when the token is tripped; `where` names the
+  /// boundary that noticed (e.g. "compile.sta").
+  void check(const std::string& where) const {
+    if (cancelled()) throw CancelledError(where);
+  }
+
+  /// Re-arms the token (flag and deadline). Only meaningful at quiescent
+  /// points — no worker may be polling concurrently with a reset it is
+  /// not expecting.
+  void reset() noexcept {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// Steady-clock deadline in ns since the clock epoch; 0 = none.
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+}  // namespace syndcim::core

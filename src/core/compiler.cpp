@@ -111,7 +111,8 @@ void drive_workload(sim::MacroTestbench& tb, sim::DcimMacroModel& model,
 
 Implementation SynDcimCompiler::implement(const rtlgen::MacroConfig& cfg,
                                           const PerfSpec& spec,
-                                          const Workload& workload) {
+                                          const Workload& workload,
+                                          const CancelToken* cancel) {
   Implementation impl;
 
   // Pass pipeline over the shared subcircuit-artifact store: every stage
@@ -122,6 +123,7 @@ Implementation SynDcimCompiler::implement(const rtlgen::MacroConfig& cfg,
   // observability is enabled, in the tracer.
   ArtifactStore& as = scl_.artifacts();
   StagePipeline pipe("compile", &impl.timeline);
+  pipe.set_cancel(cancel);
   const std::string ckey = rtlgen::config_content_key(cfg);
   const std::string& libfp = lib_.fingerprint();
   const std::string lkey = ckey + "|" + libfp;
@@ -252,9 +254,11 @@ Implementation SynDcimCompiler::implement(const rtlgen::MacroConfig& cfg,
 }
 
 CompileResult SynDcimCompiler::compile(const PerfSpec& spec,
-                                       const Workload& workload) {
+                                       const Workload& workload,
+                                       const CancelToken* cancel) {
   OBS_SPAN("core.compile");
   CompileResult res;
+  if (cancel != nullptr) cancel->check("compile.search");
   {
     OBS_SPAN("core.search");
     res.search = searcher_.search(spec);
@@ -280,8 +284,9 @@ CompileResult SynDcimCompiler::compile(const PerfSpec& spec,
     throw std::logic_error("SynDcimCompiler::compile: spec infeasible");
   }
   for (const DesignPoint* p : order) {
+    if (cancel != nullptr) cancel->check("compile.implement");
     res.selected = *p;
-    res.impl = implement(p->cfg, spec, workload);
+    res.impl = implement(p->cfg, spec, workload, cancel);
     if (res.impl.signoff_clean()) break;
   }
   return res;

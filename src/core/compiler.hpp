@@ -84,10 +84,21 @@ class SynDcimCompiler {
  public:
   explicit SynDcimCompiler(const cell::Library& lib)
       : lib_(lib), scl_(lib), searcher_(scl_) {}
+  /// Shares `store` — the serve daemon points every request-scoped
+  /// compiler at one process-wide store, so tenant B's compile warm-hits
+  /// the subcircuit artifacts tenant A's requests produced.
+  SynDcimCompiler(const cell::Library& lib,
+                  std::shared_ptr<ArtifactStore> store)
+      : lib_(lib), scl_(lib, std::move(store)), searcher_(scl_) {}
 
-  /// Full flow at the spec's PPA preference.
+  /// Full flow at the spec's PPA preference. `cancel` (optional) is
+  /// polled cooperatively — between search and each implementation
+  /// attempt, and at every stage boundary inside implement() — and
+  /// unwinds the flow with CancelledError when tripped; partial state is
+  /// discarded, the compiler object stays reusable.
   [[nodiscard]] CompileResult compile(const PerfSpec& spec,
-                                      const Workload& workload = {});
+                                      const Workload& workload = {},
+                                      const CancelToken* cancel = nullptr);
 
   /// Search only (no implementation) — what the paper's DSE loop calls.
   [[nodiscard]] SearchResult search(const PerfSpec& spec) {
@@ -105,7 +116,8 @@ class SynDcimCompiler {
   /// STA constraint checks) is kept in Implementation::diagnostics.
   [[nodiscard]] Implementation implement(const rtlgen::MacroConfig& cfg,
                                          const PerfSpec& spec,
-                                         const Workload& workload = {});
+                                         const Workload& workload = {},
+                                         const CancelToken* cancel = nullptr);
 
   [[nodiscard]] SubcircuitLibrary& scl() { return scl_; }
 

@@ -1,4 +1,5 @@
 #pragma once
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -60,5 +61,26 @@ struct PerfSpec {
 /// collide by rounding. Stage artifact keys and the DSE evaluation cache
 /// both embed this string (dse::canonical_spec_knobs_key forwards here).
 [[nodiscard]] std::string spec_knobs_key(const PerfSpec& s);
+
+/// Canonical serialization of the *whole* spec: `spec_knobs_key` plus the
+/// architecture parameters, precision lists, PPA preference weights and
+/// SPEC-defined subcircuit choices. Two specs get the same string iff
+/// every field that can influence a compile's outcome is identical — the
+/// serve daemon's single-flight request coalescing keys on this.
+[[nodiscard]] std::string spec_full_key(const PerfSpec& s);
+
+/// Builds a PerfSpec from `key=value` string pairs — the shared parser
+/// behind the CLI spec files / inline arguments and the serve protocol's
+/// `"spec"` request object. Keys: rows, cols, mcr, input_bits (comma
+/// list), weight_bits, fp (fp4|fp8|bf16|fp16 comma list), mac_mhz,
+/// wupdate_mhz, vdd, pref_power, pref_area, pref_perf, bitcell
+/// (6T|8T|12T), mux (pg|tg|oai22), temp_c (reserved). Unknown keys and
+/// malformed values throw std::invalid_argument.
+[[nodiscard]] PerfSpec spec_from_kv(
+    const std::map<std::string, std::string>& kv);
+
+/// Named PPA preference presets (balanced|power|area|perf); throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] PpaPreference named_pref(const std::string& name);
 
 }  // namespace syndcim::core

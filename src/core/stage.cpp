@@ -21,6 +21,20 @@ void ArtifactStore::set_enabled(bool on) {
   act_models.set_enabled(on);
 }
 
+void ArtifactStore::set_capacity(std::size_t max_entries,
+                                 std::size_t max_bytes) {
+  modules.set_capacity(max_entries, max_bytes);
+  blocks.set_capacity(max_entries, max_bytes);
+  flats.set_capacity(max_entries, max_bytes);
+  activity.set_capacity(max_entries, max_bytes);
+  lints.set_capacity(max_entries, max_bytes);
+  placed.set_capacity(max_entries, max_bytes);
+  routes.set_capacity(max_entries, max_bytes);
+  timings.set_capacity(max_entries, max_bytes);
+  powers.set_capacity(max_entries, max_bytes);
+  act_models.set_capacity(max_entries, max_bytes);
+}
+
 std::vector<ArtifactTierStats> ArtifactStore::stats() const {
   return {modules.stats(), blocks.stats(),  flats.stats(),
           activity.stats(), lints.stats(),  placed.stats(),
@@ -46,6 +60,12 @@ std::size_t ArtifactStore::total_entries() const {
   return n;
 }
 
+std::uint64_t ArtifactStore::total_evicted() const {
+  std::uint64_t n = 0;
+  for (const ArtifactTierStats& t : stats()) n += t.evicted;
+  return n;
+}
+
 std::string ArtifactStore::stats_json() const {
   std::ostringstream os;
   os << "{\"format\": \"syndcim-artifact-store\", \"tiers\": [";
@@ -55,7 +75,8 @@ std::string ArtifactStore::stats_json() const {
     first = false;
     os << "{\"name\": \"" << json_escape_string(t.name)
        << "\", \"hits\": " << t.hits << ", \"misses\": " << t.misses
-       << ", \"entries\": " << t.entries << "}";
+       << ", \"entries\": " << t.entries << ", \"evicted\": " << t.evicted
+       << ", \"bytes\": " << t.bytes << "}";
   }
   os << "]}";
   return os.str();
@@ -69,7 +90,9 @@ void ArtifactStore::publish_metrics(const std::string& prefix) const {
     reg.gauge(base + ".hits").set(static_cast<double>(t.hits));
     reg.gauge(base + ".misses").set(static_cast<double>(t.misses));
     reg.gauge(base + ".entries").set(static_cast<double>(t.entries));
+    reg.gauge(base + ".evicted").set(static_cast<double>(t.evicted));
   }
+  reg.gauge(prefix + ".evicted").set(static_cast<double>(total_evicted()));
 }
 
 std::size_t StagePipeline::runs() const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/artifact_cache.hpp"
+#include "core/cancel.hpp"
 #include "core/diag.hpp"
 #include "layout/floorplan.hpp"
 #include "lint/lint.hpp"
@@ -103,11 +104,18 @@ struct ArtifactStore {
   void set_enabled(bool on);
   [[nodiscard]] bool enabled() const { return flats.enabled(); }
 
+  /// Bounds every tier to `max_entries` entries / `max_bytes` approximate
+  /// bytes (0 = unlimited), LRU-evicting past either cap — what keeps a
+  /// long-running daemon's resident artifact set finite. Totals are per
+  /// tier, not across the store.
+  void set_capacity(std::size_t max_entries, std::size_t max_bytes = 0);
+
   /// Per-tier snapshots, in declaration order.
   [[nodiscard]] std::vector<ArtifactTierStats> stats() const;
   [[nodiscard]] std::uint64_t total_hits() const;
   [[nodiscard]] std::uint64_t total_misses() const;
   [[nodiscard]] std::size_t total_entries() const;
+  [[nodiscard]] std::uint64_t total_evicted() const;
 
   /// {"format": "syndcim-artifact-store", "tiers": [{"name", "hits",
   ///  "misses", "entries"}, ...]} — tier order is stable.
@@ -144,6 +152,12 @@ class StagePipeline {
                          obs::PhaseTimeline* timeline = nullptr)
       : name_(std::move(name)), tl_(timeline) {}
 
+  /// Attaches a cancellation token: `run` checks it at every stage
+  /// boundary (before the cache lookup) and unwinds with CancelledError
+  /// when it is tripped — the cooperative-cancellation granularity of the
+  /// compile pipeline. nullptr detaches.
+  void set_cancel(const CancelToken* token) { cancel_ = token; }
+
   /// Runs one cached stage: `compute` must be a pure function of the
   /// inputs summarized by `key`. Returns the (possibly cached) artifact.
   /// Pass `cache == nullptr` for an uncacheable stage (always runs).
@@ -151,6 +165,7 @@ class StagePipeline {
   std::shared_ptr<const T> run(const std::string& stage,
                                ArtifactCache<T>* cache,
                                const std::string& key, F&& compute) {
+    if (cancel_ != nullptr) cancel_->check(name_ + "." + stage);
     std::optional<obs::PhaseScope> phase;
     if (tl_ != nullptr) phase.emplace(*tl_, stage);
     const std::uint64_t t0 = obs::now_ns();
@@ -184,6 +199,7 @@ class StagePipeline {
 
   std::string name_;
   obs::PhaseTimeline* tl_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
   std::vector<StageRecord> records_;
 };
 

@@ -63,6 +63,33 @@ void spec_json(std::ostringstream& os, const core::PerfSpec& s) {
      << jnum(s.pref.performance) << "]}";
 }
 
+/// Per-run view of tier statistics against a start-of-run snapshot:
+/// hit/miss/evicted counts become deltas (what *this* sweep did), while
+/// entries/bytes stay absolute (occupancy is a property of the store).
+/// With a sweep-private store the snapshot is all-zero and the deltas are
+/// the totals, so the batch path's report is unchanged.
+std::vector<core::ArtifactTierStats> tier_deltas(
+    const std::vector<core::ArtifactTierStats>& before,
+    std::vector<core::ArtifactTierStats> after) {
+  for (std::size_t i = 0; i < after.size() && i < before.size(); ++i) {
+    after[i].hits -= before[i].hits;
+    after[i].misses -= before[i].misses;
+    after[i].evicted -= before[i].evicted;
+  }
+  return after;
+}
+
+EvalCacheStats cache_deltas(const EvalCacheStats& before,
+                            EvalCacheStats after) {
+  after.hits -= before.hits;
+  after.misses -= before.misses;
+  after.inflight_waits -= before.inflight_waits;
+  after.miss_eval_ms -= before.miss_eval_ms;
+  after.loaded -= before.loaded;
+  after.rejected -= before.rejected;
+  return after;
+}
+
 /// Non-dominated filtering over the merged shard fronts. Unlike the
 /// per-spec (power, area) front, the global merge spans specs with
 /// different clock targets, so throughput joins the dominance check:
@@ -154,6 +181,56 @@ std::vector<core::PerfSpec> SweepGrid::expand() const {
   return out;
 }
 
+SweepGrid grid_from_kv(std::map<std::string, std::string> kv) {
+  SweepGrid grid;
+  if (const auto it = kv.find("sweep_mac_mhz"); it != kv.end()) {
+    std::stringstream ss(it->second);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      grid.mac_freqs_mhz.push_back(std::stod(item));
+    }
+    kv.erase(it);
+  }
+  if (const auto it = kv.find("sweep_mcr"); it != kv.end()) {
+    std::stringstream ss(it->second);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      grid.mcrs.push_back(std::stoi(item));
+    }
+    kv.erase(it);
+  }
+  if (const auto it = kv.find("sweep_bits"); it != kv.end()) {
+    std::stringstream groups(it->second);
+    std::string group;
+    while (std::getline(groups, group, ';')) {
+      std::stringstream ss(group);
+      std::string item;
+      std::vector<int> bits;
+      while (std::getline(ss, item, ',')) bits.push_back(std::stoi(item));
+      grid.precisions.push_back(std::move(bits));
+    }
+    kv.erase(it);
+  }
+  if (const auto it = kv.find("sweep_pref"); it != kv.end()) {
+    std::stringstream ss(it->second);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+      grid.prefs.push_back(core::named_pref(name));
+    }
+    kv.erase(it);
+  }
+  grid.base = core::spec_from_kv(kv);
+  // Default grid (12 points) when no dimension was given: frequency x
+  // MCR x preference around the base spec.
+  if (grid.mac_freqs_mhz.empty() && grid.mcrs.empty() &&
+      grid.precisions.empty() && grid.prefs.empty()) {
+    grid.mac_freqs_mhz = {250.0, 350.0, 450.0};
+    grid.mcrs = {1, 2};
+    grid.prefs = {core::named_pref("balanced"), core::named_pref("power")};
+  }
+  return grid;
+}
+
 SweepReport run_sweep(const cell::Library& lib,
                       const std::vector<core::PerfSpec>& specs,
                       const SweepOptions& opt) {
@@ -166,15 +243,28 @@ SweepReport run_sweep(const cell::Library& lib,
   // benefits), wrapped in the thread-safe backend, optionally memoized.
   // Every worker characterizes through one subcircuit-artifact store —
   // the fine-grained second cache tier; disabling it bypasses the tiers
-  // but runs the identical code path.
-  auto store = std::make_shared<core::ArtifactStore>();
-  store->set_enabled(opt.use_artifact_cache);
+  // but runs the identical code path. A caller-owned store (the serve
+  // daemon's process-wide one) is adopted via a non-owning handle, and
+  // its enabled state is the owner's business.
+  const std::shared_ptr<core::ArtifactStore> store =
+      opt.shared_store != nullptr
+          ? std::shared_ptr<core::ArtifactStore>(opt.shared_store,
+                                                 [](core::ArtifactStore*) {})
+          : std::make_shared<core::ArtifactStore>();
+  if (opt.shared_store == nullptr) store->set_enabled(opt.use_artifact_cache);
   core::SubcircuitLibrary scl(lib, store);
   core::SclEvalBackend raw(scl);
-  EvalCache cache;
-  if (opt.use_cache && !opt.cache_path.empty()) {
+  EvalCache own_cache;
+  EvalCache& cache =
+      opt.shared_eval_cache != nullptr ? *opt.shared_eval_cache : own_cache;
+  if (opt.use_cache && opt.shared_eval_cache == nullptr &&
+      !opt.cache_path.empty()) {
     (void)cache.load_json(opt.cache_path);
   }
+  // Start-of-run snapshots: report/metric statistics stay per-run deltas
+  // even when the store/cache outlive this sweep.
+  const std::vector<core::ArtifactTierStats> store_before = store->stats();
+  const EvalCacheStats cache_before = cache.stats();
   CachedEvalBackend cached(raw, cache);
   core::EvalBackend& backend =
       opt.use_cache ? static_cast<core::EvalBackend&>(cached) : raw;
@@ -205,7 +295,13 @@ SweepReport run_sweep(const cell::Library& lib,
   {
     WorkStealingPool pool(threads);
     for (const Task& t : tasks) {
-      pool.submit([&searcher, &specs, &slots, &t, &first_error, &error_mu] {
+      pool.submit([&searcher, &specs, &slots, &t, &first_error, &error_mu,
+                   &opt] {
+        // Cooperative cancellation boundary: once the token trips
+        // (request deadline, drain, SIGINT) the remaining tasks become
+        // no-ops and their slots stay empty — the merge below simply sees
+        // fewer trajectory fragments.
+        if (opt.cancel != nullptr && opt.cancel->cancelled()) return;
         try {
           slots[t.spec_idx][t.traj_idx] =
               searcher.run_trajectory(t.seed, specs[t.spec_idx]);
@@ -219,6 +315,7 @@ SweepReport run_sweep(const cell::Library& lib,
     rep.pool = pool.stats();
   }
   if (first_error) std::rethrow_exception(first_error);
+  rep.cancelled = opt.cancel != nullptr && opt.cancel->cancelled();
 
   // Per-spec reduction: concatenate the trajectory fragments in seed
   // order (identical to a sequential MsoSearcher::search) and extract
@@ -258,7 +355,7 @@ SweepReport run_sweep(const cell::Library& lib,
   // the same checks the compiler runs before signoff. Sequential (the
   // frontier is small) and pure, keeping the report thread-count
   // independent.
-  if (opt.lint_frontier) {
+  if (opt.lint_frontier && !rep.cancelled) {
     OBS_SPAN("dse.frontier.lint");
     for (FrontierPoint& fp : rep.frontier) {
       const rtlgen::MacroDesign macro = [&] {
@@ -282,11 +379,12 @@ SweepReport run_sweep(const cell::Library& lib,
     }
   }
 
-  if (opt.use_cache && !opt.cache_path.empty()) {
+  if (opt.use_cache && opt.shared_eval_cache == nullptr &&
+      !opt.cache_path.empty()) {
     (void)cache.save_json(opt.cache_path);
   }
-  rep.cache = cache.stats();
-  rep.artifacts = store->stats();
+  rep.cache = cache_deltas(cache_before, cache.stats());
+  rep.artifacts = tier_deltas(store_before, store->stats());
   rep.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
@@ -344,6 +442,7 @@ std::string sweep_report_json(const SweepReport& r) {
   std::ostringstream os;
   os << "{\n  \"specs\": " << r.per_spec.size()
      << ",\n  \"tasks\": " << r.n_tasks
+     << ",\n  \"cancelled\": " << (r.cancelled ? "true" : "false")
      << ",\n  \"wall_ms\": " << jnum(r.wall_ms)
      << ",\n  \"pool\": {\"threads\": " << r.pool.threads
      << ", \"executed\": " << r.pool.executed
@@ -363,7 +462,7 @@ std::string sweep_report_json(const SweepReport& r) {
     if (i) os << ", ";
     os << "{\"name\": \"" << t.name << "\", \"hits\": " << t.hits
        << ", \"misses\": " << t.misses << ", \"entries\": " << t.entries
-       << "}";
+       << ", \"evicted\": " << t.evicted << "}";
   }
   os << "]}"
      << ",\n  \"per_spec\": [\n";

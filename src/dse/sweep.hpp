@@ -1,5 +1,6 @@
 #pragma once
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,15 @@ struct SweepGrid {
   [[nodiscard]] std::vector<core::PerfSpec> expand() const;
 };
 
+/// Builds a SweepGrid from `key=value` string pairs, consuming the
+/// `sweep_*` dimension keys (`sweep_mac_mhz`, `sweep_mcr`, `sweep_bits`
+/// with `;`-separated precision groups, `sweep_pref` preset names); the
+/// remaining keys form the base spec via core::spec_from_kv. When no
+/// dimension is given, the default 12-point frequency x MCR x preference
+/// grid around the base spec is used. Shared by the CLI and the serve
+/// protocol's sweep request.
+[[nodiscard]] SweepGrid grid_from_kv(std::map<std::string, std::string> kv);
+
 struct SweepOptions {
   int threads = 0;         ///< <= 0: hardware concurrency
   bool use_cache = true;   ///< memoize evaluations across specs/trajectories
@@ -40,6 +50,22 @@ struct SweepOptions {
   /// merge (sequential, so the report stays deterministic). Off for pure
   /// benchmarking runs.
   bool lint_frontier = true;
+  /// Process-wide artifact store to characterize through instead of a
+  /// sweep-private one (nullptr = private). The serve daemon points every
+  /// request here so subcircuit artifacts are shared across requests and
+  /// tenants; report/metric statistics are per-run deltas either way.
+  core::ArtifactStore* shared_store = nullptr;
+  /// Long-lived whole-config evaluation cache to memoize through instead
+  /// of a sweep-private one (nullptr = private; only read when
+  /// `use_cache`). `cache_path` load/save is skipped for a shared cache —
+  /// its owner decides persistence.
+  EvalCache* shared_eval_cache = nullptr;
+  /// Cooperative cancellation: checked before every (spec, trajectory)
+  /// task and before the frontier lint. A tripped token makes the sweep
+  /// return early with whatever completed and `SweepReport::cancelled`
+  /// set — partial results, not an exception, so interrupted batch runs
+  /// can still flush their reports.
+  const core::CancelToken* cancel = nullptr;
 };
 
 /// One spec's complete search outcome inside the sweep.
@@ -78,6 +104,10 @@ struct SweepReport {
   WorkStealingPool::Stats pool;
   double wall_ms = 0.0;
   std::size_t n_tasks = 0;  ///< (spec, trajectory) tasks executed
+  /// True when SweepOptions::cancel tripped mid-run: per-spec results and
+  /// the frontier cover only the tasks that finished, and the frontier
+  /// was not linted.
+  bool cancelled = false;
 
   [[nodiscard]] std::uint64_t artifact_hits() const;
   [[nodiscard]] std::uint64_t artifact_misses() const;

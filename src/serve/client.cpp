@@ -1,0 +1,176 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace syndcim::serve {
+
+bool parse_response(const std::string& line, ClientResponse* out,
+                    std::string* err) {
+  JsonValue v;
+  if (!json_parse(line, &v, err)) return false;
+  if (!v.is_object()) {
+    if (err != nullptr) *err = "response is not a JSON object";
+    return false;
+  }
+  const JsonValue* proto = v.find("proto");
+  const JsonValue* version = v.find("version");
+  if (proto == nullptr || proto->as_string() != kProtoName ||
+      version == nullptr ||
+      static_cast<int>(version->as_number()) != kProtoVersion) {
+    if (err != nullptr) *err = "not a syndcim-serve v1 response";
+    return false;
+  }
+  ClientResponse resp;
+  resp.raw = line;
+  if (const JsonValue* id = v.find("id")) resp.id = id->as_kv_string();
+  const JsonValue* status = v.find("status");
+  if (status == nullptr || !status->is_string()) {
+    if (err != nullptr) *err = "response has no 'status'";
+    return false;
+  }
+  if (status->as_string() == "ok") {
+    resp.ok = true;
+    if (const JsonValue* result = v.find("result")) resp.result = *result;
+  } else {
+    resp.ok = false;
+    if (const JsonValue* e = v.find("error")) {
+      if (const JsonValue* code = e->find("code")) {
+        resp.code = static_cast<int>(code->as_number());
+      }
+      if (const JsonValue* reason = e->find("reason")) {
+        resp.reason = reason->as_string();
+      }
+    }
+  }
+  *out = std::move(resp);
+  return true;
+}
+
+bool Client::connect(const std::string& host, int port, std::string* err) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = "bad host address: " + host;
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (err != nullptr) {
+      *err = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+bool Client::send_all(const std::string& data, std::string* err) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (err != nullptr) *err = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::read_line(std::string* line, std::string* err) {
+  char chunk[4096];
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (err != nullptr) {
+      *err = n == 0 ? "connection closed by daemon"
+                    : std::string("recv: ") + std::strerror(errno);
+    }
+    return false;
+  }
+}
+
+bool Client::call_raw(const std::string& request_line, ClientResponse* out,
+                      std::string* err) {
+  if (fd_ < 0) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  if (!send_all(request_line + "\n", err)) return false;
+  std::string line;
+  if (!read_line(&line, err)) return false;
+  return parse_response(line, out, err);
+}
+
+bool Client::call(const std::string& method,
+                  const std::map<std::string, std::string>& params,
+                  double deadline_ms, ClientResponse* out, std::string* err) {
+  return call_extra(method, params, std::string(), std::string(), deadline_ms,
+                    out, err);
+}
+
+bool Client::call_extra(const std::string& method,
+                        const std::map<std::string, std::string>& params,
+                        const std::string& extra_key,
+                        const std::string& extra_string_value,
+                        double deadline_ms, ClientResponse* out,
+                        std::string* err) {
+  std::ostringstream os;
+  os << "{\"id\": \"" << next_id_++ << "\", \"method\": \""
+     << json_escape(method) << "\"";
+  if (deadline_ms > 0) {
+    os << ", \"deadline_ms\": " << json_number(deadline_ms);
+  }
+  os << ", \"params\": {";
+  bool first = true;
+  for (const auto& [k, v] : params) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << json_escape(k) << "\": \"" << json_escape(v) << "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) os << ", ";
+    os << "\"" << json_escape(extra_key) << "\": \""
+       << json_escape(extra_string_value) << "\"";
+  }
+  os << "}}";
+  return call_raw(os.str(), out, err);
+}
+
+}  // namespace syndcim::serve

@@ -1,0 +1,71 @@
+#pragma once
+// Blocking syndcim-serve client: one TCP connection, synchronous
+// call/response (the caller that wants concurrency opens one Client per
+// thread — the daemon multiplexes fine, but interleaving reads of
+// out-of-order responses is more machinery than the tools and tests
+// need).
+#include <map>
+#include <string>
+
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace syndcim::serve {
+
+/// One parsed response line.
+struct ClientResponse {
+  bool ok = false;
+  int code = 0;         ///< error code when !ok (400/404/408/429/500/503)
+  std::string reason;   ///< error reason when !ok
+  std::string id;       ///< echoed request id
+  JsonValue result;     ///< `result` object when ok
+  std::string raw;      ///< the full response line, verbatim
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] bool connect(const std::string& host, int port,
+                             std::string* err);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and blocks for its response line. `params` values
+  /// are sent as JSON strings; `deadline_ms` <= 0 omits the field. False
+  /// only on transport/parse failure (an error *response* returns true
+  /// with out->ok == false).
+  [[nodiscard]] bool call(const std::string& method,
+                          const std::map<std::string, std::string>& params,
+                          double deadline_ms, ClientResponse* out,
+                          std::string* err);
+
+  /// Like call(), with one raw JSON value spliced in as an extra param —
+  /// how the lint tool ships a Verilog source string.
+  [[nodiscard]] bool call_extra(
+      const std::string& method,
+      const std::map<std::string, std::string>& params,
+      const std::string& extra_key, const std::string& extra_string_value,
+      double deadline_ms, ClientResponse* out, std::string* err);
+
+  /// Sends a fully-formed request line (no trailing newline) verbatim.
+  [[nodiscard]] bool call_raw(const std::string& request_line,
+                              ClientResponse* out, std::string* err);
+
+ private:
+  [[nodiscard]] bool send_all(const std::string& data, std::string* err);
+  [[nodiscard]] bool read_line(std::string* line, std::string* err);
+
+  int fd_ = -1;
+  int next_id_ = 1;
+  std::string buf_;
+};
+
+/// Parses one response line into a ClientResponse (shared with tests).
+[[nodiscard]] bool parse_response(const std::string& line, ClientResponse* out,
+                                  std::string* err);
+
+}  // namespace syndcim::serve

@@ -1,0 +1,49 @@
+#include "serve/signals.hpp"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace syndcim::serve {
+
+namespace {
+std::atomic<int> g_signal{0};
+
+void on_signal(int sig) {
+  // Async-signal-safe: two relaxed atomic stores, nothing else. First
+  // signal wins so the exit code reports what actually interrupted us.
+  int expected = 0;
+  g_signal.compare_exchange_strong(expected, sig, std::memory_order_relaxed);
+  interrupt_token().cancel();
+}
+}  // namespace
+
+core::CancelToken& interrupt_token() {
+  static core::CancelToken token;
+  return token;
+}
+
+void install_shutdown_handlers() {
+  // Touch the token first so the handler never runs a first-use
+  // constructor (function-local static init is not signal-safe).
+  (void)interrupt_token();
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking accept/read return EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool shutdown_requested() {
+  return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int shutdown_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+void reset_shutdown() {
+  g_signal.store(0, std::memory_order_relaxed);
+  interrupt_token().reset();
+}
+
+}  // namespace syndcim::serve

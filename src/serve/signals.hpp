@@ -1,0 +1,33 @@
+#pragma once
+// Process-wide SIGINT/SIGTERM handling, shared by the batch CLI and the
+// serve daemon. The handler does exactly two async-signal-safe things:
+// records the signal number and trips the process-wide CancelToken
+// (relaxed atomic stores). Everything else — flushing reports, draining
+// the request queue, writing trace/metrics artifacts — happens
+// cooperatively on normal threads that poll `shutdown_requested()` or
+// carry the token into their work loops.
+#include "core/cancel.hpp"
+
+namespace syndcim::serve {
+
+/// The process-wide interrupt token. Batch sweeps pass it as
+/// SweepOptions::cancel; compiles pass it to SynDcimCompiler::compile;
+/// the daemon's serve loop polls it alongside its drain flag.
+[[nodiscard]] core::CancelToken& interrupt_token();
+
+/// Installs SIGINT and SIGTERM handlers (idempotent). Not thread-safe
+/// against concurrent installs — call once from main() before spawning
+/// workers.
+void install_shutdown_handlers();
+
+/// True once any handled signal arrived.
+[[nodiscard]] bool shutdown_requested();
+
+/// The first signal that arrived (0 when none). Batch commands exit with
+/// the conventional 128 + signal after flushing their reports.
+[[nodiscard]] int shutdown_signal();
+
+/// Re-arms flag, signal number and token (tests only).
+void reset_shutdown();
+
+}  // namespace syndcim::serve

@@ -1,0 +1,552 @@
+// Tests of the src/serve subsystem: the wire-protocol JSON, cooperative
+// cancellation, single-flight batching, bounded LRU artifact caching,
+// and a live in-process daemon driven over real TCP connections —
+// mixed-tenant load, cross-request artifact warm hits, deadline
+// cancellation, admission-control rejects, graceful drain, and
+// byte-identity of a served sweep frontier against the batch path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cell/characterize.hpp"
+#include "core/artifact_cache.hpp"
+#include "core/cancel.hpp"
+#include "dse/sweep.hpp"
+#include "obs/obs.hpp"
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/singleflight.hpp"
+#include "tech/tech_node.hpp"
+
+using namespace syndcim;
+
+namespace {
+
+const cell::Library& test_library() {
+  static const cell::Library lib =
+      cell::characterize_default_library(tech::make_default_40nm());
+  return lib;
+}
+
+/// Spec keys shared by the serve and batch sides of the identity tests.
+std::map<std::string, std::string> small_sweep_params() {
+  return {{"rows", "32"},          {"cols", "32"},
+          {"input_bits", "4"},     {"weight_bits", "4"},
+          {"sweep_mac_mhz", "320"}, {"sweep_mcr", "1"},
+          {"sweep_pref", "balanced"}};
+}
+
+std::unique_ptr<serve::Server> start_server(serve::ServerOptions opt = {}) {
+  auto server = std::make_unique<serve::Server>(test_library(), opt);
+  std::string err;
+  EXPECT_TRUE(server->start(&err)) << err;
+  return server;
+}
+
+serve::ClientResponse call(int port, const std::string& method,
+                           const std::map<std::string, std::string>& params,
+                           double deadline_ms = 0) {
+  serve::Client client;
+  std::string err;
+  EXPECT_TRUE(client.connect("127.0.0.1", port, &err)) << err;
+  serve::ClientResponse resp;
+  EXPECT_TRUE(client.call(method, params, deadline_ms, &resp, &err)) << err;
+  return resp;
+}
+
+std::uint64_t counter_value(const std::string& name) {
+  return obs::metrics().counter(name).value();
+}
+
+// ---------------------------------------------------------------------------
+// Wire JSON
+// ---------------------------------------------------------------------------
+
+TEST(ServeJson, ParsesNestedValues) {
+  serve::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(serve::json_parse(
+      R"({"a": [1, 2.5, -3e2], "b": {"c": "x", "d": true}, "e": null})", &v,
+      &err))
+      << err;
+  ASSERT_TRUE(v.is_object());
+  const serve::JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_DOUBLE_EQ(a->at(0).as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(a->at(1).as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(a->at(2).as_number(), -300.0);
+  EXPECT_EQ(v.find("b")->find("c")->as_string(), "x");
+  EXPECT_TRUE(v.find("b")->find("d")->as_bool());
+  EXPECT_TRUE(v.find("e")->is_null());
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  serve::JsonValue v;
+  std::string err;
+  EXPECT_FALSE(serve::json_parse("{\"a\": }", &v, &err));
+  EXPECT_FALSE(serve::json_parse("{\"a\": 1} trailing", &v, &err));
+  EXPECT_FALSE(serve::json_parse("\"unterminated", &v, &err));
+  EXPECT_FALSE(serve::json_parse("", &v, &err));
+}
+
+TEST(ServeJson, EscapeRoundTripsBytes) {
+  // The sweep response relies on escape/parse round-tripping the nested
+  // frontier JSON byte-for-byte.
+  const std::string original =
+      "{\n  \"k\": \"v\\\"q\",\t\"u\": \"\xc3\xa9\"\n}\x01";
+  const std::string wrapped =
+      "\"" + serve::json_escape(original) + "\"";
+  serve::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(serve::json_parse(wrapped, &v, &err)) << err;
+  EXPECT_EQ(v.as_string(), original);
+}
+
+TEST(ServeProtocol, ParsesAndRejectsRequests) {
+  serve::Request req;
+  std::string err;
+  ASSERT_TRUE(serve::parse_request(
+      R"({"id": 7, "method": "sweep", "deadline_ms": 50,)"
+      R"( "params": {"rows": 64, "mcr": "2"}})",
+      &req, &err))
+      << err;
+  EXPECT_EQ(req.id, "7");
+  EXPECT_EQ(req.method, "sweep");
+  EXPECT_DOUBLE_EQ(req.deadline_ms, 50.0);
+  const auto kv = serve::params_to_kv(req.params);
+  EXPECT_EQ(kv.at("rows"), "64");
+  EXPECT_EQ(kv.at("mcr"), "2");
+
+  EXPECT_FALSE(serve::parse_request("not json", &req, &err));
+  EXPECT_FALSE(serve::parse_request("{\"id\": 1}", &req, &err));  // no method
+  EXPECT_FALSE(serve::parse_request(
+      R"({"method": "x", "deadline_ms": -1})", &req, &err));
+  serve::Request nested;
+  ASSERT_TRUE(serve::parse_request(
+      R"({"method": "x", "params": {"a": [1]}})", &nested, &err))
+      << err;
+  EXPECT_THROW((void)serve::params_to_kv(nested.params),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// CancelToken
+// ---------------------------------------------------------------------------
+
+TEST(CancelToken, FlagAndDeadline) {
+  core::CancelToken tok;
+  EXPECT_FALSE(tok.cancelled());
+  EXPECT_NO_THROW(tok.check("here"));
+  tok.cancel();
+  EXPECT_TRUE(tok.cancelled());
+  EXPECT_THROW(tok.check("here"), core::CancelledError);
+  tok.reset();
+  EXPECT_FALSE(tok.cancelled());
+
+  tok.set_deadline_after(std::chrono::milliseconds(10));
+  EXPECT_FALSE(tok.cancelled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(tok.cancelled());
+  tok.clear_deadline();
+  EXPECT_FALSE(tok.cancelled());
+}
+
+// ---------------------------------------------------------------------------
+// SingleFlight
+// ---------------------------------------------------------------------------
+
+TEST(SingleFlight, CoalescesConcurrentCalls) {
+  serve::SingleFlight flight;
+  std::atomic<int> executions{0};
+  std::atomic<int> started{0};
+  constexpr int kCallers = 6;
+  std::vector<std::thread> threads;
+  std::vector<std::string> results(kCallers);
+  std::vector<char> leaders(kCallers, 0);  // not vector<bool>: bit-packed
+  for (int i = 0; i < kCallers; ++i) {
+    threads.emplace_back([&, i] {
+      started.fetch_add(1);
+      while (started.load() < kCallers) std::this_thread::yield();
+      bool leader = false;
+      results[static_cast<std::size_t>(i)] = flight.run(
+          "key",
+          [&] {
+            executions.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            return std::string("payload");
+          },
+          &leader);
+      leaders[static_cast<std::size_t>(i)] = leader;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(executions.load(), 1);
+  int leader_count = 0;
+  for (int i = 0; i < kCallers; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], "payload");
+    leader_count += leaders[static_cast<std::size_t>(i)] ? 1 : 0;
+  }
+  EXPECT_EQ(leader_count, 1);
+}
+
+TEST(SingleFlight, SequentialCallsEachExecute) {
+  serve::SingleFlight flight;
+  int executions = 0;
+  bool leader = false;
+  for (int i = 0; i < 3; ++i) {
+    const std::string r = flight.run(
+        "key",
+        [&] {
+          ++executions;
+          return std::string("r") + std::to_string(executions);
+        },
+        &leader);
+    EXPECT_TRUE(leader);
+    EXPECT_EQ(r, "r" + std::to_string(i + 1));
+  }
+  EXPECT_EQ(executions, 3);
+}
+
+TEST(SingleFlight, PropagatesLeaderFailure) {
+  serve::SingleFlight flight;
+  std::atomic<bool> leader_entered{false};
+  std::thread leader([&] {
+    bool was_leader = false;
+    EXPECT_THROW(flight.run(
+                     "key",
+                     [&]() -> std::string {
+                       leader_entered.store(true);
+                       std::this_thread::sleep_for(
+                           std::chrono::milliseconds(100));
+                       throw std::runtime_error("boom");
+                     },
+                     &was_leader),
+                 std::runtime_error);
+  });
+  while (!leader_entered.load()) std::this_thread::yield();
+  bool was_leader = true;
+  EXPECT_THROW(
+      flight.run(
+          "key", [] { return std::string("never"); }, &was_leader),
+      std::runtime_error);
+  EXPECT_FALSE(was_leader);
+  leader.join();
+}
+
+// ---------------------------------------------------------------------------
+// Bounded LRU artifact cache
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactCacheLru, EvictsLeastRecentlyUsedPastEntryCap) {
+  core::ArtifactCache<int> cache("test");
+  cache.set_capacity(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  ASSERT_NE(cache.find("a"), nullptr);  // touch: a is now most recent
+  cache.put("c", 3);                    // evicts b, the LRU entry
+  EXPECT_EQ(cache.find("b"), nullptr);
+  EXPECT_NE(cache.find("a"), nullptr);
+  EXPECT_NE(cache.find("c"), nullptr);
+  const core::ArtifactTierStats st = cache.stats();
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_EQ(st.evicted, 1u);
+}
+
+TEST(ArtifactCacheLru, ByteCapEvictsButKeepsLiveReferences) {
+  core::ArtifactCache<int> cache("test");
+  cache.set_capacity(0, 1);  // absurdly small byte budget: one survivor
+  const std::shared_ptr<const int> held = cache.put("a", 1);
+  cache.put("b", 2);
+  cache.put("c", 3);
+  EXPECT_LE(cache.stats().entries, 1u);
+  EXPECT_GE(cache.stats().evicted, 2u);
+  // Eviction drops only the cache's reference; live artifacts survive.
+  EXPECT_EQ(*held, 1);
+}
+
+TEST(ArtifactCacheLru, CapacityAppliesRetroactively) {
+  core::ArtifactCache<int> cache("test");
+  for (int i = 0; i < 8; ++i) cache.put("k" + std::to_string(i), i);
+  EXPECT_EQ(cache.stats().entries, 8u);
+  cache.set_capacity(3);
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evicted, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Live daemon
+// ---------------------------------------------------------------------------
+
+TEST(ServeDaemon, StatusAndUnknownMethodAndBadLine) {
+  auto server = start_server();
+  const serve::ClientResponse status = call(server->port(), "status", {});
+  ASSERT_TRUE(status.ok) << status.raw;
+  EXPECT_EQ(status.result.find("proto")->as_string(), "syndcim-serve");
+  EXPECT_EQ(static_cast<int>(status.result.find("version")->as_number()), 1);
+  EXPECT_FALSE(status.result.find("draining")->as_bool(true));
+
+  const serve::ClientResponse unknown =
+      call(server->port(), "frobnicate", {});
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_EQ(unknown.code, serve::kErrNotFound);
+
+  serve::Client raw;
+  std::string err;
+  ASSERT_TRUE(raw.connect("127.0.0.1", server->port(), &err)) << err;
+  serve::ClientResponse bad;
+  ASSERT_TRUE(raw.call_raw("this is not json", &bad, &err)) << err;
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.code, serve::kErrBadRequest);
+  server->drain();
+}
+
+TEST(ServeDaemon, LintRequest) {
+  auto server = start_server();
+  const char* kNetlist =
+      "module top(input a, input b, output y);\n"
+      "  wire n1;\n"
+      "  AND2_X1 u1(.A(a), .B(b), .Y(n1));\n"
+      "  BUF_X1 u2(.A(n1), .Y(y));\n"
+      "endmodule\n";
+  serve::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect("127.0.0.1", server->port(), &err)) << err;
+  serve::ClientResponse resp;
+  ASSERT_TRUE(client.call_extra("lint", {}, "netlist", kNetlist, 0, &resp,
+                                &err))
+      << err;
+  ASSERT_TRUE(resp.ok) << resp.raw;
+  const serve::JsonValue* diags = resp.result.find("diagnostics_json");
+  ASSERT_NE(diags, nullptr);
+  serve::JsonValue parsed;
+  EXPECT_TRUE(serve::json_parse(diags->as_string(), &parsed, &err)) << err;
+  EXPECT_NE(resp.result.find("errors"), nullptr);
+  EXPECT_NE(resp.result.find("summary"), nullptr);
+
+  // Missing netlist param is a 400, not a crash.
+  const serve::ClientResponse missing = call(server->port(), "lint", {});
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(missing.code, serve::kErrBadRequest);
+  server->drain();
+}
+
+TEST(ServeDaemon, SweepMatchesBatchByteForByte) {
+  auto server = start_server();
+  const serve::ClientResponse resp =
+      call(server->port(), "sweep", small_sweep_params());
+  ASSERT_TRUE(resp.ok) << resp.raw;
+  const serve::JsonValue* frontier = resp.result.find("frontier_json");
+  ASSERT_NE(frontier, nullptr);
+
+  // The batch reference: a private store and cache, default threading —
+  // the frontier must not depend on any of that.
+  const dse::SweepGrid grid = dse::grid_from_kv(small_sweep_params());
+  const dse::SweepReport rep =
+      dse::run_sweep(test_library(), grid.expand(), {});
+  EXPECT_EQ(frontier->as_string(), dse::sweep_frontier_json(rep));
+  server->drain();
+}
+
+TEST(ServeDaemon, SecondIdenticalSweepIsWarm) {
+  auto server = start_server();
+  const serve::ClientResponse cold =
+      call(server->port(), "sweep", small_sweep_params());
+  ASSERT_TRUE(cold.ok) << cold.raw;
+  const serve::ClientResponse warm =
+      call(server->port(), "sweep", small_sweep_params());
+  ASSERT_TRUE(warm.ok) << warm.raw;
+  const serve::JsonValue* skip = warm.result.find("skip_pct");
+  ASSERT_NE(skip, nullptr);
+  EXPECT_GE(skip->as_number(), 0.5) << warm.raw;
+  EXPECT_GT(warm.result.find("eval_cache")->find("hits")->as_number(), 0.0);
+  // Byte-identity also holds cold vs warm.
+  EXPECT_EQ(cold.result.find("frontier_json")->as_string(),
+            warm.result.find("frontier_json")->as_string());
+  server->drain();
+}
+
+TEST(ServeDaemon, ConcurrentIdenticalCompilesSingleFlight) {
+  serve::ServerOptions opt;
+  opt.workers = 4;  // all K requests must be in flight simultaneously
+  auto server = start_server(opt);
+  const std::uint64_t evaluated0 = counter_value("serve.compile.evaluated");
+  const std::uint64_t leader0 = counter_value("serve.singleflight.leader");
+  const std::uint64_t coalesced0 =
+      counter_value("serve.singleflight.coalesced");
+
+  constexpr int kClients = 4;
+  const std::map<std::string, std::string> params = {
+      {"search_only", "true"}, {"rows", "128"}, {"cols", "64"},
+      {"mac_mhz", "350"}};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  std::vector<serve::ClientResponse> resps(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      serve::Client client;
+      std::string err;
+      ASSERT_TRUE(client.connect("127.0.0.1", server->port(), &err)) << err;
+      ready.fetch_add(1);
+      while (ready.load() < kClients) std::this_thread::yield();
+      ASSERT_TRUE(client.call("compile", params, 0,
+                              &resps[static_cast<std::size_t>(i)], &err))
+          << err;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const serve::ClientResponse& r : resps) {
+    ASSERT_TRUE(r.ok) << r.raw;
+    EXPECT_TRUE(r.result.find("feasible")->as_bool());
+  }
+  EXPECT_EQ(counter_value("serve.compile.evaluated") - evaluated0, 1u);
+  EXPECT_EQ(counter_value("serve.singleflight.leader") - leader0, 1u);
+  EXPECT_EQ(counter_value("serve.singleflight.coalesced") - coalesced0,
+            static_cast<std::uint64_t>(kClients - 1));
+  server->drain();
+}
+
+TEST(ServeDaemon, CrossRequestCompileWarmHit) {
+  auto server = start_server();
+  const std::map<std::string, std::string> params = {
+      {"rows", "32"}, {"cols", "32"}, {"mac_mhz", "300"}};
+  const serve::ClientResponse first =
+      call(server->port(), "compile", params);
+  ASSERT_TRUE(first.ok) << first.raw;
+  // A separate connection — a different tenant — recompiling the same
+  // spec splices cached stage artifacts from the shared store.
+  const serve::ClientResponse second =
+      call(server->port(), "compile", params);
+  ASSERT_TRUE(second.ok) << second.raw;
+  EXPECT_GT(second.result.find("stages_skipped")->as_number(),
+            first.result.find("stages_skipped")->as_number());
+  EXPECT_GE(second.result.find("skip_pct")->as_number(), 0.5) << second.raw;
+  server->drain();
+}
+
+TEST(ServeDaemon, DeadlineExceededReturns408AndDaemonSurvives) {
+  auto server = start_server();
+  const serve::ClientResponse resp = call(
+      server->port(), "sweep",
+      {{"rows", "32"}, {"cols", "32"}, {"sweep_mac_mhz", "211,307,401"}},
+      /*deadline_ms=*/1);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, serve::kErrDeadline) << resp.raw;
+  const serve::ClientResponse status = call(server->port(), "status", {});
+  EXPECT_TRUE(status.ok) << status.raw;
+  server->drain();
+}
+
+TEST(ServeDaemon, AdmissionControlRejectsWith429) {
+  serve::ServerOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 1;
+  auto server = start_server(opt);
+
+  constexpr int kClients = 6;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  std::vector<serve::ClientResponse> resps(kClients);
+  std::vector<char> transported(kClients, 0);  // not vector<bool>: bit-packed
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      serve::Client client;
+      std::string err;
+      if (!client.connect("127.0.0.1", server->port(), &err)) return;
+      ready.fetch_add(1);
+      while (ready.load() < kClients) std::this_thread::yield();
+      // Distinct grids, so single-flight cannot coalesce them.
+      const std::map<std::string, std::string> params = {
+          {"rows", "32"},
+          {"cols", "32"},
+          {"sweep_mac_mhz", std::to_string(220 + 10 * i)}};
+      transported[static_cast<std::size_t>(i)] = client.call(
+          "sweep", params, 0, &resps[static_cast<std::size_t>(i)], &err);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(transported[static_cast<std::size_t>(i)]);
+    const serve::ClientResponse& r = resps[static_cast<std::size_t>(i)];
+    if (r.ok) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.code, serve::kErrOverloaded) << r.raw;
+      ++rejected;
+    }
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(rejected, 1);
+  server->drain();
+}
+
+TEST(ServeDaemon, MixedTenantLoad) {
+  auto server = start_server();
+  std::thread t1([&] {
+    const serve::ClientResponse r =
+        call(server->port(), "compile",
+             {{"search_only", "true"}, {"rows", "64"}, {"cols", "32"}});
+    EXPECT_TRUE(r.ok) << r.raw;
+  });
+  std::thread t2([&] {
+    const serve::ClientResponse r =
+        call(server->port(), "sweep", small_sweep_params());
+    EXPECT_TRUE(r.ok) << r.raw;
+  });
+  std::thread t3([&] {
+    serve::Client client;
+    std::string err;
+    ASSERT_TRUE(client.connect("127.0.0.1", server->port(), &err)) << err;
+    serve::ClientResponse r;
+    ASSERT_TRUE(client.call_extra(
+        "lint", {}, "netlist",
+        "module top(input a, output y);\n  BUF_X1 u(.A(a), .Y(y));\n"
+        "endmodule\n",
+        0, &r, &err))
+        << err;
+    EXPECT_TRUE(r.ok) << r.raw;
+  });
+  t1.join();
+  t2.join();
+  t3.join();
+  const serve::ClientResponse metrics = call(server->port(), "metrics", {});
+  ASSERT_TRUE(metrics.ok) << metrics.raw;
+  serve::JsonValue parsed;
+  std::string err;
+  ASSERT_TRUE(serve::json_parse(
+      metrics.result.find("metrics_json")->as_string(), &parsed, &err))
+      << err;
+  server->drain();
+}
+
+TEST(ServeDaemon, ShutdownRequestDrainsGracefully) {
+  auto server = start_server();
+  const serve::ClientResponse resp = call(server->port(), "shutdown", {});
+  ASSERT_TRUE(resp.ok) << resp.raw;
+  EXPECT_TRUE(resp.result.find("draining")->as_bool());
+  // The drain flag flips just after the shutdown response is written.
+  for (int i = 0; i < 200 && !server->drain_requested(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(server->drain_requested());
+  // New requests are refused while draining.
+  const serve::ClientResponse refused = call(server->port(), "status", {});
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.code, serve::kErrDraining);
+  server->drain();
+  // Listener is gone after the drain.
+  serve::Client client;
+  std::string err;
+  EXPECT_FALSE(client.connect("127.0.0.1", server->port(), &err));
+}
+
+}  // namespace

@@ -12,6 +12,7 @@
 //           [--frontier-json FILE]
 //   syndcim lint <netlist.v> [--top NAME] [--lib FILE] [--json FILE]
 //           [--write-clock PORT]
+//   syndcim serve [--port N] [--workers N] [--queue-cap N] ...
 //   syndcim --version | --help
 //
 // Every subcommand additionally accepts the common observability options
@@ -38,6 +39,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "cell/characterize.hpp"
@@ -46,10 +48,13 @@
 #include "core/compiler.hpp"
 #include "core/diag.hpp"
 #include "core/report.hpp"
+#include "core/spec.hpp"
 #include "dse/sweep.hpp"
 #include "lint/lint.hpp"
 #include "netlist/verilog_parser.hpp"
 #include "obs/obs.hpp"
+#include "serve/server.hpp"
+#include "serve/signals.hpp"
 #include "tech/tech_node.hpp"
 
 #ifndef SYNDCIM_VERSION
@@ -130,6 +135,34 @@ void usage_lint(std::ostream& os) {
      << "  exit status: 0 clean, 1 error findings, 2 usage/IO\n";
 }
 
+void usage_serve(std::ostream& os) {
+  os << "usage: syndcim serve [--port N] [--host H] [--workers N]\n"
+        "               [--queue-cap N] [--sweep-threads N] [--max-conn N]\n"
+        "               [--cache-cap-entries N] [--cache-cap-bytes N]\n"
+        "               [--deadline-ms N] [common options]\n"
+        "  options:\n"
+        "    --port N          TCP port (default 0: ephemeral; the bound\n"
+        "                      port is printed as `port=N` on stdout)\n"
+        "    --host H          bind address (default 127.0.0.1)\n"
+        "    --workers N       request worker threads (default 2)\n"
+        "    --queue-cap N     admitted-request cap; beyond it new\n"
+        "                      requests are rejected with 429 (default 32)\n"
+        "    --sweep-threads N threads each in-request sweep may use\n"
+        "                      (default 2)\n"
+        "    --max-conn N      concurrent connection cap (default 64)\n"
+        "    --cache-cap-entries N  per-tier artifact cache entry cap\n"
+        "                      (0 = unlimited; LRU eviction past it)\n"
+        "    --cache-cap-bytes N    per-tier artifact cache byte cap\n"
+        "    --deadline-ms N   default per-request deadline (0 = none)\n"
+     << kCommonOptions
+     << "  the daemon serves syndcim-serve v1 (newline-delimited JSON;\n"
+        "  methods compile/sweep/lint/metrics/status/shutdown) until\n"
+        "  SIGINT/SIGTERM or a shutdown request, then drains gracefully\n"
+        "  (stops accepting, finishes in-flight work, flushes --trace/\n"
+        "  --metrics artifacts)\n"
+        "  exit status: 0 drained cleanly, 2 socket/usage errors\n";
+}
+
 void usage_global(std::ostream& os) {
   os << "usage: syndcim <subcommand> [options]\n"
         "  subcommands:\n"
@@ -137,133 +170,11 @@ void usage_global(std::ostream& os) {
         "                       artifact bundle\n"
         "    sweep              parallel multi-spec grid exploration\n"
         "    lint               static netlist checks\n"
+        "    serve              multi-tenant compile daemon (NDJSON/TCP)\n"
         "    --version          print build version and git commit\n"
         "    --help, -h         this overview\n"
      << kCommonOptions
      << "  run `syndcim <subcommand> --help` for subcommand options\n";
-}
-
-std::vector<int> parse_int_list(const std::string& s) {
-  std::vector<int> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(std::stoi(item));
-  return out;
-}
-
-std::vector<double> parse_double_list(const std::string& s) {
-  std::vector<double> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
-  return out;
-}
-
-core::PerfSpec spec_from_kv(const std::map<std::string, std::string>& kv) {
-  core::PerfSpec spec;
-  for (const auto& [k, v] : kv) {
-    if (k == "rows") {
-      spec.rows = std::stoi(v);
-    } else if (k == "cols") {
-      spec.cols = std::stoi(v);
-    } else if (k == "mcr") {
-      spec.mcr = std::stoi(v);
-    } else if (k == "input_bits") {
-      spec.input_bits = parse_int_list(v);
-    } else if (k == "weight_bits") {
-      spec.weight_bits = parse_int_list(v);
-    } else if (k == "fp") {
-      std::stringstream ss(v);
-      std::string f;
-      while (std::getline(ss, f, ',')) {
-        if (f == "fp4") {
-          spec.fp_formats.push_back(num::kFp4);
-        } else if (f == "fp8") {
-          spec.fp_formats.push_back(num::kFp8);
-        } else if (f == "bf16") {
-          spec.fp_formats.push_back(num::kBf16);
-        } else if (f == "fp16") {
-          spec.fp_formats.push_back(num::kFp16);
-        } else {
-          throw std::invalid_argument("unknown fp format: " + f);
-        }
-      }
-    } else if (k == "mac_mhz") {
-      spec.mac_freq_mhz = std::stod(v);
-    } else if (k == "wupdate_mhz") {
-      spec.wupdate_freq_mhz = std::stod(v);
-    } else if (k == "vdd") {
-      spec.vdd = std::stod(v);
-    } else if (k == "pref_power") {
-      spec.pref.power = std::stod(v);
-    } else if (k == "pref_area") {
-      spec.pref.area = std::stod(v);
-    } else if (k == "pref_perf") {
-      spec.pref.performance = std::stod(v);
-    } else if (k == "bitcell") {
-      spec.bitcell = v == "8T" ? rtlgen::BitcellKind::k8T
-                     : v == "12T" ? rtlgen::BitcellKind::k12T
-                                  : rtlgen::BitcellKind::k6T;
-    } else if (k == "mux") {
-      spec.mux = v == "pg"      ? rtlgen::MuxStyle::kPassGate1T
-                 : v == "oai22" ? rtlgen::MuxStyle::kOai22Fused
-                                : rtlgen::MuxStyle::kTGateNor;
-    } else if (k == "temp_c") {
-      // reserved for corner sweeps; compile uses the nominal corner
-    } else {
-      throw std::invalid_argument("unknown spec key: " + k);
-    }
-  }
-  return spec;
-}
-
-core::PpaPreference named_pref(const std::string& name) {
-  if (name == "balanced") return {1.0, 1.0, 0.0};
-  if (name == "power") return {2.0, 0.5, 0.0};
-  if (name == "area") return {0.5, 2.0, 0.0};
-  if (name == "perf") return {1.0, 1.0, 1.0};
-  throw std::invalid_argument("unknown preference preset: " + name +
-                              " (want balanced|power|area|perf)");
-}
-
-/// Build the sweep grid from kv, consuming `sweep_*` keys; the remaining
-/// keys form the base spec.
-dse::SweepGrid grid_from_kv(std::map<std::string, std::string> kv) {
-  dse::SweepGrid grid;
-  if (const auto it = kv.find("sweep_mac_mhz"); it != kv.end()) {
-    grid.mac_freqs_mhz = parse_double_list(it->second);
-    kv.erase(it);
-  }
-  if (const auto it = kv.find("sweep_mcr"); it != kv.end()) {
-    grid.mcrs = parse_int_list(it->second);
-    kv.erase(it);
-  }
-  if (const auto it = kv.find("sweep_bits"); it != kv.end()) {
-    std::stringstream ss(it->second);
-    std::string group;
-    while (std::getline(ss, group, ';')) {
-      grid.precisions.push_back(parse_int_list(group));
-    }
-    kv.erase(it);
-  }
-  if (const auto it = kv.find("sweep_pref"); it != kv.end()) {
-    std::stringstream ss(it->second);
-    std::string name;
-    while (std::getline(ss, name, ',')) {
-      grid.prefs.push_back(named_pref(name));
-    }
-    kv.erase(it);
-  }
-  grid.base = spec_from_kv(kv);
-  // Default grid (12 points) when no dimension was given: frequency x
-  // MCR x preference around the base spec.
-  if (grid.mac_freqs_mhz.empty() && grid.mcrs.empty() &&
-      grid.precisions.empty() && grid.prefs.empty()) {
-    grid.mac_freqs_mhz = {250.0, 350.0, 450.0};
-    grid.mcrs = {1, 2};
-    grid.prefs = {named_pref("balanced"), named_pref("power")};
-  }
-  return grid;
 }
 
 void read_spec_file(const std::string& path,
@@ -330,8 +241,11 @@ int run_sweep_command(const Args& args) {
     }
   }
 
-  const dse::SweepGrid grid = grid_from_kv(std::move(kv));
+  const dse::SweepGrid grid = dse::grid_from_kv(std::move(kv));
   const std::vector<core::PerfSpec> specs = grid.expand();
+  // Ctrl-C / SIGTERM trips the process-wide token: the sweep returns
+  // early with whatever completed and the reports below still flush.
+  opt.cancel = &serve::interrupt_token();
   std::cerr << "sweep: " << specs.size() << " spec points, threads="
             << (opt.threads > 0 ? opt.threads
                                 : dse::WorkStealingPool::default_threads())
@@ -408,6 +322,11 @@ int run_sweep_command(const Args& args) {
   bool any_feasible = false;
   for (const dse::SpecResult& sr : rep.per_spec) {
     any_feasible = any_feasible || sr.result.feasible();
+  }
+  if (rep.cancelled && serve::shutdown_signal() != 0) {
+    std::cerr << "sweep interrupted (signal " << serve::shutdown_signal()
+              << "); partial report written\n";
+    return 128 + serve::shutdown_signal();
   }
   return any_feasible ? 0 : 1;
 }
@@ -567,7 +486,7 @@ int run_compile_command(const Args& args) {
   }
 
   try {
-    const core::PerfSpec spec = spec_from_kv(kv);
+    const core::PerfSpec spec = core::spec_from_kv(kv);
     std::cerr << "spec: " << spec.rows << "x" << spec.cols
               << " MCR=" << spec.mcr << " @ " << spec.mac_freq_mhz
               << " MHz, " << spec.vdd << " V\n";
@@ -591,7 +510,8 @@ int run_compile_command(const Args& args) {
 
     core::Workload workload;
     workload.lanes = sim_lanes;
-    const auto result = compiler.compile(spec, workload);
+    const auto result =
+        compiler.compile(spec, workload, &serve::interrupt_token());
     std::cout << "selected " << result.selected.label << " ("
               << result.search.pareto.size() << " Pareto points)\n";
     std::cout << "post-layout: fmax "
@@ -620,10 +540,99 @@ int run_compile_command(const Args& args) {
       std::cout << "wrote " << f << "\n";
     }
     return result.impl.signoff_clean() ? 0 : 1;
+  } catch (const core::CancelledError& e) {
+    // Interrupted mid-pipeline: report where, let main() flush the
+    // observability artifacts, exit with the conventional 128 + signal.
+    std::cerr << "compile interrupted (" << e.what() << ")\n";
+    const int sig = serve::shutdown_signal();
+    return sig != 0 ? 128 + sig : 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
+}
+
+/// `syndcim serve`: the multi-tenant compile daemon. Blocks until
+/// SIGINT/SIGTERM or a protocol `shutdown` request, then drains.
+int run_serve_command(const Args& args, const std::string& trace_path,
+                      const std::string& metrics_path) {
+  serve::ServerOptions sopt;
+  sopt.trace_path = trace_path;
+  sopt.metrics_path = metrics_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto int_arg = [&](const char* name, auto* out) -> bool {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: " << name << " wants a value\n";
+        return false;
+      }
+      try {
+        *out = static_cast<std::remove_pointer_t<decltype(out)>>(
+            std::stoll(args[++i]));
+      } catch (const std::exception&) {
+        std::cerr << "error: " << name << " wants an integer, got '"
+                  << args[i] << "'\n";
+        return false;
+      }
+      return true;
+    };
+    if (a == "--help" || a == "-h") {
+      usage_serve(std::cout);
+      return 0;
+    } else if (a == "--port") {
+      if (!int_arg("--port", &sopt.port)) return 2;
+    } else if (a == "--host" && i + 1 < args.size()) {
+      sopt.host = args[++i];
+    } else if (a == "--workers") {
+      if (!int_arg("--workers", &sopt.workers)) return 2;
+    } else if (a == "--queue-cap") {
+      if (!int_arg("--queue-cap", &sopt.queue_capacity)) return 2;
+    } else if (a == "--sweep-threads") {
+      if (!int_arg("--sweep-threads", &sopt.sweep_threads)) return 2;
+    } else if (a == "--max-conn") {
+      if (!int_arg("--max-conn", &sopt.max_connections)) return 2;
+    } else if (a == "--cache-cap-entries") {
+      if (!int_arg("--cache-cap-entries", &sopt.artifact_max_entries)) {
+        return 2;
+      }
+    } else if (a == "--cache-cap-bytes") {
+      if (!int_arg("--cache-cap-bytes", &sopt.artifact_max_bytes)) return 2;
+    } else if (a == "--deadline-ms") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: --deadline-ms wants a value\n";
+        return 2;
+      }
+      try {
+        sopt.default_deadline_ms = std::stod(args[++i]);
+      } catch (const std::exception&) {
+        std::cerr << "error: --deadline-ms wants a number\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "unknown serve argument: " << a << "\n";
+      usage_serve(std::cerr);
+      return 2;
+    }
+  }
+
+  const auto lib =
+      cell::characterize_default_library(tech::make_default_40nm());
+  serve::Server server(lib, sopt);
+  std::string err;
+  if (!server.start(&err)) {
+    std::cerr << "error: " << err << "\n";
+    return 2;
+  }
+  // Machine-readable port line first (stdout, flushed) so wrappers can
+  // connect to an ephemeral port; the human banner goes to stderr.
+  std::cout << "port=" << server.port() << "\n" << std::flush;
+  std::cerr << "syndcim serve: listening on " << sopt.host << ":"
+            << server.port() << " (workers=" << sopt.workers
+            << ", queue-cap=" << sopt.queue_capacity
+            << ", sweep-threads=" << sopt.sweep_threads << ")\n";
+  const int rc = server.serve_forever(&serve::interrupt_token());
+  std::cerr << "syndcim serve: drained\n";
+  return rc;
 }
 
 }  // namespace
@@ -647,6 +656,10 @@ int main(int argc, char** argv) {
     obs::set_enabled(true);
     obs::tracer().set_thread_name("main");
   }
+  // SIGINT/SIGTERM trip the process-wide CancelToken; batch commands
+  // return partial results and still flush their reports below, the
+  // serve daemon drains gracefully.
+  serve::install_shutdown_handlers();
 
   int rc = 2;
   try {
@@ -661,6 +674,9 @@ int main(int argc, char** argv) {
       rc = run_lint_command({args.begin() + 1, args.end()});
     } else if (!args.empty() && args[0] == "sweep") {
       rc = run_sweep_command({args.begin() + 1, args.end()});
+    } else if (!args.empty() && args[0] == "serve") {
+      rc = run_serve_command({args.begin() + 1, args.end()}, trace_path,
+                             metrics_path);
     } else if (!args.empty() && args[0] == "compile") {
       rc = run_compile_command({args.begin() + 1, args.end()});
     } else {

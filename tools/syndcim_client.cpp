@@ -1,0 +1,223 @@
+// Command-line client for a running `syndcim serve` daemon: sends one
+// request over the syndcim-serve v1 NDJSON protocol and prints the
+// response line to stdout.
+//
+//   syndcim_client --port N [--host H] <method> [key=value ...]
+//                  [--deadline-ms N] [--netlist FILE]
+//                  [--extract KEY FILE] [--concurrent K] [--out FILE]
+//
+//   method              compile | sweep | lint | metrics | status | shutdown
+//   key=value           request params (spec keys, sweep_* grid keys, ...)
+//   --deadline-ms N     per-request deadline (server answers 408 past it)
+//   --netlist FILE      lint only: ship FILE's contents as params.netlist
+//   --extract KEY FILE  write the result's string field KEY to FILE
+//                       byte-for-byte (e.g. a sweep's frontier_json —
+//                       identical to the batch CLI's --frontier-json)
+//   --concurrent K      open K connections and send the identical request
+//                       concurrently (single-flight demo); prints K lines
+//   --out FILE          also write the response line(s) to FILE
+//
+// Exit status: 0 every response ok, 1 any error response (code printed),
+// 2 usage / transport failure.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+
+using namespace syndcim;
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: syndcim_client --port N [--host H] <method> [key=value ...]\n"
+        "               [--deadline-ms N] [--netlist FILE]\n"
+        "               [--extract KEY FILE] [--concurrent K] [--out FILE]\n"
+        "  methods: compile sweep lint metrics status shutdown\n"
+        "  exit status: 0 ok, 1 error response, 2 usage/transport\n";
+}
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string method;
+  std::map<std::string, std::string> params;
+  double deadline_ms = 0;
+  std::string netlist_path;
+  std::string extract_key, extract_path;
+  int concurrent = 1;
+  std::string out_path;
+};
+
+bool parse_args(int argc, char** argv, Options* opt, std::string* err) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        *err = std::string(flag) + " wants a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (a == "--port") {
+      const char* v = next("--port");
+      if (v == nullptr) return false;
+      opt->port = std::atoi(v);
+    } else if (a == "--host") {
+      const char* v = next("--host");
+      if (v == nullptr) return false;
+      opt->host = v;
+    } else if (a == "--deadline-ms") {
+      const char* v = next("--deadline-ms");
+      if (v == nullptr) return false;
+      opt->deadline_ms = std::atof(v);
+    } else if (a == "--netlist") {
+      const char* v = next("--netlist");
+      if (v == nullptr) return false;
+      opt->netlist_path = v;
+    } else if (a == "--extract") {
+      const char* k = next("--extract");
+      if (k == nullptr) return false;
+      const char* p = next("--extract");
+      if (p == nullptr) return false;
+      opt->extract_key = k;
+      opt->extract_path = p;
+    } else if (a == "--concurrent") {
+      const char* v = next("--concurrent");
+      if (v == nullptr) return false;
+      opt->concurrent = std::atoi(v);
+    } else if (a == "--out") {
+      const char* v = next("--out");
+      if (v == nullptr) return false;
+      opt->out_path = v;
+    } else if (a.find('=') != std::string::npos && a[0] != '-') {
+      const auto eq = a.find('=');
+      opt->params[a.substr(0, eq)] = a.substr(eq + 1);
+    } else if (!a.empty() && a[0] != '-' && opt->method.empty()) {
+      opt->method = a;
+    } else {
+      *err = "unknown argument: " + a;
+      return false;
+    }
+  }
+  if (opt->method.empty()) {
+    *err = "missing method";
+    return false;
+  }
+  if (opt->port <= 0) {
+    *err = "missing --port";
+    return false;
+  }
+  if (opt->concurrent < 1) {
+    *err = "--concurrent wants a positive integer";
+    return false;
+  }
+  return true;
+}
+
+/// One connection, one request; fills `resp` (transport failure -> false
+/// with a reason in `err`).
+bool run_once(const Options& opt, const std::string& netlist,
+              serve::ClientResponse* resp, std::string* err) {
+  serve::Client client;
+  if (!client.connect(opt.host, opt.port, err)) return false;
+  if (!opt.netlist_path.empty()) {
+    return client.call_extra(opt.method, opt.params, "netlist", netlist,
+                             opt.deadline_ms, resp, err);
+  }
+  return client.call(opt.method, opt.params, opt.deadline_ms, resp, err);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  std::string err;
+  if (!parse_args(argc, argv, &opt, &err)) {
+    std::cerr << "error: " << err << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  std::string netlist;
+  if (!opt.netlist_path.empty()) {
+    std::ifstream f(opt.netlist_path);
+    if (!f) {
+      std::cerr << "error: cannot open " << opt.netlist_path << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    netlist = ss.str();
+  }
+
+  std::vector<serve::ClientResponse> resps(
+      static_cast<std::size_t>(opt.concurrent));
+  std::vector<std::string> errs(static_cast<std::size_t>(opt.concurrent));
+  std::vector<bool> oks(static_cast<std::size_t>(opt.concurrent), false);
+  if (opt.concurrent == 1) {
+    oks[0] = run_once(opt, netlist, &resps[0], &errs[0]);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(opt.concurrent));
+    for (int i = 0; i < opt.concurrent; ++i) {
+      threads.emplace_back([&, i] {
+        bool ok = run_once(opt, netlist, &resps[static_cast<std::size_t>(i)],
+                           &errs[static_cast<std::size_t>(i)]);
+        oks[static_cast<std::size_t>(i)] = ok;
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  std::ofstream out;
+  if (!opt.out_path.empty()) {
+    out.open(opt.out_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << opt.out_path << "\n";
+      return 2;
+    }
+  }
+
+  int rc = 0;
+  for (int i = 0; i < opt.concurrent; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (!oks[idx]) {
+      std::cerr << "error: " << errs[idx] << "\n";
+      rc = 2;
+      continue;
+    }
+    const serve::ClientResponse& r = resps[idx];
+    std::cout << r.raw << "\n";
+    if (out.is_open()) out << r.raw << "\n";
+    if (!r.ok) {
+      std::cerr << "error response: code " << r.code << " (" << r.reason
+                << ")\n";
+      if (rc == 0) rc = 1;
+    }
+  }
+
+  if (rc == 0 && !opt.extract_key.empty()) {
+    const serve::JsonValue* field = resps[0].result.find(opt.extract_key);
+    if (field == nullptr || !field->is_string()) {
+      std::cerr << "error: result has no string field '" << opt.extract_key
+                << "'\n";
+      return 2;
+    }
+    std::ofstream ef(opt.extract_path, std::ios::binary);
+    if (!ef) {
+      std::cerr << "error: cannot write " << opt.extract_path << "\n";
+      return 2;
+    }
+    ef << field->as_string();
+    std::cerr << "wrote " << opt.extract_path << "\n";
+  }
+  return rc;
+}
