@@ -29,40 +29,32 @@ Lut2d Lut2d::scaled(double k) const {
   return out;
 }
 
-namespace {
-/// Index i and fraction t such that x ~ axis[i]*(1-t) + axis[i+1]*t,
-/// clamped to the axis range.
-struct Seg {
-  std::size_t i;
-  double t;
-};
-Seg locate(const std::vector<double>& axis, double x) {
-  if (axis.size() == 1 || x <= axis.front()) return {0, 0.0};
-  if (x >= axis.back()) return {axis.size() - 2, 1.0};
-  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
-  const std::size_t hi = static_cast<std::size_t>(it - axis.begin());
-  const std::size_t lo = hi - 1;
-  const double span = axis[hi] - axis[lo];
-  return {lo, span > 0 ? (x - axis[lo]) / span : 0.0};
-}
-}  // namespace
-
 double Lut2d::eval(double slew_ps, double load_ff) const {
   if (values_.empty()) throw std::logic_error("Lut2d::eval on empty table");
   if (values_.size() == 1) return values_[0];
-  const Seg s = locate(slew_, slew_ps);
-  const Seg l = locate(load_, load_ff);
+  const LutSeg s = locate(slew_, slew_ps);
+  const LutSeg l = locate(load_, load_ff);
   const std::size_t cols = load_.size();
-  auto at = [&](std::size_t si, std::size_t li) {
-    return values_[si * cols + li];
-  };
   const std::size_t s1 = std::min(s.i + 1, slew_.size() - 1);
   const std::size_t l1 = std::min(l.i + 1, load_.size() - 1);
-  const double v00 = at(s.i, l.i), v01 = at(s.i, l1);
-  const double v10 = at(s1, l.i), v11 = at(s1, l1);
-  const double v0 = v00 * (1 - l.t) + v01 * l.t;
-  const double v1 = v10 * (1 - l.t) + v11 * l.t;
-  return v0 * (1 - s.t) + v1 * s.t;
+  const double v0 = lut_lerp(values_[s.i * cols + l.i],
+                             values_[s.i * cols + l1], l.t);
+  const double v1 = lut_lerp(values_[s1 * cols + l.i],
+                             values_[s1 * cols + l1], l.t);
+  return lut_lerp(v0, v1, s.t);
+}
+
+void Lut2d::collapse_load(double load_ff, double* row) const {
+  if (values_.empty()) {
+    throw std::logic_error("Lut2d::collapse_load on empty table");
+  }
+  const LutSeg l = locate(load_, load_ff);
+  const std::size_t cols = load_.size();
+  const std::size_t l1 = std::min(l.i + 1, cols - 1);
+  for (std::size_t si = 0; si < slew_.size(); ++si) {
+    row[si] =
+        lut_lerp(values_[si * cols + l.i], values_[si * cols + l1], l.t);
+  }
 }
 
 }  // namespace syndcim::cell

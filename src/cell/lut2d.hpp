@@ -1,7 +1,23 @@
 #pragma once
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 namespace syndcim::cell {
+
+/// Axis segment: index i and fraction t such that
+/// x ~ axis[i]*(1-t) + axis[i+1]*t, clamped to the axis range.
+struct LutSeg {
+  std::size_t i;
+  double t;
+};
+
+/// Shared linear blend. Every interpolation in Lut2d::eval and in the SoA
+/// timing kernel goes through this single expression so the two code
+/// paths produce bit-identical doubles regardless of inlining context.
+[[nodiscard]] inline double lut_lerp(double a, double b, double t) {
+  return a * (1 - t) + b * t;
+}
 
 /// NLDM-style 2-D lookup table: values indexed by (input slew, output
 /// load), bilinearly interpolated, clamped at the axis ends (commercial
@@ -13,6 +29,18 @@ class Lut2d {
         std::vector<double> values_row_major);
 
   [[nodiscard]] double eval(double slew_ps, double load_ff) const;
+
+  /// Locates `slew_ps` on the slew axis — the runtime half of the SoA
+  /// kernel's (collapse_load, row blend) evaluation split.
+  [[nodiscard]] LutSeg locate_slew(double slew_ps) const {
+    return locate(slew_, slew_ps);
+  }
+
+  /// Collapses the load axis at `load_ff`: writes slew_axis().size()
+  /// values row[si] = lut_lerp(v(si, lo), v(si, hi), t) — exactly the
+  /// per-row load blend eval() performs, so blending the collapsed row
+  /// over the slew axis reproduces eval() bit for bit.
+  void collapse_load(double load_ff, double* row) const;
 
   [[nodiscard]] const std::vector<double>& slew_axis() const { return slew_; }
   [[nodiscard]] const std::vector<double>& load_axis() const { return load_; }
@@ -26,6 +54,17 @@ class Lut2d {
   [[nodiscard]] Lut2d scaled(double k) const;
 
  private:
+  [[nodiscard]] static LutSeg locate(const std::vector<double>& axis,
+                                     double x) {
+    if (axis.size() == 1 || x <= axis.front()) return {0, 0.0};
+    if (x >= axis.back()) return {axis.size() - 2, 1.0};
+    const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+    const std::size_t hi = static_cast<std::size_t>(it - axis.begin());
+    const std::size_t lo = hi - 1;
+    const double span = axis[hi] - axis[lo];
+    return {lo, span > 0 ? (x - axis[lo]) / span : 0.0};
+  }
+
   std::vector<double> slew_;
   std::vector<double> load_;
   std::vector<double> values_;  // row-major: [slew][load]

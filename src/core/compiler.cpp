@@ -187,7 +187,7 @@ Implementation SynDcimCompiler::implement(const rtlgen::MacroConfig& cfg,
   // timing knobs — the only spec fields this stage reads.
   const std::string skey = spec_knobs_key(spec);
   const auto timing =
-      pipe.run("sta", &as.timings, "sta1|" + lkey + "|" + skey, [&] {
+      pipe.run("sta", &as.timings, "sta2|" + lkey + "|" + skey, [&] {
         TimingArtifact ta;
         DiagEngine dg;
         sta::StaEngine sta(*flat, lib_);

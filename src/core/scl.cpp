@@ -88,7 +88,7 @@ const SliceEval& SubcircuitLibrary::slice(const MacroConfig& cfg) {
   rtlgen::MacroDesign ports;
   ports.cfg = sc;
 
-  const auto timing = pipe.run("sta", &as.timings, "slsta1|" + lkey, [&] {
+  const auto timing = pipe.run("sta", &as.timings, "slsta2|" + lkey, [&] {
     sta::StaEngine sta(*flat, lib_);
     sta::StaOptions topt;
     topt.clock_period_ps = kRefPeriodPs;
@@ -116,12 +116,12 @@ const SliceEval& SubcircuitLibrary::slice(const MacroConfig& cfg) {
   // come from the shared activity tier; the whole model is additionally
   // memoized so an identical slice skips even the splicing.
   const auto act = pipe.run<power::ActivityModel>(
-      "activity", &as.act_models, "slact1|" + lkey, [&] {
+      "activity", &as.act_models, "slact2|" + lkey, [&] {
         return power::propagate_activity_grouped(
             *flat, lib_, power::ActivitySpec{}, &as.activity);
       });
 
-  const auto pw = pipe.run("power", &as.powers, "slpow1|" + lkey, [&] {
+  const auto pw = pipe.run("power", &as.powers, "slpow2|" + lkey, [&] {
     power::PowerOptions popt;
     popt.vdd = lib_.node().vdd_nominal;
     popt.freq_mhz = 1000.0;  // 1 GHz reference: uW == fJ/cycle

@@ -267,7 +267,7 @@ bool EvalCache::save_json(const std::string& path) const {
   {
     std::ofstream f(tmp, std::ios::trunc);
     if (!f) return false;
-    f << "{\n  \"format\": \"syndcim-eval-cache\",\n  \"version\": 1,\n"
+    f << "{\n  \"format\": \"syndcim-eval-cache\",\n  \"version\": 2,\n"
       << "  \"entries\": [\n";
     bool first = true;
     for (const Shard& sh : shards_) {
@@ -316,6 +316,18 @@ std::size_t EvalCache::load_json(const std::string& path,
       diag->warning("CACHE-BADFILE",
                     "persisted cache is missing the "
                     "\"syndcim-eval-cache\" format marker; ignoring it",
+                    path, "eval-cache");
+    }
+    return 0;
+  }
+  // Cached outcomes are only replayable when they were produced by the
+  // same engine semantics; older versions (v1: pre slew/case-analysis
+  // fixes) are discarded rather than resurrected as stale numbers.
+  if (text.find("\"version\": 2") == std::string::npos) {
+    if (diag) {
+      diag->warning("CACHE-BADVERSION",
+                    "persisted cache was written by an incompatible "
+                    "engine version; ignoring it",
                     path, "eval-cache");
     }
     return 0;

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+
+#include "power/activity_kernel.hpp"
 
 namespace syndcim::power {
 
@@ -13,36 +16,100 @@ using netlist::NetConst;
 
 namespace {
 constexpr std::uint32_t kNoNet = UINT32_MAX;
-/// Temporal-correlation derating applied to the 2p(1-p) toggle estimate.
-constexpr double kToggleDamp = 0.7;
 
-struct ResolvedGate {
-  const cell::Cell* cell;
-  std::vector<std::uint32_t> in_nets;   // canonical order
-  std::vector<std::uint32_t> out_nets;  // canonical order
-};
-
-std::vector<ResolvedGate> resolve(const FlatNetlist& nl,
-                                  const cell::Library& lib) {
-  std::vector<const cell::Cell*> masters;
-  for (const std::string& m : nl.master_names()) masters.push_back(&lib.get(m));
-  std::vector<ResolvedGate> out;
-  out.reserve(nl.gates().size());
-  for (const auto& fg : nl.gates()) {
-    ResolvedGate rg;
-    rg.cell = masters[fg.master];
-    std::vector<std::uint32_t> by_pin(rg.cell->pins.size(), kNoNet);
-    for (const auto& pc : fg.pins) {
-      const int pi = rg.cell->pin_index(nl.pin_names()[pc.pin_name]);
-      if (pi >= 0) by_pin[static_cast<std::size_t>(pi)] = pc.net;
+/// Base state shared by all estimators: constants pinned, primary inputs
+/// at the workload spec, everything else at the 0.5 prior.
+ActivityModel base_model(const FlatNetlist& nl, const ActivitySpec& spec) {
+  ActivityModel am;
+  am.p_one.assign(nl.net_count(), 0.5);
+  am.toggle_rate.assign(nl.net_count(), 0.0);
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    if (nl.net_const(n) != NetConst::kNone) {
+      am.p_one[n] = nl.net_const(n) == NetConst::kOne ? 1.0 : 0.0;
+      am.toggle_rate[n] = 0.0;
     }
-    for (std::size_t i = 0; i < rg.cell->pins.size(); ++i) {
-      (rg.cell->pins[i].is_input ? rg.in_nets : rg.out_nets)
-          .push_back(by_pin[i]);
-    }
-    out.push_back(std::move(rg));
   }
-  return out;
+  for (const auto& io : nl.primary_inputs()) {
+    am.p_one[io.net] = spec.input_p1;
+    am.toggle_rate[io.net] = spec.input_toggle;
+  }
+  return am;
+}
+
+/// Clock nets toggle twice per cycle regardless of what any estimator
+/// computed (GateSim models an implicit clock; the probabilistic model
+/// never drives clock trees).
+void force_clock_nets(const ResolvedGates& rg, ActivityModel& am) {
+  for (const std::uint32_t net : rg.clock_nets) am.toggle_rate[net] = 2.0;
+}
+
+/// Retained gate-at-a-time fixpoint (the control arm ActivityKernel is
+/// verified against): same gate classification, same visit order, same
+/// arithmetic, evaluated through cell::eval_kind per input combo.
+void fixpoint_scalar(const std::vector<ResolvedGate>& gates,
+                     const std::uint32_t* ids, std::size_t n,
+                     const ActivitySpec& spec, ActivityModel& am) {
+  for (int pass = 0; pass < 8; ++pass) {
+    // Sequential outputs first.
+    for (std::size_t k = 0; k < n; ++k) {
+      const ResolvedGate& g = gates[ids[k]];
+      const cell::TimingRole role = g.cell->timing_role();
+      if (role == cell::TimingRole::kCombinational) continue;
+      const std::uint32_t q = g.q_net;
+      if (q == kNoNet) continue;
+      if (role == cell::TimingRole::kStorage) {
+        am.p_one[q] = spec.weight_p1;
+        am.toggle_rate[q] = 0.0;  // weights static during MAC
+        continue;
+      }
+      if (g.d_net == kNoNet) continue;
+      const double pd = am.p_one[g.d_net];
+      am.p_one[q] = pd;
+      am.toggle_rate[q] = 2.0 * pd * (1.0 - pd) * kToggleDamp;
+    }
+    // Combinational gates: exact P1 under independence.
+    for (std::size_t k = 0; k < n; ++k) {
+      const ResolvedGate& g = gates[ids[k]];
+      if (g.cell->timing_role() != cell::TimingRole::kCombinational) {
+        continue;
+      }
+      bool connected = true;
+      for (const std::uint32_t net : g.in_nets) {
+        connected = connected && net != kNoNet;
+      }
+      if (!connected) continue;
+      const int n_in = static_cast<int>(g.in_nets.size());
+      const int combos = 1 << n_in;
+      std::vector<double> pout(g.out_nets.size(), 0.0);
+      std::vector<int> in_vals(static_cast<std::size_t>(n_in));
+      for (int v = 0; v < combos; ++v) {
+        double p = 1.0;
+        for (int i = 0; i < n_in; ++i) {
+          const int bit = (v >> i) & 1;
+          in_vals[static_cast<std::size_t>(i)] = bit;
+          const double p1 = am.p_one[g.in_nets[static_cast<std::size_t>(i)]];
+          p *= bit ? p1 : (1.0 - p1);
+        }
+        if (p == 0.0) continue;
+        const auto outs = cell::eval_kind(g.cell->kind, in_vals);
+        for (std::size_t o = 0; o < pout.size() && o < outs.size(); ++o) {
+          if (outs[o]) pout[o] += p;
+        }
+      }
+      for (std::size_t o = 0; o < g.out_nets.size(); ++o) {
+        const std::uint32_t net = g.out_nets[o];
+        if (net == kNoNet) continue;
+        am.p_one[net] = pout[o];
+        am.toggle_rate[net] = 2.0 * pout[o] * (1.0 - pout[o]) * kToggleDamp;
+      }
+    }
+  }
+}
+
+std::vector<std::uint32_t> iota_ids(std::size_t n) {
+  std::vector<std::uint32_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<std::uint32_t>(i);
+  return ids;
 }
 }  // namespace
 
@@ -68,178 +135,38 @@ ActivityModel activity_from_sim(const FlatNetlist& nl,
         static_cast<double>(std::popcount(gs.net_word(n))) / lanes;
   }
   // Clock nets: GateSim's clock is implicit; force 2 transitions/cycle.
-  const auto gates = resolve(nl, lib);
-  for (const auto& g : gates) {
-    for (std::size_t i = 0, in = 0; i < g.cell->pins.size(); ++i) {
-      if (!g.cell->pins[i].is_input) continue;
-      if (g.cell->pins[i].is_clock) {
-        const std::uint32_t net = g.in_nets[in];
-        if (net != kNoNet) am.toggle_rate[net] = 2.0;
-      }
-      ++in;
-    }
-  }
+  force_clock_nets(resolve_gates(nl, lib), am);
   return am;
 }
 
 ActivityModel propagate_activity(const FlatNetlist& nl,
                                  const cell::Library& lib,
-                                 const ActivitySpec& spec) {
-  const auto gates = resolve(nl, lib);
-  ActivityModel am;
-  am.p_one.assign(nl.net_count(), 0.5);
-  am.toggle_rate.assign(nl.net_count(), 0.0);
-
-  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
-    if (nl.net_const(n) != NetConst::kNone) {
-      am.p_one[n] = nl.net_const(n) == NetConst::kOne ? 1.0 : 0.0;
-      am.toggle_rate[n] = 0.0;
-    }
-  }
-  for (const auto& io : nl.primary_inputs()) {
-    am.p_one[io.net] = spec.input_p1;
-    am.toggle_rate[io.net] = spec.input_toggle;
-  }
+                                 const ActivitySpec& spec,
+                                 ActivityEngine engine) {
+  const ResolvedGates rg = resolve_gates(nl, lib);
+  ActivityModel am = base_model(nl, spec);
 
   // Iterate to a fixpoint so register feedback (accumulators) settles.
-  for (int pass = 0; pass < 8; ++pass) {
-    // Sequential outputs first.
-    for (const auto& g : gates) {
-      const cell::TimingRole role = g.cell->timing_role();
-      if (role == cell::TimingRole::kCombinational) continue;
-      const std::uint32_t q = g.out_nets.empty() ? kNoNet : g.out_nets[0];
-      if (q == kNoNet) continue;
-      if (role == cell::TimingRole::kStorage) {
-        am.p_one[q] = spec.weight_p1;
-        am.toggle_rate[q] = 0.0;  // weights static during MAC
-        continue;
-      }
-      const double pd = am.p_one[g.in_nets[0]];  // D pin is first input
-      am.p_one[q] = pd;
-      am.toggle_rate[q] = 2.0 * pd * (1.0 - pd) * kToggleDamp;
-    }
-    // Combinational gates: exact P1 under independence (<= 5 inputs).
-    for (const auto& g : gates) {
-      if (g.cell->timing_role() != cell::TimingRole::kCombinational) {
-        continue;
-      }
-      const int n_in = static_cast<int>(g.in_nets.size());
-      const int combos = 1 << n_in;
-      std::vector<double> pout(g.out_nets.size(), 0.0);
-      std::vector<int> in_vals(static_cast<std::size_t>(n_in));
-      for (int v = 0; v < combos; ++v) {
-        double p = 1.0;
-        for (int i = 0; i < n_in; ++i) {
-          const int bit = (v >> i) & 1;
-          in_vals[static_cast<std::size_t>(i)] = bit;
-          const double p1 = am.p_one[g.in_nets[static_cast<std::size_t>(i)]];
-          p *= bit ? p1 : (1.0 - p1);
-        }
-        if (p == 0.0) continue;
-        const auto outs = cell::eval_kind(g.cell->kind, in_vals);
-        for (std::size_t o = 0; o < pout.size(); ++o) {
-          if (outs[o]) pout[o] += p;
-        }
-      }
-      for (std::size_t o = 0; o < g.out_nets.size(); ++o) {
-        const std::uint32_t net = g.out_nets[o];
-        if (net == kNoNet) continue;
-        am.p_one[net] = pout[o];
-        am.toggle_rate[net] = 2.0 * pout[o] * (1.0 - pout[o]) * kToggleDamp;
-      }
-    }
+  if (engine == ActivityEngine::kSoa) {
+    const ActivityKernel kernel(rg);
+    kernel.run(spec, am);
+  } else {
+    const auto ids = iota_ids(rg.gates.size());
+    fixpoint_scalar(rg.gates, ids.data(), ids.size(), spec, am);
   }
-  // Clock nets toggle twice per cycle.
-  for (const auto& g : gates) {
-    std::size_t in = 0;
-    for (const auto& p : g.cell->pins) {
-      if (!p.is_input) continue;
-      if (p.is_clock && g.in_nets[in] != kNoNet) {
-        am.toggle_rate[g.in_nets[in]] = 2.0;
-      }
-      ++in;
-    }
-  }
+  force_clock_nets(rg, am);
   return am;
 }
-
-namespace {
-
-/// Runs the propagate_activity fixpoint over one group's gates only,
-/// reading settled values for everything outside the group.
-void solve_group(const std::vector<ResolvedGate>& gates,
-                 const std::vector<std::uint32_t>& members,
-                 const ActivitySpec& spec, ActivityModel& am) {
-  for (int pass = 0; pass < 8; ++pass) {
-    for (const std::uint32_t gi : members) {
-      const ResolvedGate& g = gates[gi];
-      const cell::TimingRole role = g.cell->timing_role();
-      if (role == cell::TimingRole::kCombinational) continue;
-      const std::uint32_t q = g.out_nets.empty() ? kNoNet : g.out_nets[0];
-      if (q == kNoNet) continue;
-      if (role == cell::TimingRole::kStorage) {
-        am.p_one[q] = spec.weight_p1;
-        am.toggle_rate[q] = 0.0;
-        continue;
-      }
-      const double pd = am.p_one[g.in_nets[0]];
-      am.p_one[q] = pd;
-      am.toggle_rate[q] = 2.0 * pd * (1.0 - pd) * kToggleDamp;
-    }
-    for (const std::uint32_t gi : members) {
-      const ResolvedGate& g = gates[gi];
-      if (g.cell->timing_role() != cell::TimingRole::kCombinational) {
-        continue;
-      }
-      const int n_in = static_cast<int>(g.in_nets.size());
-      const int combos = 1 << n_in;
-      std::vector<double> pout(g.out_nets.size(), 0.0);
-      std::vector<int> in_vals(static_cast<std::size_t>(n_in));
-      for (int v = 0; v < combos; ++v) {
-        double p = 1.0;
-        for (int i = 0; i < n_in; ++i) {
-          const int bit = (v >> i) & 1;
-          in_vals[static_cast<std::size_t>(i)] = bit;
-          const double p1 = am.p_one[g.in_nets[static_cast<std::size_t>(i)]];
-          p *= bit ? p1 : (1.0 - p1);
-        }
-        if (p == 0.0) continue;
-        const auto outs = cell::eval_kind(g.cell->kind, in_vals);
-        for (std::size_t o = 0; o < pout.size(); ++o) {
-          if (outs[o]) pout[o] += p;
-        }
-      }
-      for (std::size_t o = 0; o < g.out_nets.size(); ++o) {
-        const std::uint32_t net = g.out_nets[o];
-        if (net == kNoNet) continue;
-        am.p_one[net] = pout[o];
-        am.toggle_rate[net] = 2.0 * pout[o] * (1.0 - pout[o]) * kToggleDamp;
-      }
-    }
-  }
-}
-
-}  // namespace
 
 ActivityModel propagate_activity_grouped(const netlist::FlatNetlist& nl,
                                          const cell::Library& lib,
                                          const ActivitySpec& spec,
                                          ActivityCache* cache,
-                                         GroupedActivityStats* stats) {
-  const auto gates = resolve(nl, lib);
-  ActivityModel am;
-  am.p_one.assign(nl.net_count(), 0.5);
-  am.toggle_rate.assign(nl.net_count(), 0.0);
-  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
-    if (nl.net_const(n) != NetConst::kNone) {
-      am.p_one[n] = nl.net_const(n) == NetConst::kOne ? 1.0 : 0.0;
-      am.toggle_rate[n] = 0.0;
-    }
-  }
-  for (const auto& io : nl.primary_inputs()) {
-    am.p_one[io.net] = spec.input_p1;
-    am.toggle_rate[io.net] = spec.input_toggle;
-  }
+                                         GroupedActivityStats* stats,
+                                         ActivityEngine engine) {
+  const ResolvedGates rg = resolve_gates(nl, lib);
+  const std::vector<ResolvedGate>& gates = rg.gates;
+  ActivityModel am = base_model(nl, spec);
 
   // Group membership in first-gate-occurrence order; for generated macros
   // that order is topological (align -> drivers -> columns -> OFUs), so
@@ -253,6 +180,13 @@ ActivityModel propagate_activity_grouped(const netlist::FlatNetlist& nl,
       cones.emplace_back();
     }
     cones[static_cast<std::size_t>(slot)].push_back(gi);
+  }
+
+  // One kernel over the whole netlist, shared by every cone; cache misses
+  // run the fixpoint restricted to the cone's members.
+  std::unique_ptr<const ActivityKernel> kernel;
+  if (engine == ActivityEngine::kSoa) {
+    kernel = std::make_unique<const ActivityKernel>(rg);
   }
 
   const std::string& libfp = lib.fingerprint();
@@ -269,7 +203,7 @@ ActivityModel propagate_activity_grouped(const netlist::FlatNetlist& nl,
     touched.clear();
     driven_list.clear();
     core::ArtifactHasher h;
-    h.str("act1");
+    h.str("act2");
     h.str(libfp);
     h.dbl(spec.weight_p1);
     auto local_id = [&](std::uint32_t net) -> std::uint32_t {
@@ -321,7 +255,11 @@ ActivityModel propagate_activity_grouped(const netlist::FlatNetlist& nl,
       }
       if (stats) ++stats->group_hits;
     } else {
-      solve_group(gates, members, spec, am);
+      if (kernel) {
+        kernel->run_members(members, spec, am);
+      } else {
+        fixpoint_scalar(gates, members.data(), members.size(), spec, am);
+      }
       if (cache) {
         GroupActivityArtifact out;
         out.driven.reserve(driven_list.size());
@@ -335,16 +273,7 @@ ActivityModel propagate_activity_grouped(const netlist::FlatNetlist& nl,
   }
 
   // Clock nets toggle twice per cycle (identical to propagate_activity).
-  for (const auto& g : gates) {
-    std::size_t in = 0;
-    for (const auto& p : g.cell->pins) {
-      if (!p.is_input) continue;
-      if (p.is_clock && g.in_nets[in] != kNoNet) {
-        am.toggle_rate[g.in_nets[in]] = 2.0;
-      }
-      ++in;
-    }
-  }
+  force_clock_nets(rg, am);
   return am;
 }
 

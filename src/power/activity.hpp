@@ -1,5 +1,6 @@
 #pragma once
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -39,13 +40,22 @@ struct ActivitySpec {
   double weight_p1 = 0.5;
 };
 
+/// Propagation engine selection. Both engines implement identical
+/// semantics and produce bit-identical models; kScalar is the retained
+/// gate-at-a-time control arm (and the only engine supporting
+/// combinational cells with more than 5 inputs).
+enum class ActivityEngine : std::uint8_t {
+  kSoa,     ///< flat per-class loops with precomputed truth masks
+  kScalar,  ///< retained per-gate eval_kind reference
+};
+
 /// Zero-delay probabilistic activity propagation assuming spatial input
 /// independence: P1 is propagated exactly per gate function under the
 /// independence assumption and the toggle rate is damped through deep
 /// logic. Used at search time, when no netlist-level simulation has run.
-[[nodiscard]] ActivityModel propagate_activity(const netlist::FlatNetlist& nl,
-                                               const cell::Library& lib,
-                                               const ActivitySpec& spec);
+[[nodiscard]] ActivityModel propagate_activity(
+    const netlist::FlatNetlist& nl, const cell::Library& lib,
+    const ActivitySpec& spec, ActivityEngine engine = ActivityEngine::kSoa);
 
 /// One group's propagation result: final (p_one, toggle_rate) of every net
 /// the group drives, in the group's first-driver order. A pure function of
@@ -76,6 +86,7 @@ struct GroupedActivityStats {
 [[nodiscard]] ActivityModel propagate_activity_grouped(
     const netlist::FlatNetlist& nl, const cell::Library& lib,
     const ActivitySpec& spec, ActivityCache* cache = nullptr,
-    GroupedActivityStats* stats = nullptr);
+    GroupedActivityStats* stats = nullptr,
+    ActivityEngine engine = ActivityEngine::kSoa);
 
 }  // namespace syndcim::power

@@ -1,6 +1,8 @@
 #pragma once
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,15 @@ struct WireModel {
   }
 };
 
+/// Propagation kernel selection. Both kernels implement the same timing
+/// semantics with the same operation order and produce bit-identical
+/// reports; kScalar is the retained gate-at-a-time control arm the golden
+/// tests and perf benchmarks compare against.
+enum class StaKernel : std::uint8_t {
+  kSoa,     ///< flat per-level CSR arc loops with a cached load plan
+  kScalar,  ///< retained gate-at-a-time reference
+};
+
 struct StaOptions {
   double clock_period_ps = 1250.0;  ///< MAC clock (800 MHz default)
   /// Weight-update clock period; SRAM write endpoints are checked against
@@ -43,15 +54,18 @@ struct StaOptions {
   WireModel wire;
   /// Primary inputs held static during operation (bank selects, precision
   /// mode, FP select): excluded from timing like a case analysis, exactly
-  /// as a constraints file would declare them. Names must match primary
-  /// input ports; unknown names are ignored (reported as
-  /// STA-UNKNOWN-INPUT warnings when `diag` is set — a misspelled name
-  /// silently re-times a path that should be static).
+  /// as a constraints file would declare them. The untimed mask propagates
+  /// through combinational gates whose every timing arc comes from an
+  /// untimed or constant net, and untimed nets are not timed endpoints.
+  /// Names must match primary input ports; unknown names are ignored
+  /// (reported as STA-UNKNOWN-INPUT warnings when `diag` is set — a
+  /// misspelled name silently re-times a path that should be static).
   std::vector<std::string> static_inputs;
   /// Also collect per-group boundary summaries (TimingReport::interfaces).
   /// Off by default: the extra pass costs one sweep over all pins, which
   /// search-time callers running thousands of analyses don't need.
   bool collect_group_interfaces = false;
+  StaKernel kernel = StaKernel::kSoa;
   /// Optional diagnostics sink for constraint-sanity warnings.
   core::DiagEngine* diag = nullptr;
 };
@@ -138,6 +152,15 @@ struct VariationReport {
 /// D/WL pins are endpoints in the weight-update clock domain; primary
 /// inputs launch at input_delay, primary outputs are endpoints. Clock pins
 /// see an ideal zero-skew clock.
+///
+/// Timing semantics shared by both kernels:
+///  - Arrival: max over live arcs (an arc is live when its input net is
+///    neither constant nor untimed), visited in (level, gate, arc) order.
+///  - Slew: max over the same live arcs, independent of which arc wins
+///    the arrival race (the worst transition reaches the next stage even
+///    when a faster path launches it).
+///  - Case analysis: a combinational output none of whose arcs fired is
+///    untimed; untimed nets are excluded from the endpoint set.
 class StaEngine {
  public:
   StaEngine(const netlist::FlatNetlist& nl, const cell::Library& lib);
@@ -159,12 +182,75 @@ class StaEngine {
                                    const WireModel& wire) const;
 
  private:
+  /// Per-analysis propagation state shared by both kernels. Arrival and
+  /// slew live in one 16-byte record per net (both kernels always touch
+  /// them together, so the pair costs one cache line, not two); same for
+  /// the traceback pair written on an arrival win.
+  struct PropState {
+    struct NetTime {
+      double at;
+      double slew;
+    };
+    struct Trace {
+      std::uint32_t prev_net;
+      std::int32_t via_gate;
+    };
+    std::vector<NetTime> ts;
+    std::vector<Trace> tr;
+    std::vector<std::uint8_t> untimed;
+    /// slew written by a live arc; doubles as the "some arc fired" flag
+    /// the case analysis reads (a live arc always writes slew).
+    std::vector<std::uint8_t> slew_set;
+  };
+  /// Everything that depends only on (netlist, library, wire model),
+  /// computed once and reused across analyze calls and variation samples:
+  /// per-net loads plus every arc's LUT rows with the load axis collapsed
+  /// out (Lut2d::collapse_load), and the launch-point clk->q values at the
+  /// fixed clock slew. Rows are deduplicated by (LUT, load): identical
+  /// pairs collapse to bit-identical rows, and sharing them keeps the
+  /// kernel's row working set cache-resident instead of streaming one
+  /// private row pair per arc.
+  struct LoadPlan {
+    WireModel wire;
+    std::vector<double> net_load;  ///< net_load_ff(n, wire), per net
+    std::vector<double> rows;      ///< deduplicated collapsed rows
+    std::vector<std::uint32_t> arc_drow;  ///< per arc, into rows
+    std::vector<std::uint32_t> arc_srow;
+    std::vector<double> launch_delay;  ///< per launch point (registers)
+    std::vector<double> launch_slew;
+  };
+  [[nodiscard]] std::shared_ptr<const LoadPlan> load_plan(
+      const WireModel& wire) const;
   [[nodiscard]] TimingReport analyze_impl(const StaOptions& opt,
                                           const float* gate_derate) const;
+  void propagate_scalar(const StaOptions& opt, const float* gate_derate,
+                        PropState& ps) const;
+  void propagate_soa(const LoadPlan& plan, const StaOptions& opt,
+                     const float* gate_derate, PropState& ps) const;
+
   struct GateInfo {
     const cell::Cell* cell;
     std::vector<std::uint32_t> pin_nets;  // by cell pin index
     std::uint32_t group;
+  };
+  /// One sequential output pin: registers launch clk->q from the plan,
+  /// storage launches at t=0.
+  struct LaunchPoint {
+    std::uint32_t gate;
+    std::uint32_t qnet;
+    std::uint16_t pin;  ///< cell pin index of the output
+    bool storage;
+  };
+  /// One setup endpoint (non-clock input pin of a sequential cell),
+  /// resolved at construction so analyze never formats names for
+  /// endpoints that don't end up on the critical path.
+  struct SetupEndpoint {
+    std::uint32_t net;
+    std::uint32_t gate;
+    std::uint32_t group;
+    std::uint16_t pin;  ///< cell pin index, for the endpoint label
+    bool write_domain;
+    double setup_ps;
   };
 
   const netlist::FlatNetlist& nl_;
@@ -175,6 +261,36 @@ class StaEngine {
   std::vector<std::int32_t> driver_gate_;  // per net; -1 = none/PI
   std::vector<std::int8_t> driver_pin_;    // cell pin index of driver
   std::vector<std::vector<std::uint32_t>> gate_order_;  // levels
+
+  // SoA arc CSR over the levelized combinational gates, flattened in the
+  // exact (level, gate, arc) visit order of the scalar arm so both
+  // kernels accumulate max() in the same order.
+  std::vector<std::uint32_t> arc_in_;
+  std::vector<std::uint32_t> arc_out_;
+  std::vector<std::uint32_t> arc_gate_;
+  std::vector<const cell::Lut2d*> arc_delay_;
+  std::vector<const cell::Lut2d*> arc_oslew_;
+  std::vector<std::uint8_t> arc_axis_shared_;  // delay/slew share slew axis
+  // Deduplicated slew axes: the library reuses a handful of axis vectors
+  // across all cells, so the kernel locates on a flat table that stays in
+  // cache instead of chasing each arc's Lut2d.
+  std::vector<double> ax_vals_;
+  std::vector<std::uint32_t> ax_off_;    // per axis id, into ax_vals_
+  std::vector<std::uint32_t> ax_len_;    // per axis id
+  std::vector<std::uint16_t> arc_dax_;   // delay-LUT axis id, per arc
+  std::vector<std::uint16_t> arc_sax_;   // out-slew-LUT axis id, per arc
+  std::vector<std::uint32_t> level_arc_begin_;  // per level, into arc_*
+  std::vector<std::uint32_t> level_net_begin_;  // per level, into below
+  std::vector<std::uint32_t> level_out_nets_;   // driven nets, visit order
+  std::vector<std::uint8_t> net_const_;         // net_const != kNone
+  std::vector<LaunchPoint> launches_;
+  std::vector<SetupEndpoint> setup_eps_;
+  // Structural group-interface membership (net ids in report order).
+  std::vector<std::vector<std::uint32_t>> iface_in_;
+  std::vector<std::vector<std::uint32_t>> iface_out_;
+
+  mutable std::mutex plan_mu_;
+  mutable std::shared_ptr<const LoadPlan> plan_;
 };
 
 }  // namespace syndcim::sta

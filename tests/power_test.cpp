@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <sstream>
 
 #include "cell/characterize.hpp"
+#include "cell/liberty_parser.hpp"
+#include "netlist/design.hpp"
 #include "netlist/flatten.hpp"
+#include "power/activity.hpp"
 #include "power/power.hpp"
 #include "rtlgen/macro.hpp"
 #include "sim/macro_tb.hpp"
@@ -178,6 +182,114 @@ TEST(Power, AreaRollup) {
   for (const auto& g : rep.by_group) sum += g.area_um2;
   EXPECT_NEAR(sum, rep.total_um2, 1e-6);
   EXPECT_GT(rep.group_um2("col0"), 0.0);
+}
+
+TEST(ActivityBugfix, ReorderedLibertyPinOrderResolvedByRole) {
+  // A liberty library whose DFF lists CK *before* D: pin order must not
+  // matter — D/Q are resolved by role, not by position.
+  std::ostringstream lb;
+  lb << "library (reordered) {\n"
+     << "  cell (RDFF) {\n"
+     << "    syndcim_kind : " << static_cast<int>(cell::Kind::kDff) << ";\n"
+     << "    pin (CK) { direction : input; clock : true; capacitance : 0.5; }\n"
+     << "    pin (D) { direction : input; capacitance : 0.5; }\n"
+     << "    pin (Q) { direction : output; }\n"
+     << "  }\n"
+     << "  cell (RINV) {\n"
+     << "    syndcim_kind : " << static_cast<int>(cell::Kind::kInv) << ";\n"
+     << "    pin (A) { direction : input; capacitance : 0.5; }\n"
+     << "    pin (Y) { direction : output; }\n"
+     << "  }\n"
+     << "}\n";
+  std::istringstream is(lb.str());
+  const cell::Library rlib =
+      cell::parse_liberty(is, tech::make_default_40nm());
+
+  netlist::Design d;
+  netlist::Module m("top");
+  const auto clk = m.add_port("clk", netlist::PortDir::kIn);
+  const auto a = m.add_port("a", netlist::PortDir::kIn);
+  const auto y = m.add_port("y", netlist::PortDir::kOut);
+  const auto dn = m.add_net("dn");
+  const auto q = m.add_net("q");
+  m.add_cell("i0", "RINV", {{"A", a}, {"Y", dn}});
+  m.add_cell("f0", "RDFF", {{"CK", clk}, {"D", dn}, {"Q", q}});
+  m.add_cell("i1", "RINV", {{"A", q}, {"Y", y}});
+  d.add_module(std::move(m));
+  const auto flat = netlist::flatten(d, "top");
+
+  power::ActivitySpec spec;
+  spec.input_p1 = 0.9;
+  const auto act = power::propagate_activity(flat, rlib, spec);
+  std::uint32_t qn = UINT32_MAX;
+  for (std::uint32_t n = 0; n < flat.net_count(); ++n) {
+    if (flat.net_name(n) == "q") qn = n;
+  }
+  ASSERT_NE(qn, UINT32_MAX);
+  // Q follows D (the inverted input, P1 = 0.1) — not whatever net happens
+  // to be listed first (the clock, P1 = 0.9).
+  EXPECT_DOUBLE_EQ(act.p_one[qn], 1.0 - spec.input_p1);
+  EXPECT_DOUBLE_EQ(act.toggle_rate[qn], 2.0 * 0.1 * 0.9 * 0.7);
+  // Clock-net forcing still keys off the is_clock role.
+  EXPECT_DOUBLE_EQ(act.toggle_rate[flat.input_net("clk")], 2.0);
+}
+
+TEST(KernelGolden, ActivityEnginesBitIdenticalAcrossMacroVariants) {
+  for (int variant = 0; variant < 3; ++variant) {
+    SCOPED_TRACE(variant);
+    rtlgen::MacroConfig cfg = tiny_cfg();
+    cfg.input_bits = {2, 4};
+    cfg.weight_bits = {2, 4};
+    if (variant == 1) {
+      cfg.mux = rtlgen::MuxStyle::kOai22Fused;
+    } else if (variant == 2) {
+      cfg.tree.style = rtlgen::AdderTreeStyle::kCompressor;
+    }
+    const auto md = rtlgen::gen_macro(cfg);
+    const auto flat = netlist::flatten(md.design, md.top);
+
+    power::ActivitySpec spec;
+    spec.input_p1 = 0.37;
+    spec.input_toggle = 0.21;
+    spec.weight_p1 = 0.62;
+    const auto soa = power::propagate_activity(
+        flat, lib(), spec, power::ActivityEngine::kSoa);
+    const auto scalar = power::propagate_activity(
+        flat, lib(), spec, power::ActivityEngine::kScalar);
+    ASSERT_EQ(soa.p_one.size(), scalar.p_one.size());
+    for (std::size_t n = 0; n < soa.p_one.size(); ++n) {
+      EXPECT_EQ(soa.p_one[n], scalar.p_one[n]) << "net " << n;
+      EXPECT_EQ(soa.toggle_rate[n], scalar.toggle_rate[n]) << "net " << n;
+    }
+
+    // The priced report is consequently bit-identical too.
+    const auto rep_soa = power::analyze_power(flat, lib(), soa, {});
+    const auto rep_scalar = power::analyze_power(flat, lib(), scalar, {});
+    EXPECT_EQ(rep_soa.switching_uw, rep_scalar.switching_uw);
+    EXPECT_EQ(rep_soa.internal_uw, rep_scalar.internal_uw);
+    EXPECT_EQ(rep_soa.clock_uw, rep_scalar.clock_uw);
+    EXPECT_EQ(rep_soa.leakage_uw, rep_scalar.leakage_uw);
+    ASSERT_EQ(rep_soa.by_group.size(), rep_scalar.by_group.size());
+    for (std::size_t g = 0; g < rep_soa.by_group.size(); ++g) {
+      EXPECT_EQ(rep_soa.by_group[g].group, rep_scalar.by_group[g].group);
+      EXPECT_EQ(rep_soa.by_group[g].dynamic_uw,
+                rep_scalar.by_group[g].dynamic_uw);
+      EXPECT_EQ(rep_soa.by_group[g].leakage_uw,
+                rep_scalar.by_group[g].leakage_uw);
+    }
+
+    // Grouped (per-cone) propagation agrees across engines as well.
+    const auto grp_soa = power::propagate_activity_grouped(
+        flat, lib(), spec, nullptr, nullptr, power::ActivityEngine::kSoa);
+    const auto grp_scalar = power::propagate_activity_grouped(
+        flat, lib(), spec, nullptr, nullptr,
+        power::ActivityEngine::kScalar);
+    for (std::size_t n = 0; n < grp_soa.p_one.size(); ++n) {
+      EXPECT_EQ(grp_soa.p_one[n], grp_scalar.p_one[n]) << "net " << n;
+      EXPECT_EQ(grp_soa.toggle_rate[n], grp_scalar.toggle_rate[n])
+          << "net " << n;
+    }
+  }
 }
 
 TEST(Power, PassGateMuxCostsMorePowerThanTGate) {
