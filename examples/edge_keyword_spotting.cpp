@@ -1,106 +1,94 @@
 // Edge scenario (paper intro: "wearable devices"): an always-on keyword-
-// spotting feature extractor. A small, power-preferred macro runs a dense
-// INT4 layer; the example reports per-inference energy and battery-life
+// spotting network mapped through the netmap API. A small, power-
+// preferred macro pool feeds the fleet allocator under a one-macro
+// budget; the example reports per-inference energy and battery-life
 // implications — the kind of system-level numbers a DCIM compiler user
-// derives from the compiler's post-layout report.
+// derives from the compiler's network-level report.
+//
+// Usage: edge_keyword_spotting [model.json]
+//   (default model: examples/models/kws.json)
 #include <iostream>
-#include <random>
+#include <map>
+#include <string>
 
 #include "cell/characterize.hpp"
-#include "core/compiler.hpp"
+#include "core/diag.hpp"
 #include "core/report.hpp"
-#include "sim/macro_model.hpp"
+#include "dse/sweep.hpp"
+#include "netmap/model.hpp"
+#include "netmap/netmap.hpp"
 #include "tech/tech_node.hpp"
 
 using namespace syndcim;
 
-int main() {
-  const auto library =
+int main(int argc, char** argv) {
+  const std::string model_path =
+      argc > 1 ? argv[1] : "examples/models/kws.json";
+  core::DiagEngine diag;
+  const netmap::Model model = netmap::parse_model_file(model_path, diag);
+  if (diag.has_errors()) {
+    diag.print(std::cerr);
+    return 1;
+  }
+
+  // A wearable budget: low voltage, modest clock, power above all. The
+  // grid still spans MCR so the allocator may pick double buffering.
+  std::map<std::string, std::string> kv = {
+      {"rows", "32"},        {"cols", "32"},
+      {"input_bits", "4"},   {"weight_bits", "4"},
+      {"mac_mhz", "50"},     {"wupdate_mhz", "50"},
+      {"vdd", "0.7"},        {"pref_power", "1.0"},
+      {"pref_area", "0.1"},  {"sweep_mcr", "1,2"},
+  };
+  const auto lib =
       cell::characterize_default_library(tech::make_default_40nm());
+  dse::SweepOptions sopt;
+  sopt.lint_frontier = false;
+  const dse::SweepReport rep =
+      dse::run_sweep(lib, dse::grid_from_kv(std::move(kv)).expand(), sopt);
+  const auto cands = netmap::candidates_from_frontier(rep);
 
-  // A wearable budget: low voltage, modest clock, power above all.
-  core::PerfSpec spec;
-  spec.rows = 32;
-  spec.cols = 32;
-  spec.mcr = 2;  // double-buffered weights: stream layer B while A computes
-  spec.input_bits = {4};
-  spec.weight_bits = {4};
-  spec.vdd = 0.7;
-  spec.mac_freq_mhz = 50.0;
-  spec.wupdate_freq_mhz = 50.0;
-  spec.pref = {1.0, 0.1, 0.0};  // power-preferred
+  netmap::NetmapOptions nopt;
+  nopt.budget.max_macros = 1;  // one physical macro on the wearable
+  const netmap::NetmapResult res = netmap::run_netmap(model, cands, nopt);
 
-  core::SynDcimCompiler compiler(library);
-  core::Workload wl;
-  wl.input_bits = 4;
-  wl.weight_bits = 4;
-  wl.input_density = 0.3;  // post-ReLU activations are sparse
-  const auto result = compiler.compile(spec, wl);
-  std::cout << "KWS macro: " << result.selected.label << "\n";
-  std::cout << "  " << core::TextTable::num(result.impl.total_power_uw, 1)
-            << " uW @ " << spec.mac_freq_mhz << " MHz, " << spec.vdd
-            << " V, area "
-            << core::TextTable::num(result.impl.macro_area_mm2 * 1e6, 0)
-            << " um^2\n\n";
+  const netmap::FleetEntry& fe = res.fleet.front();
+  const netmap::MacroCandidate& mc = res.candidates[fe.candidate_index];
+  std::cout << "KWS macro: " << mc.label << " (" << mc.rows << "x" << mc.cols
+            << ", MCR=" << mc.mcr << ")\n  "
+            << core::TextTable::num(mc.power_uw, 1) << " uW @ "
+            << core::TextTable::num(mc.mac_mhz, 0) << " MHz, area "
+            << core::TextTable::num(mc.area_um2, 0) << " um^2\n\n";
 
-  // KWS feature layer: 64 -> 8 dense, INT4, mapped as two row-tiles onto
-  // the 32x32 macro (8 outputs x 4 weight bits = 32 columns).
-  const int in_dim = 64, out_dim = 8, wp = 4, ib = 4;
-  sim::DcimMacroModel model(result.selected.cfg);
-  std::mt19937 rng(5);
-  auto rnd4 = [&] { return static_cast<std::int64_t>(rng() % 16) - 8; };
-
-  // Per-tile weight matrices (rows 0..31 and 32..63 of the layer).
-  std::vector<std::vector<std::vector<std::int64_t>>> tiles(2);
-  for (auto& t : tiles) {
-    t.resize(out_dim);
-    for (auto& w : t) {
-      w.resize(32);
-      for (auto& v : w) v = rnd4();
-    }
+  std::cout << model.name << ": " << model.layers.size() << " layers, "
+            << model.total_macs() << " MACs/inference\n";
+  for (const netmap::LayerAssignment& la : res.layers) {
+    const netmap::Layer& l = res.model.layers[la.layer_index];
+    std::cout << "  " << l.name << ": " << la.grid.k_tiles << "x"
+              << la.grid.n_tiles << " tiles, "
+              << core::TextTable::num(la.time_us, 2) << " us, "
+              << core::TextTable::num(la.energy_pj(), 1) << " pJ\n";
   }
 
-  // Run 25 frames of 10ms audio features.
-  const int frames = 25;
-  std::int64_t checksum = 0;
-  long macs = 0;
-  for (int f = 0; f < frames; ++f) {
-    std::vector<std::int64_t> x(in_dim);
-    for (auto& v : x) v = rnd4();
-    std::vector<std::int64_t> y(out_dim, 0);
-    for (int tile = 0; tile < 2; ++tile) {
-      model.load_weights_int(tile % spec.mcr, wp, tiles[tile]);
-      const std::vector<std::int64_t> xt(x.begin() + tile * 32,
-                                         x.begin() + (tile + 1) * 32);
-      const auto part = model.mac_int(xt, ib, wp, tile % spec.mcr);
-      for (int o = 0; o < out_dim; ++o) {
-        y[static_cast<std::size_t>(o)] += part[static_cast<std::size_t>(o)];
-      }
-      macs += 32 * out_dim;
-    }
-    checksum += y[0] + y[7];
-  }
-
-  // Energy accounting from the post-layout report.
-  const double cycles_per_mac_group = ib + 4.0;  // load + serial + capture
-  const double groups = 2.0 * frames;            // two tiles per frame
-  const double e_per_cycle_fj =
-      result.impl.power.energy_per_cycle_fj(spec.mac_freq_mhz);
-  const double e_inference_nj =
-      groups * cycles_per_mac_group * e_per_cycle_fj * 1e-6 / frames;
-  std::cout << frames << " frames processed, " << macs
-            << " MACs, checksum " << checksum << "\n";
+  // One inference = one pass over the chain; energy straight from the
+  // netmap evaluator (MAC + weight-update + dead energy).
+  const double e_inference_nj = res.total_energy_pj * 1e-3;
   std::cout << "energy/inference ~ " << core::TextTable::num(e_inference_nj, 2)
-            << " nJ (dynamic)\n";
+            << " nJ in " << core::TextTable::num(res.total_time_us, 2)
+            << " us (utilization "
+            << core::TextTable::num(100.0 * res.utilization, 1) << "%)\n";
+
+  // Always-on duty cycling: 100 inferences/s of audio frames; the macro
+  // sleeps between them at ~10% of its active power (retention).
+  const double inf_per_s = 100.0;
+  const double active_frac = inf_per_s * res.total_time_us * 1e-6;
   const double duty_power_uw =
-      result.impl.total_power_uw * 0.05 +  // 5% active duty cycle
-      result.impl.power.leakage_uw * 0.95;
-  std::cout << "always-on @5% duty ~ "
-            << core::TextTable::num(duty_power_uw, 1)
+      mc.power_uw * active_frac + 0.1 * mc.power_uw * (1.0 - active_frac);
+  std::cout << "always-on @" << core::TextTable::num(inf_per_s, 0)
+            << " inf/s ~ " << core::TextTable::num(duty_power_uw, 2)
             << " uW -> a 100 mAh coin cell (1.5 V) lasts ~"
-            << core::TextTable::num(100e-3 * 1.5 / (duty_power_uw * 1e-6) /
-                                        24.0 / 365.0,
-                                    1)
-            << " years on this layer alone\n";
+            << core::TextTable::num(
+                   100e-3 * 1.5 / (duty_power_uw * 1e-6) / 24.0 / 365.0, 1)
+            << " years on this network alone\n";
   return 0;
 }

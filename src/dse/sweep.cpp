@@ -28,17 +28,33 @@ std::string jnum(double v) {
 }
 
 void point_json(std::ostringstream& os, const FrontierPoint& fp,
-                const char* indent, bool with_timeline = false) {
+                const core::PerfSpec& spec, const char* indent,
+                bool with_timeline = false) {
   const core::DesignPoint& p = fp.point;
   os << indent << "{\"label\": \"" << p.label << "\", \"spec_index\": "
-     << fp.spec_index << ", \"feasible\": "
-     << (p.feasible ? "true" : "false")
+     << fp.spec_index << ", \"point_id\": \"" << fp.point_id
+     << "\", \"feasible\": " << (p.feasible ? "true" : "false")
      << ", \"fmax_mhz\": " << jnum(p.ppa.fmax_mhz)
      << ", \"power_uw\": " << jnum(p.ppa.power_uw)
      << ", \"area_um2\": " << jnum(p.ppa.area_um2)
      << ", \"energy_per_mac_fj\": " << jnum(p.ppa.energy_per_mac_fj)
      << ", \"tops_1b\": " << jnum(p.ppa.tops_1b)
      << ", \"latency_cycles\": " << p.ppa.latency_cycles
+     // The architecture/clock facts netmap needs to tile and schedule a
+     // model against this point without re-deriving the sweep.
+     << ", \"macro\": {\"rows\": " << p.cfg.rows
+     << ", \"cols\": " << p.cfg.cols << ", \"mcr\": " << p.cfg.mcr
+     << ", \"input_bits\": [";
+  for (std::size_t i = 0; i < p.cfg.input_bits.size(); ++i) {
+    os << (i ? ", " : "") << p.cfg.input_bits[i];
+  }
+  os << "], \"weight_bits\": [";
+  for (std::size_t i = 0; i < p.cfg.weight_bits.size(); ++i) {
+    os << (i ? ", " : "") << p.cfg.weight_bits[i];
+  }
+  os << "], \"mac_mhz\": " << jnum(spec.mac_freq_mhz)
+     << ", \"wupdate_mhz\": " << jnum(spec.wupdate_freq_mhz)
+     << ", \"write_fmax_mhz\": " << jnum(p.ppa.write_fmax_mhz) << "}"
      << ", \"applied\": [";
   for (std::size_t i = 0; i < p.applied.size(); ++i) {
     os << (i ? ", " : "") << '"' << p.applied[i] << '"';
@@ -345,6 +361,9 @@ SweepReport run_sweep(const cell::Library& lib,
       FrontierPoint fp;
       fp.point = p;
       fp.spec_index = i;
+      // The id hashes exactly the dedup key above, so identical
+      // evaluations share an id across sweeps and thread counts.
+      fp.point_id = frontier_point_id(p.cfg, rep.per_spec[i].spec);
       merged.push_back(std::move(fp));
     }
   }
@@ -427,12 +446,23 @@ std::uint64_t SweepReport::artifact_misses() const {
   return n;
 }
 
+std::string frontier_point_id(const rtlgen::MacroConfig& cfg,
+                              const core::PerfSpec& spec) {
+  const std::string key =
+      canonical_config_key(cfg) + "|" + canonical_spec_knobs_key(spec);
+  char idbuf[17];
+  std::snprintf(idbuf, sizeof(idbuf), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(key)));
+  return idbuf;
+}
+
 std::string sweep_frontier_json(const SweepReport& r) {
   std::ostringstream os;
   os << "{\n  \"frontier\": [\n";
   for (std::size_t i = 0; i < r.frontier.size(); ++i) {
     if (i) os << ",\n";
-    point_json(os, r.frontier[i], "    ");
+    point_json(os, r.frontier[i],
+               r.per_spec[r.frontier[i].spec_index].spec, "    ");
   }
   os << "\n  ]\n}\n";
   return os.str();
@@ -479,14 +509,17 @@ std::string sweep_report_json(const SweepReport& r) {
       FrontierPoint best;
       best.point = sr.result.best(sr.spec.pref);
       best.spec_index = i;
-      point_json(os, best, "");
+      best.point_id = frontier_point_id(best.point.cfg, sr.spec);
+      point_json(os, best, sr.spec, "");
     }
     os << "}";
   }
   os << "\n  ],\n  \"frontier\": [\n";
   for (std::size_t i = 0; i < r.frontier.size(); ++i) {
     if (i) os << ",\n";
-    point_json(os, r.frontier[i], "    ", /*with_timeline=*/true);
+    point_json(os, r.frontier[i],
+               r.per_spec[r.frontier[i].spec_index].spec, "    ",
+               /*with_timeline=*/true);
   }
   os << "\n  ]\n}\n";
   return os.str();

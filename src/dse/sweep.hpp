@@ -80,6 +80,13 @@ struct SpecResult {
 struct FrontierPoint {
   core::DesignPoint point;
   std::size_t spec_index = 0;
+  /// Stable content id of (config, spec timing knobs): 16 lowercase hex
+  /// digits of FNV-1a over the canonical serializations — the same pair
+  /// the merge deduplicates on, so two frontier points share an id iff
+  /// they are the same evaluation. Survives reordering, re-sweeping and
+  /// thread-count changes; netmap allocations name the exact frontier
+  /// point they selected with it, keeping reports diffable across runs.
+  std::string point_id;
   int lint_errors = -1;
   int lint_warnings = 0;
   /// Per-point elaboration phases (rtlgen → map → lint) recorded while
@@ -121,6 +128,11 @@ struct SweepReport {
 [[nodiscard]] SweepReport run_sweep(const cell::Library& lib,
                                     const std::vector<core::PerfSpec>& specs,
                                     const SweepOptions& opt = {});
+
+/// Content id of one (config, spec) evaluation — see
+/// FrontierPoint::point_id.
+[[nodiscard]] std::string frontier_point_id(const rtlgen::MacroConfig& cfg,
+                                            const core::PerfSpec& spec);
 
 /// Deterministic JSON of the merged global frontier only (byte-identical
 /// across thread counts).

@@ -1,0 +1,72 @@
+#pragma once
+// Network-level workload description: a layer graph of GEMM-shaped NN
+// layers (convolutions after im2col, linear layers, attention
+// projections) that `src/netmap` maps onto fleets of compiled DCIM
+// macros. Models arrive as JSON ("syndcim-model" v1, see DESIGN.md
+// "Network mapping"); the ingester validates every field through the
+// shared diagnostics engine (NETMAP-* rules) instead of throwing on the
+// first defect, so one pass reports everything wrong with a model file.
+#include <string>
+#include <vector>
+
+#include "core/diag.hpp"
+
+namespace syndcim::netmap {
+
+/// How the layer was described in the model file. Every kind lowers to
+/// one weight-stationary GEMM Y[m,n] = X[m,k] * W[k,n]:
+///   conv       im2col: m = output pixels, k = kernel^2 * in_channels,
+///              n = out_channels
+///   linear     m = batch, k = in_features, n = out_features
+///   attention  the fused QKV projection of one attention block:
+///              m = seq_len, k = model_dim, n = 3 * model_dim (the
+///              activation-activation score/context matmuls are not
+///              weight-stationary and are not a DCIM macro's job)
+enum class LayerKind { kConv, kLinear, kAttention };
+
+[[nodiscard]] const char* to_string(LayerKind k);
+
+/// One layer, lowered to its GEMM. Densities are P(bit == 1) of the
+/// operand streams and scale dynamic energy (post-ReLU activations are
+/// sparse; pruned weights too).
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::kLinear;
+  long m = 1;  ///< batch / output-pixel / sequence dimension
+  long k = 1;  ///< reduction depth
+  long n = 1;  ///< output channels
+  int input_bits = 8;
+  int weight_bits = 8;
+  double input_density = 0.5;
+  double weight_density = 1.0;
+
+  /// Word-level multiply-accumulates of the whole layer.
+  [[nodiscard]] long macs() const { return m * k * n; }
+};
+
+/// A validated layer graph. Layers execute in list order (a chain — the
+/// fleet evaluator schedules them sequentially).
+struct Model {
+  std::string name = "model";
+  std::vector<Layer> layers;
+
+  [[nodiscard]] long total_macs() const;
+};
+
+/// Parses one "syndcim-model" v1 JSON document. Every defect is reported
+/// through `diag` (rules NETMAP-BADJSON, NETMAP-BADFORMAT,
+/// NETMAP-NOLAYERS, NETMAP-BADKIND, NETMAP-BADSHAPE, NETMAP-BADPRECISION,
+/// NETMAP-BADDENSITY, NETMAP-DUPLAYER; unknown members are
+/// NETMAP-UNKNOWNKEY warnings) with `source` naming the file; the
+/// returned model contains whatever parsed — callers must check
+/// `diag.has_errors()` before using it.
+[[nodiscard]] Model parse_model(const std::string& json_text,
+                                core::DiagEngine& diag,
+                                const std::string& source = "<model>");
+
+/// Reads `path` and forwards to parse_model (an unreadable file is a
+/// NETMAP-BADJSON error).
+[[nodiscard]] Model parse_model_file(const std::string& path,
+                                     core::DiagEngine& diag);
+
+}  // namespace syndcim::netmap

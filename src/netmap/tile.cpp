@@ -1,0 +1,100 @@
+#include "netmap/tile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace syndcim::netmap {
+
+TileGrid tile_layer(const Layer& layer, int rows, int cols,
+                    int weight_bits) {
+  OBS_SPAN("netmap.tile");
+  if (rows <= 0 || cols <= 0 || weight_bits <= 0) {
+    throw std::invalid_argument("tile_layer: non-positive macro dimension");
+  }
+  if (cols < weight_bits) {
+    throw std::invalid_argument(
+        "tile_layer: macro has " + std::to_string(cols) +
+        " columns, cannot hold one " + std::to_string(weight_bits) +
+        "-bit weight");
+  }
+  TileGrid g;
+  g.rows = rows;
+  g.outs_per_tile = cols / weight_bits;
+  g.k_tiles = (layer.k + rows - 1) / rows;
+  g.n_tiles = (layer.n + g.outs_per_tile - 1) / g.outs_per_tile;
+  g.tail_k = layer.k - (g.k_tiles - 1) * rows;
+  g.tail_n = layer.n - (g.n_tiles - 1) * g.outs_per_tile;
+  return g;
+}
+
+LayerSchedule schedule_layer(const Layer& layer, const TileGrid& grid,
+                             const MacroTiming& timing, int count) {
+  OBS_SPAN("netmap.schedule");
+  if (count < 1) {
+    throw std::invalid_argument("schedule_layer: count must be >= 1");
+  }
+  if (!(timing.mac_mhz > 0.0) || !(timing.wupdate_mhz > 0.0)) {
+    throw std::invalid_argument("schedule_layer: non-positive clock");
+  }
+  LayerSchedule s;
+  s.tiles = grid.tiles();
+  s.n_used = static_cast<int>(std::min<long>(count, s.tiles));
+  s.tiles_busiest = (s.tiles + s.n_used - 1) / s.n_used;
+  s.double_buffered = timing.mcr >= 2;
+
+  // Bit-serial MAC: one cycle per input bit plane plus the sign plane.
+  // Weight update: two cycles per SRAM row (address + write); tail tiles
+  // still sweep the full array, zero-filling the unused depth.
+  s.mac_cycles_per_tile =
+      layer.m * (static_cast<long>(layer.input_bits) + 1);
+  s.load_cycles_per_tile = 2L * grid.rows;
+  s.total_mac_cycles = s.tiles * s.mac_cycles_per_tile;
+  s.total_load_cycles = s.tiles * s.load_cycles_per_tile;
+
+  const double t_mac = static_cast<double>(s.mac_cycles_per_tile) /
+                       timing.mac_mhz;  // us per tile
+  const double t_load =
+      static_cast<double>(s.load_cycles_per_tile) / timing.wupdate_mhz;
+
+  // Busy time of a macro running `t` tiles. Double-buffered (MCR >= 2):
+  // the next tile's weight load into the spare bank overlaps the current
+  // tile's MAC phases — only the first load plus any per-tile load
+  // overhang is exposed. Serial (MCR == 1): every tile is load-then-MAC.
+  const auto exposed_us = [&](long t) -> double {
+    if (t <= 0) return 0.0;
+    if (s.double_buffered) {
+      return t_load +
+             (static_cast<double>(t) - 1.0) * std::max(0.0, t_load - t_mac);
+    }
+    return static_cast<double>(t) * t_load;
+  };
+  const auto busy_us = [&](long t) -> double {
+    return exposed_us(t) + static_cast<double>(t) * t_mac;
+  };
+
+  // Tiles are dealt round-robin: `extra` macros carry tiles_busiest
+  // tiles, the rest one fewer.
+  const long base = s.tiles / s.n_used;
+  const long extra = s.tiles % s.n_used;
+  const long busy_tiles = extra > 0 ? base + 1 : base;
+  const double busiest = busy_us(busy_tiles);
+  const double drain_us =
+      static_cast<double>(timing.latency_cycles) / timing.mac_mhz;
+  s.exposed_load_us = exposed_us(busy_tiles);
+  s.time_us = busiest + drain_us;
+
+  // Dead cycles: macros holding `base` tiles idle while the busiest
+  // group finishes, and every used macro drains its pipeline once.
+  const double idle_us =
+      extra > 0
+          ? static_cast<double>(s.n_used - extra) * (busiest - busy_us(base))
+          : 0.0;
+  s.dead_cycles = idle_us * timing.mac_mhz +
+                  static_cast<double>(s.n_used) * timing.latency_cycles;
+  return s;
+}
+
+}  // namespace syndcim::netmap

@@ -1,0 +1,82 @@
+#pragma once
+// GEMM-to-macro decomposition and phase scheduling. Pure arithmetic over
+// the netmap model vocabulary — no frontier/dse types, so the math is
+// unit-testable against analytic op counts in isolation:
+//
+//   tile_layer      cuts Y[m,n] = X[m,k] * W[k,n] into a k_tiles x
+//                   n_tiles grid of weight-stationary tiles; every tile
+//                   holds a rows-deep slice of the reduction for
+//                   cols/weight_bits output columns.
+//   schedule_layer  interleaves weight-update and MAC phases over the
+//                   tiles of one layer spread across `count` identical
+//                   macros, hiding weight loads behind MACs when MCR >= 2
+//                   permits double-buffering, and accounts every idle
+//                   (dead) macro cycle.
+#include "netmap/model.hpp"
+
+namespace syndcim::netmap {
+
+/// Decomposition of one layer's GEMM onto a (rows x cols) macro at a
+/// given weight precision. Tiles cover the GEMM exactly, with no
+/// overlap: k_tiles * n_tiles tiles, the last row/column of the grid
+/// carrying the (possibly partial) tails.
+struct TileGrid {
+  long rows = 0;           ///< macro reduction depth (slice height)
+  long k_tiles = 0;        ///< ceil(k / rows) reduction slices
+  long n_tiles = 0;        ///< ceil(n / outs_per_tile) output slices
+  long outs_per_tile = 0;  ///< cols / weight_bits output columns per tile
+  long tail_k = 0;         ///< reduction depth of the last k slice
+  long tail_n = 0;         ///< outputs in the last n slice
+
+  [[nodiscard]] long tiles() const { return k_tiles * n_tiles; }
+};
+
+/// Tiles `layer` onto a rows x cols macro storing `weight_bits`-bit
+/// weights. Throws std::invalid_argument when the macro cannot hold even
+/// one output column (cols < weight_bits) or dimensions are non-positive.
+[[nodiscard]] TileGrid tile_layer(const Layer& layer, int rows, int cols,
+                                  int weight_bits);
+
+/// Clock/architecture facts of one macro type, as the scheduler needs
+/// them. Frequencies are the *effective* run clocks (spec target capped
+/// at the characterized fmax).
+struct MacroTiming {
+  double mac_mhz = 0.0;
+  double wupdate_mhz = 0.0;
+  int mcr = 1;             ///< >= 2 enables weight/MAC double-buffering
+  int latency_cycles = 0;  ///< pipeline fill, drained once per macro
+};
+
+/// One layer's phase schedule across `count` macros of one type. Cycle
+/// totals are exact analytic op counts (the conservation invariants the
+/// tests check); times roll the two clock domains together.
+struct LayerSchedule {
+  long tiles = 0;
+  int n_used = 0;          ///< macros actually running: min(count, tiles)
+  long tiles_busiest = 0;  ///< ceil(tiles / n_used)
+  bool double_buffered = false;
+
+  long mac_cycles_per_tile = 0;   ///< m * (input_bits + 1) serial phases
+  long load_cycles_per_tile = 0;  ///< 2 * rows weight-update cycles
+  long total_mac_cycles = 0;      ///< tiles * mac_cycles_per_tile
+  long total_load_cycles = 0;     ///< tiles * load_cycles_per_tile
+
+  /// Weight-update time the busiest macro cannot hide behind MACs. With
+  /// double-buffering this is the first load plus any load overhang on
+  /// later tiles; without, every load is exposed.
+  double exposed_load_us = 0.0;
+  /// Layer wall time: busiest macro's phase chain + one pipeline drain.
+  double time_us = 0.0;
+  /// Idle MAC-clock cycles across the fleet: less-loaded macros waiting
+  /// for the busiest one, plus the n_used pipeline drains.
+  double dead_cycles = 0.0;
+};
+
+/// Schedules `grid`'s tiles across `count` macros. `count` must be >= 1;
+/// macros beyond `grid.tiles()` stay unused (n_used is clamped).
+[[nodiscard]] LayerSchedule schedule_layer(const Layer& layer,
+                                           const TileGrid& grid,
+                                           const MacroTiming& timing,
+                                           int count);
+
+}  // namespace syndcim::netmap

@@ -5,9 +5,16 @@
 // connection (match on `id`). See DESIGN.md for the full specification.
 //
 // Request line:
-//   {"id": <string|number>, "method": "compile"|"sweep"|"lint"|
+//   {"id": <string|number>, "method": "compile"|"sweep"|"netmap"|"lint"|
 //    "metrics"|"status"|"shutdown", "deadline_ms": <number, optional>,
 //    "params": {<string|number values>, optional}}
+//
+// `netmap` maps a layer-graph model onto a macro fleet: params.model is
+// the "syndcim-model" v1 JSON document as a string, params.frontier_json
+// optionally a persisted sweep frontier (otherwise the remaining params
+// form an inline sweep grid exactly like `sweep`), plus budget_macros /
+// budget_area_um2. The result's report_json member is byte-identical to
+// the batch `syndcim netmap --json` output for the same inputs.
 //
 // Response line:
 //   {"proto": "syndcim-serve", "version": 1, "id": "<echoed>",

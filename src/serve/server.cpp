@@ -19,6 +19,8 @@
 #include "dse/sweep.hpp"
 #include "lint/lint.hpp"
 #include "netlist/verilog_parser.hpp"
+#include "netmap/model.hpp"
+#include "netmap/netmap.hpp"
 #include "obs/obs.hpp"
 
 namespace syndcim::serve {
@@ -64,6 +66,29 @@ int kv_int(std::map<std::string, std::string>& kv, const std::string& key,
   } catch (const std::exception&) {
     throw std::invalid_argument("param '" + key + "' must be an integer");
   }
+  kv.erase(it);
+  return v;
+}
+
+double kv_double(std::map<std::string, std::string>& kv,
+                 const std::string& key, double fallback) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return fallback;
+  double v = 0;
+  try {
+    v = std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("param '" + key + "' must be a number");
+  }
+  kv.erase(it);
+  return v;
+}
+
+std::string kv_string(std::map<std::string, std::string>& kv,
+                      const std::string& key) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return "";
+  std::string v = std::move(it->second);
   kv.erase(it);
   return v;
 }
@@ -288,6 +313,7 @@ std::string Server::dispatch(const Request& req,
                              const std::shared_ptr<core::CancelToken>& token) {
   if (req.method == "compile") return handle_compile(req, token.get());
   if (req.method == "sweep") return handle_sweep(req, token.get());
+  if (req.method == "netmap") return handle_netmap(req, token.get());
   if (req.method == "lint") return handle_lint(req);
   if (req.method == "metrics") return handle_metrics();
   if (req.method == "status") return handle_status();
@@ -414,6 +440,91 @@ std::string Server::handle_sweep(const Request& req,
            << json_escape(dse::sweep_frontier_json(rep))
            << "\", \"report_json\": \""
            << json_escape(dse::sweep_report_json(rep)) << "\"}";
+        return os.str();
+      },
+      &leader, token);
+  obs::metrics()
+      .counter(leader ? "serve.singleflight.leader"
+                      : "serve.singleflight.coalesced")
+      .inc();
+  return payload;
+}
+
+std::string Server::handle_netmap(const Request& req,
+                                  const core::CancelToken* token) {
+  std::map<std::string, std::string> kv = params_to_kv(req.params);
+  const std::string model_text = kv_string(kv, "model");
+  if (model_text.empty()) {
+    throw std::invalid_argument(
+        "netmap wants params.model (syndcim-model v1 JSON as a string)");
+  }
+  const std::string frontier_text = kv_string(kv, "frontier_json");
+  int threads = kv_int(kv, "threads", opt_.sweep_threads);
+  if (threads <= 0) threads = opt_.sweep_threads;
+  netmap::NetmapOptions nopt;
+  nopt.budget.max_macros = kv_int(kv, "budget_macros", 8);
+  nopt.budget.max_area_um2 = kv_double(kv, "budget_area_um2", 0.0);
+
+  // Coalesce on everything that shapes the report; the (possibly large)
+  // model/frontier documents enter the key by content hash + length.
+  const std::string key =
+      "netmap|" + std::to_string(nopt.budget.max_macros) + "|" +
+      json_number(nopt.budget.max_area_um2) + "|m" +
+      std::to_string(dse::fnv1a64(model_text)) + ":" +
+      std::to_string(model_text.size()) + "|f" +
+      std::to_string(dse::fnv1a64(frontier_text)) + ":" +
+      std::to_string(frontier_text.size()) + "|" + kv_key(kv);
+
+  bool leader = false;
+  const std::string payload = flight_.run(
+      key,
+      [&, kv] {
+        obs::metrics().counter("serve.netmap.evaluated").inc();
+        core::DiagEngine diag;
+        const netmap::Model model =
+            netmap::parse_model(model_text, diag, "params.model");
+        if (diag.has_errors()) {
+          throw std::invalid_argument("model: " + diag.summary() + " — " +
+                                      diag.diags().front().message);
+        }
+        std::vector<netmap::MacroCandidate> cands;
+        if (!frontier_text.empty()) {
+          cands = netmap::candidates_from_frontier_json(
+              frontier_text, diag, "params.frontier_json");
+          if (diag.has_errors()) {
+            throw std::invalid_argument("frontier: " + diag.summary() +
+                                        " — " +
+                                        diag.diags().front().message);
+          }
+        } else {
+          const dse::SweepGrid grid = dse::grid_from_kv(kv);
+          dse::SweepOptions sopt;
+          sopt.threads = threads;
+          // Candidates only need the frontier points themselves; the
+          // lint annotations never reach the netmap report, so skip the
+          // sequential frontier lint.
+          sopt.lint_frontier = false;
+          sopt.shared_store = store_.get();
+          sopt.shared_eval_cache = &eval_cache_;
+          sopt.cancel = token;
+          const dse::SweepReport rep =
+              dse::run_sweep(lib_, grid.expand(), sopt);
+          if (rep.cancelled) throw core::CancelledError("netmap.sweep");
+          cands = netmap::candidates_from_frontier(rep);
+        }
+        token->check("netmap.map");
+        const netmap::NetmapResult res = netmap::run_netmap(model, cands, nopt);
+        std::ostringstream os;
+        os << "{\"layers\": " << res.layers.size()
+           << ", \"candidates\": " << res.candidates.size()
+           << ", \"fleet_macros\": " << res.fleet_macros
+           << ", \"total_time_us\": " << json_number(res.total_time_us)
+           << ", \"total_energy_pj\": " << json_number(res.total_energy_pj)
+           << ", \"utilization\": " << json_number(res.utilization)
+           << ", \"homog_valid\": " << bool_json(res.homog.valid)
+           << ", \"homog_energy_pj\": " << json_number(res.homog.energy_pj)
+           << ", \"report_json\": \""
+           << json_escape(netmap::netmap_report_json(res)) << "\"}";
         return os.str();
       },
       &leader, token);

@@ -126,6 +126,8 @@ class Server {
   std::string handle_compile(const Request& req,
                              const core::CancelToken* token);
   std::string handle_sweep(const Request& req, const core::CancelToken* token);
+  std::string handle_netmap(const Request& req,
+                            const core::CancelToken* token);
   std::string handle_lint(const Request& req);
   std::string handle_metrics();
   std::string handle_status();

@@ -17,7 +17,10 @@
 #include "cell/characterize.hpp"
 #include "core/artifact_cache.hpp"
 #include "core/cancel.hpp"
+#include "core/diag.hpp"
 #include "dse/sweep.hpp"
+#include "netmap/model.hpp"
+#include "netmap/netmap.hpp"
 #include "obs/obs.hpp"
 #include "serve/client.hpp"
 #include "serve/json.hpp"
@@ -547,6 +550,96 @@ TEST(ServeDaemon, ShutdownRequestDrainsGracefully) {
   serve::Client client;
   std::string err;
   EXPECT_FALSE(client.connect("127.0.0.1", server->port(), &err));
+}
+
+/// The two-layer model the netmap serve tests ship (4-bit to match
+/// small_sweep_params' candidate pool).
+constexpr const char* kModelDoc = R"({
+  "format": "syndcim-model", "version": 1, "name": "serve_model",
+  "layers": [
+    {"name": "a", "kind": "linear", "batch": 16, "in_features": 100,
+     "out_features": 12, "input_bits": 4, "weight_bits": 4},
+    {"name": "b", "kind": "linear", "batch": 16, "in_features": 12,
+     "out_features": 4, "input_bits": 4, "weight_bits": 4}
+  ]})";
+
+TEST(ServeDaemon, NetmapMatchesBatchByteForByte) {
+  auto server = start_server();
+  std::map<std::string, std::string> params = small_sweep_params();
+  params["budget_macros"] = "2";
+  serve::Client client;
+  std::string err;
+  ASSERT_TRUE(client.connect("127.0.0.1", server->port(), &err)) << err;
+  serve::ClientResponse resp;
+  ASSERT_TRUE(
+      client.call_extra("netmap", params, "model", kModelDoc, 0, &resp, &err))
+      << err;
+  ASSERT_TRUE(resp.ok) << resp.raw;
+  const serve::JsonValue* report = resp.result.find("report_json");
+  ASSERT_NE(report, nullptr);
+  EXPECT_NE(resp.result.find("total_energy_pj"), nullptr);
+
+  // The batch reference: private store/cache, default threading, inline
+  // sweep with the frontier lint skipped — exactly the CLI's path. The
+  // served report must not depend on any of the daemon's sharing.
+  core::DiagEngine diag;
+  const netmap::Model model = netmap::parse_model(kModelDoc, diag);
+  ASSERT_FALSE(diag.has_errors()) << diag.summary();
+  dse::SweepOptions sopt;
+  sopt.lint_frontier = false;
+  const dse::SweepReport rep = dse::run_sweep(
+      test_library(), dse::grid_from_kv(small_sweep_params()).expand(), sopt);
+  netmap::NetmapOptions nopt;
+  nopt.budget.max_macros = 2;
+  const netmap::NetmapResult res =
+      netmap::run_netmap(model, netmap::candidates_from_frontier(rep), nopt);
+  EXPECT_EQ(report->as_string(), netmap::netmap_report_json(res));
+
+  // A missing model param is a 400, not a crash.
+  const serve::ClientResponse missing =
+      call(server->port(), "netmap", small_sweep_params());
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(missing.code, serve::kErrBadRequest);
+  server->drain();
+}
+
+TEST(ServeDaemon, MultiplexClientMatchesOutOfOrderResponses) {
+  serve::ServerOptions opt;
+  opt.workers = 2;  // the slow and fast requests run concurrently
+  auto server = start_server(opt);
+  serve::MultiplexClient mc;
+  std::string err;
+  ASSERT_TRUE(mc.connect("127.0.0.1", server->port(), &err)) << err;
+
+  // Slow request first (a netmap with an inline sweep), then a burst of
+  // fast ones: their responses overtake the netmap's on the shared
+  // connection, and wait() must pair every line with its request id.
+  std::map<std::string, std::string> params = small_sweep_params();
+  params["budget_macros"] = "2";
+  const std::string slow =
+      mc.send("netmap", params, "model", kModelDoc, 0, &err);
+  ASSERT_FALSE(slow.empty()) << err;
+  std::vector<std::string> fast_ids;
+  for (int i = 0; i < 3; ++i) {
+    const std::string id = mc.send("status", {}, "", "", 0, &err);
+    ASSERT_FALSE(id.empty()) << err;
+    fast_ids.push_back(id);
+  }
+  // The fast responses resolve while the slow request is still running.
+  for (const std::string& id : fast_ids) {
+    serve::ClientResponse r;
+    ASSERT_TRUE(mc.wait(id, &r, &err)) << err;
+    EXPECT_TRUE(r.ok) << r.raw;
+    EXPECT_EQ(r.id, id);
+    EXPECT_NE(r.result.find("requests_total"), nullptr);
+  }
+  serve::ClientResponse sr;
+  ASSERT_TRUE(mc.wait(slow, &sr, &err)) << err;
+  EXPECT_TRUE(sr.ok) << sr.raw;
+  EXPECT_EQ(sr.id, slow);
+  EXPECT_NE(sr.result.find("report_json"), nullptr);
+  mc.close();
+  server->drain();
 }
 
 }  // namespace

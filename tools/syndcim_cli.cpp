@@ -10,6 +10,9 @@
 //           [sweep_bits=...] [sweep_pref=...] [--threads N]
 //           [--cache FILE] [--no-cache] [--json FILE]
 //           [--frontier-json FILE]
+//   syndcim netmap --model model.json [--frontier-json FILE |
+//           base spec keys + sweep_* grid keys] [--budget-macros N]
+//           [--budget-area UM2] [--threads N] [--json FILE]
 //   syndcim lint <netlist.v> [--top NAME] [--lib FILE] [--json FILE]
 //           [--write-clock PORT]
 //   syndcim serve [--port N] [--workers N] [--queue-cap N] ...
@@ -52,6 +55,8 @@
 #include "dse/sweep.hpp"
 #include "lint/lint.hpp"
 #include "netlist/verilog_parser.hpp"
+#include "netmap/model.hpp"
+#include "netmap/netmap.hpp"
 #include "obs/obs.hpp"
 #include "serve/server.hpp"
 #include "serve/signals.hpp"
@@ -122,6 +127,30 @@ void usage_sweep(std::ostream& os) {
      << "  exit status: 0 any spec feasible, 1 none feasible, 2 usage/IO\n";
 }
 
+void usage_netmap(std::ostream& os) {
+  os << "usage: syndcim netmap --model FILE\n"
+        "               [--frontier-json FILE | [--spec FILE]\n"
+        "               [key=value ...] [sweep_* grid keys]]\n"
+        "               [--budget-macros N] [--budget-area UM2]\n"
+        "               [--threads N] [--cache FILE] [--no-cache]\n"
+        "               [--json FILE] [common options]\n"
+        "  options:\n"
+        "    --model FILE      syndcim-model v1 layer-graph JSON (required)\n"
+        "    --frontier-json FILE  reuse a persisted `syndcim sweep\n"
+        "                      --frontier-json` pool instead of sweeping\n"
+        "    key=value / sweep_*   inline sweep grid (same keys as\n"
+        "                      `syndcim sweep`) when no frontier file\n"
+        "    --budget-macros N total owned macros across types (default 8)\n"
+        "    --budget-area UM2 total owned silicon budget (default: none)\n"
+        "    --threads N       inline-sweep worker threads\n"
+        "    --cache FILE      warm-start/persist the evaluation cache\n"
+        "    --no-cache        disable evaluation memoization\n"
+        "    --json FILE       syndcim-netmap v1 report (default: stdout)\n"
+     << kCommonOptions
+     << "  exit status: 0 mapped, 1 model/frontier/mapping errors,\n"
+        "               2 usage/IO\n";
+}
+
 void usage_lint(std::ostream& os) {
   os << "usage: syndcim lint <netlist.v> [--top NAME] [--lib FILE]\n"
         "               [--json FILE] [--write-clock PORT]\n"
@@ -169,6 +198,7 @@ void usage_global(std::ostream& os) {
         "    compile (default)  spec -> search -> implementation ->\n"
         "                       artifact bundle\n"
         "    sweep              parallel multi-spec grid exploration\n"
+        "    netmap             map a NN model onto a macro fleet\n"
         "    lint               static netlist checks\n"
         "    serve              multi-tenant compile daemon (NDJSON/TCP)\n"
         "    --version          print build version and git commit\n"
@@ -329,6 +359,177 @@ int run_sweep_command(const Args& args) {
     return 128 + serve::shutdown_signal();
   }
   return any_feasible ? 0 : 1;
+}
+
+/// `syndcim netmap`: map a layer-graph model onto a heterogeneous macro
+/// fleet. The candidate pool comes from a persisted frontier JSON or an
+/// inline sweep (same grid keys as `syndcim sweep`); the report JSON is
+/// byte-identical to what the serve daemon's `netmap` method returns for
+/// the same inputs.
+int run_netmap_command(const Args& args) {
+  std::map<std::string, std::string> kv;
+  dse::SweepOptions sopt;
+  netmap::NetmapOptions nopt;
+  std::string model_path, frontier_path, json_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto int_arg = [&](const char* name, auto* out) -> bool {
+      if (i + 1 >= args.size()) {
+        std::cerr << "error: " << name << " wants a value\n";
+        return false;
+      }
+      try {
+        *out = static_cast<std::remove_pointer_t<decltype(out)>>(
+            std::stod(args[++i]));
+      } catch (const std::exception&) {
+        std::cerr << "error: " << name << " wants a number, got '" << args[i]
+                  << "'\n";
+        return false;
+      }
+      return true;
+    };
+    if (a == "--help" || a == "-h") {
+      usage_netmap(std::cout);
+      return 0;
+    } else if (a == "--model" && i + 1 < args.size()) {
+      model_path = args[++i];
+    } else if (a == "--frontier-json" && i + 1 < args.size()) {
+      frontier_path = args[++i];
+    } else if (a == "--budget-macros") {
+      if (!int_arg("--budget-macros", &nopt.budget.max_macros)) return 2;
+    } else if (a == "--budget-area") {
+      if (!int_arg("--budget-area", &nopt.budget.max_area_um2)) return 2;
+    } else if (a == "--threads") {
+      if (!int_arg("--threads", &sopt.threads)) return 2;
+    } else if (a == "--spec" && i + 1 < args.size()) {
+      try {
+        read_spec_file(args[++i], kv);
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
+    } else if (a == "--cache" && i + 1 < args.size()) {
+      sopt.cache_path = args[++i];
+    } else if (a == "--no-cache") {
+      sopt.use_cache = false;
+    } else if (a == "--json" && i + 1 < args.size()) {
+      json_path = args[++i];
+    } else if (a.find('=') != std::string::npos) {
+      const auto eq = a.find('=');
+      kv[a.substr(0, eq)] = a.substr(eq + 1);
+    } else {
+      std::cerr << "unknown netmap argument: " << a << "\n";
+      usage_netmap(std::cerr);
+      return 2;
+    }
+  }
+  if (model_path.empty()) {
+    std::cerr << "error: netmap wants --model FILE\n";
+    usage_netmap(std::cerr);
+    return 2;
+  }
+
+  core::DiagEngine diag;
+  const netmap::Model model = netmap::parse_model_file(model_path, diag);
+  if (diag.has_errors()) {
+    diag.print(std::cerr);
+    std::cerr << model_path << ": " << diag.summary() << "\n";
+    return 1;
+  }
+  std::cerr << "model: " << model.name << ", " << model.layers.size()
+            << " layers, " << model.total_macs() << " MACs\n";
+
+  std::vector<netmap::MacroCandidate> cands;
+  if (!frontier_path.empty()) {
+    std::ifstream ff(frontier_path);
+    if (!ff) {
+      std::cerr << "error: cannot open " << frontier_path << "\n";
+      return 2;
+    }
+    std::ostringstream fs;
+    fs << ff.rdbuf();
+    cands = netmap::candidates_from_frontier_json(fs.str(), diag,
+                                                  frontier_path);
+    if (diag.has_errors()) {
+      diag.print(std::cerr);
+      std::cerr << frontier_path << ": " << diag.summary() << "\n";
+      return 1;
+    }
+  } else {
+    const dse::SweepGrid grid = dse::grid_from_kv(std::move(kv));
+    const std::vector<core::PerfSpec> specs = grid.expand();
+    // Candidates only need the frontier points themselves — the lint
+    // annotations never reach the netmap report (this also keeps the
+    // report byte-identical to the serve daemon's, which skips the
+    // frontier lint for the same reason).
+    sopt.lint_frontier = false;
+    sopt.cancel = &serve::interrupt_token();
+    std::cerr << "sweep: " << specs.size() << " spec points for the "
+              << "candidate pool\n";
+    const auto lib =
+        cell::characterize_default_library(tech::make_default_40nm());
+    const dse::SweepReport rep = dse::run_sweep(lib, specs, sopt);
+    if (rep.cancelled && serve::shutdown_signal() != 0) {
+      std::cerr << "netmap interrupted (signal " << serve::shutdown_signal()
+                << ")\n";
+      return 128 + serve::shutdown_signal();
+    }
+    cands = netmap::candidates_from_frontier(rep);
+  }
+  std::cerr << "candidates: " << cands.size() << " frontier macro types\n";
+
+  netmap::NetmapResult res;
+  try {
+    res = netmap::run_netmap(model, cands, nopt);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  // Human summary: one row per layer, then the fleet + homog baseline.
+  core::TextTable t({"layer", "kind", "macro", "count", "tiles", "time_us",
+                     "energy_pj", "util_%"});
+  for (const netmap::LayerAssignment& la : res.layers) {
+    const netmap::Layer& l = res.model.layers[la.layer_index];
+    const netmap::MacroCandidate& c = res.candidates[la.candidate_index];
+    t.add_row({l.name, netmap::to_string(l.kind), c.label,
+               std::to_string(la.count), std::to_string(la.grid.tiles()),
+               core::TextTable::num(la.time_us, 2),
+               core::TextTable::num(la.energy_pj(), 1),
+               core::TextTable::num(100.0 * la.utilization, 1)});
+  }
+  t.print(std::cerr);
+  std::cerr << "fleet: " << res.fleet_macros << " macros across "
+            << res.fleet.size() << " types, "
+            << core::TextTable::num(res.fleet_area_um2, 0) << " um^2\n"
+            << "total: " << core::TextTable::num(res.total_time_us, 2)
+            << " us, " << core::TextTable::num(res.total_energy_pj, 1)
+            << " pJ, utilization "
+            << core::TextTable::num(100.0 * res.utilization, 1) << "%\n";
+  if (res.homog.valid) {
+    const netmap::MacroCandidate& h = res.candidates[res.homog.candidate_index];
+    std::cerr << "homog baseline: " << h.label << " x" << res.homog.count
+              << ", " << core::TextTable::num(res.homog.time_us, 2) << " us, "
+              << core::TextTable::num(res.homog.energy_pj, 1) << " pJ"
+              << (res.fallback_homog ? " (adopted: budget too tight for a "
+                                       "heterogeneous fleet)"
+                                     : "")
+              << "\n";
+  }
+
+  const std::string report = netmap::netmap_report_json(res);
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    if (!f) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 2;
+    }
+    f << report;
+    std::cerr << "wrote " << json_path << "\n";
+  } else {
+    std::cout << report;
+  }
+  return 0;
 }
 
 /// `syndcim lint`: static netlist checks with no implementation flow.
@@ -674,6 +875,8 @@ int main(int argc, char** argv) {
       rc = run_lint_command({args.begin() + 1, args.end()});
     } else if (!args.empty() && args[0] == "sweep") {
       rc = run_sweep_command({args.begin() + 1, args.end()});
+    } else if (!args.empty() && args[0] == "netmap") {
+      rc = run_netmap_command({args.begin() + 1, args.end()});
     } else if (!args.empty() && args[0] == "serve") {
       rc = run_serve_command({args.begin() + 1, args.end()}, trace_path,
                              metrics_path);
