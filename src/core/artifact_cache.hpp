@@ -1,6 +1,7 @@
 #pragma once
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -8,6 +9,9 @@
 #include <string_view>
 #include <unordered_map>
 #include <utility>
+#include <vector>
+
+#include "core/blob_store.hpp"
 
 // Header-only, dependency-free: included from netlist/power/layout as well
 // as core, without adding link edges between those libraries.
@@ -79,9 +83,19 @@ struct ArtifactTierStats {
   std::size_t entries = 0;
   /// Entries dropped by the LRU capacity bound (0 on unbounded tiers).
   std::uint64_t evicted = 0;
-  /// Approximate resident bytes (shallow: sizeof(T) + key length per
-  /// entry; deep payload sizes are not tracked).
+  /// Approximate resident bytes: sizeof(T) + key length per entry, plus
+  /// the payload's deep heap footprint when a deep_bytes hook is
+  /// installed (see set_deep_bytes) — with the hook, --cache-cap-bytes
+  /// bounds real memory, not struct shells.
   std::size_t bytes = 0;
+  // --- L2 (durable blob store) traffic, zero when no L2 is attached ---
+  std::uint64_t l2_hits = 0;    ///< L1 misses served by decoding from L2
+  std::uint64_t l2_misses = 0;  ///< absent from both layers
+  std::uint64_t l2_writes = 0;  ///< dirty entries encoded and stored
+  std::uint64_t l2_write_fails = 0;
+  /// L2 payloads that decoded unsuccessfully (foreign codec version);
+  /// distinct from the blob store's own corrupt-object counters.
+  std::uint64_t l2_rejects = 0;
   [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
 };
 
@@ -97,22 +111,43 @@ struct ArtifactTierStats {
 /// which the least-recently-touched entries are evicted past either cap.
 /// Eviction only drops the cache's reference — readers holding the
 /// shared_ptr keep their artifact alive, so a hit can never dangle.
+///
+/// Layered persistence: `attach_l2` plugs a durable BlobStore underneath
+/// as L2, with a per-type binary codec. Lookups read through (an L1 miss
+/// decodes the L2 object and installs it clean), inserts are write-back
+/// (marked dirty, encoded to L2 by `flush_l2` — the drain/end-of-run
+/// flush — or when LRU eviction would otherwise lose them). A decode
+/// failure counts as a miss and falls back to recomputing, so a stale or
+/// foreign store degrades to cold, never to wrong.
 template <typename T>
 class ArtifactCache {
  public:
+  using DeepBytesFn = std::function<std::size_t(const T&)>;
+  using EncodeFn = std::function<std::string(const T&)>;
+  /// nullptr = malformed payload (the L2 entry is treated as a miss).
+  using DecodeFn =
+      std::function<std::shared_ptr<const T>(std::string_view)>;
+
   explicit ArtifactCache(std::string name) : name_(std::move(name)) {}
 
   [[nodiscard]] std::shared_ptr<const T> find(const std::string& key) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (!enabled_) return nullptr;
-    const auto it = map_.find(key);
-    if (it == map_.end()) {
-      ++misses_;
-      return nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!enabled_) return nullptr;
+      const auto it = map_.find(key);
+      if (it != map_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        return it->second.value;
+      }
+      if (l2_ == nullptr) {
+        ++misses_;
+        return nullptr;
+      }
     }
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second.lru);
-    return it->second.value;
+    // L2 read-through, off-lock: disk I/O and decoding must not serialize
+    // the other workers' L1 hits.
+    return find_l2(key);
   }
 
   /// Stores `value` (first writer wins) and returns the stored artifact.
@@ -120,16 +155,7 @@ class ArtifactCache {
     auto sp = std::make_shared<const T>(std::move(value));
     const std::lock_guard<std::mutex> lock(mu_);
     if (!enabled_) return sp;
-    const auto it = map_.find(key);
-    if (it != map_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second.lru);
-      return it->second.value;
-    }
-    lru_.push_front(key);
-    map_.emplace(key, Slot{sp, lru_.begin()});
-    bytes_ += entry_bytes(key);
-    evict_over_capacity();
-    return sp;
+    return install(key, std::move(sp), /*dirty=*/l2_ != nullptr);
   }
 
   template <typename Fn>
@@ -147,6 +173,67 @@ class ArtifactCache {
     return enabled_;
   }
 
+  /// Installs the deep-payload-bytes hook used by the byte accounting
+  /// (and therefore the --cache-cap-bytes LRU bound). Applies to entries
+  /// inserted after the call; install before populating.
+  void set_deep_bytes(DeepBytesFn fn) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    deep_bytes_ = std::move(fn);
+  }
+
+  /// Attaches the durable L2 under this tier. `store` must outlive the
+  /// cache (or a detach_l2 call); the codec pair must round-trip values
+  /// bit-exactly. Not owned.
+  void attach_l2(BlobStore* store, EncodeFn encode, DecodeFn decode) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    l2_ = store;
+    l2_encode_ = std::move(encode);
+    l2_decode_ = std::move(decode);
+  }
+  void detach_l2() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    l2_ = nullptr;
+    l2_encode_ = nullptr;
+    l2_decode_ = nullptr;
+  }
+  [[nodiscard]] bool has_l2() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return l2_ != nullptr;
+  }
+
+  /// Write-back flush: encodes every dirty entry into L2 and marks it
+  /// clean. Returns the number of entries written. Encoding runs off-lock
+  /// from a snapshot (entries are immutable), so lookups keep flowing
+  /// while a drain flushes.
+  std::size_t flush_l2() {
+    std::vector<std::pair<std::string, std::shared_ptr<const T>>> dirty;
+    BlobStore* l2 = nullptr;
+    EncodeFn encode;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (l2_ == nullptr) return 0;
+      l2 = l2_;
+      encode = l2_encode_;
+      for (auto& [key, slot] : map_) {
+        if (slot.dirty) dirty.emplace_back(key, slot.value);
+      }
+    }
+    std::size_t written = 0;
+    for (auto& [key, value] : dirty) {
+      const bool ok = l2->put(name_, key, encode(*value));
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (ok) {
+        ++l2_writes_;
+        ++written;
+        const auto it = map_.find(key);
+        if (it != map_.end()) it->second.dirty = false;
+      } else {
+        ++l2_write_fails_;
+      }
+    }
+    return written;
+  }
+
   /// Bounds the tier: at most `max_entries` entries / `max_bytes`
   /// approximate bytes (0 = unlimited for either knob). Applies
   /// immediately — a shrinking cap evicts the LRU tail on the spot.
@@ -159,7 +246,19 @@ class ArtifactCache {
 
   [[nodiscard]] ArtifactTierStats stats() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return {name_, hits_, misses_, map_.size(), evicted_, bytes_};
+    ArtifactTierStats s;
+    s.name = name_;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries = map_.size();
+    s.evicted = evicted_;
+    s.bytes = bytes_;
+    s.l2_hits = l2_hits_;
+    s.l2_misses = l2_misses_;
+    s.l2_writes = l2_writes_;
+    s.l2_write_fails = l2_write_fails_;
+    s.l2_rejects = l2_rejects_;
+    return s;
   }
 
   void clear() {
@@ -167,6 +266,7 @@ class ArtifactCache {
     map_.clear();
     lru_.clear();
     hits_ = misses_ = evicted_ = 0;
+    l2_hits_ = l2_misses_ = l2_writes_ = l2_write_fails_ = l2_rejects_ = 0;
     bytes_ = 0;
   }
 
@@ -174,24 +274,80 @@ class ArtifactCache {
   struct Slot {
     std::shared_ptr<const T> value;
     std::list<std::string>::iterator lru;
+    std::size_t bytes = 0;  ///< this entry's accounted footprint
+    bool dirty = false;     ///< inserted since the last L2 flush
   };
 
-  /// Shallow per-entry footprint: the payload's own size plus the key
-  /// stored twice (map node and LRU list node). Deep container payloads
-  /// are not walked — the byte cap is an order-of-magnitude bound, the
-  /// entry cap the precise one.
-  static std::size_t entry_bytes(const std::string& key) {
-    return sizeof(T) + sizeof(Slot) + 2 * key.size();
+  /// Per-entry footprint: the payload shell plus the key stored twice
+  /// (map node and LRU list node), plus the deep payload bytes when the
+  /// hook is installed.
+  std::size_t entry_bytes(const std::string& key, const T& value) const {
+    std::size_t n = sizeof(T) + sizeof(Slot) + 2 * key.size();
+    if (deep_bytes_) n += deep_bytes_(value);
+    return n;
   }
 
-  /// Drops LRU-tail entries until both caps hold. Caller holds mu_.
+  /// Inserts under mu_ (first writer wins); shared by put and the L2
+  /// read-through install.
+  std::shared_ptr<const T> install(const std::string& key,
+                                   std::shared_ptr<const T> sp, bool dirty) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      return it->second.value;
+    }
+    lru_.push_front(key);
+    Slot slot{std::move(sp), lru_.begin(), 0, dirty};
+    slot.bytes = entry_bytes(key, *slot.value);
+    bytes_ += slot.bytes;
+    auto out = slot.value;
+    map_.emplace(key, std::move(slot));
+    evict_over_capacity();
+    return out;
+  }
+
+  std::shared_ptr<const T> find_l2(const std::string& key) {
+    const auto payload = l2_->get(name_, key);
+    if (!payload.has_value()) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++misses_;
+      ++l2_misses_;
+      return nullptr;
+    }
+    std::shared_ptr<const T> sp = l2_decode_(*payload);
+    if (sp == nullptr) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++misses_;
+      ++l2_misses_;
+      ++l2_rejects_;
+      return nullptr;
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++hits_;
+    ++l2_hits_;
+    // Clean install: the object is already durable, a flush must not
+    // rewrite it.
+    return install(key, std::move(sp), /*dirty=*/false);
+  }
+
+  /// Drops LRU-tail entries until both caps hold. Caller holds mu_. A
+  /// dirty victim is flushed to L2 first — write-back eviction — so a
+  /// bounded daemon never silently loses an unfetched artifact.
   void evict_over_capacity() {
     while (!lru_.empty() &&
            ((max_entries_ > 0 && map_.size() > max_entries_) ||
             (max_bytes_ > 0 && bytes_ > max_bytes_ && map_.size() > 1))) {
       const std::string& victim = lru_.back();
-      bytes_ -= entry_bytes(victim);
-      map_.erase(victim);
+      const auto it = map_.find(victim);
+      if (it->second.dirty && l2_ != nullptr) {
+        if (l2_->put(name_, victim, l2_encode_(*it->second.value))) {
+          ++l2_writes_;
+        } else {
+          ++l2_write_fails_;
+        }
+      }
+      bytes_ -= it->second.bytes;
+      map_.erase(it);
       lru_.pop_back();
       ++evicted_;
     }
@@ -203,9 +359,18 @@ class ArtifactCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evicted_ = 0;
+  std::uint64_t l2_hits_ = 0;
+  std::uint64_t l2_misses_ = 0;
+  std::uint64_t l2_writes_ = 0;
+  std::uint64_t l2_write_fails_ = 0;
+  std::uint64_t l2_rejects_ = 0;
   std::size_t bytes_ = 0;
   std::size_t max_entries_ = 0;  ///< 0 = unlimited
   std::size_t max_bytes_ = 0;    ///< 0 = unlimited
+  DeepBytesFn deep_bytes_;
+  BlobStore* l2_ = nullptr;  ///< not owned; see attach_l2
+  EncodeFn l2_encode_;
+  DecodeFn l2_decode_;
   std::unordered_map<std::string, Slot> map_;
   std::list<std::string> lru_;  ///< front = most recently touched
 };

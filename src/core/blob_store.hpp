@@ -1,0 +1,39 @@
+#pragma once
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+// Header-only, dependency-free (like artifact_cache.hpp): the L2 blob
+// layer is referenced from the netlist/power/layout tiers without adding
+// link edges between those libraries.
+
+namespace syndcim::core {
+
+/// Abstract durable byte store under the in-memory artifact tiers:
+/// ArtifactCache<T> is L1 (decoded, shared_ptr hits), a BlobStore is L2
+/// (encoded payloads keyed by (tier, content key)). Implementations must
+/// be safe to call from many threads — and, for the on-disk store, from
+/// many *processes* sharing one directory (the sharded-sweep contract).
+///
+/// Semantics are content-addressed: a key is a pure function of the
+/// payload's inputs, so two writers racing on one key write identical
+/// bytes and either winner is correct. `get` returning nullopt means
+/// "not present or not trustworthy" — corrupt objects are skipped, never
+/// surfaced.
+class BlobStore {
+ public:
+  virtual ~BlobStore() = default;
+
+  /// Verified payload bytes for (tier, key), or nullopt on miss/corrupt.
+  [[nodiscard]] virtual std::optional<std::string> get(
+      const std::string& tier, const std::string& key) = 0;
+
+  /// Durably stores payload under (tier, key); false on write failure
+  /// (the caller keeps its L1 entry either way — persistence is an
+  /// optimization, never a correctness dependency).
+  virtual bool put(const std::string& tier, const std::string& key,
+                   std::string_view payload) = 0;
+};
+
+}  // namespace syndcim::core

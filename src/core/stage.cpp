@@ -2,10 +2,33 @@
 
 #include <sstream>
 
+#include "core/artifact_codec.hpp"
+
 namespace syndcim::core {
 
 void replay_diags(const std::vector<Diagnostic>& diags, DiagEngine& sink) {
   for (const Diagnostic& d : diags) sink.report(d);
+}
+
+ArtifactStore::ArtifactStore() { install_deep_bytes(*this); }
+
+void ArtifactStore::attach_blob_store(BlobStore* l2) {
+  core::attach_blob_store(*this, l2);
+}
+
+std::size_t ArtifactStore::flush_l2() {
+  std::size_t n = 0;
+  n += modules.flush_l2();
+  n += blocks.flush_l2();
+  n += flats.flush_l2();
+  n += activity.flush_l2();
+  n += lints.flush_l2();
+  n += placed.flush_l2();
+  n += routes.flush_l2();
+  n += timings.flush_l2();
+  n += powers.flush_l2();
+  n += act_models.flush_l2();
+  return n;
 }
 
 void ArtifactStore::set_enabled(bool on) {
@@ -76,7 +99,11 @@ std::string ArtifactStore::stats_json() const {
     os << "{\"name\": \"" << json_escape_string(t.name)
        << "\", \"hits\": " << t.hits << ", \"misses\": " << t.misses
        << ", \"entries\": " << t.entries << ", \"evicted\": " << t.evicted
-       << ", \"bytes\": " << t.bytes << "}";
+       << ", \"bytes\": " << t.bytes << ", \"l2_hits\": " << t.l2_hits
+       << ", \"l2_misses\": " << t.l2_misses
+       << ", \"l2_writes\": " << t.l2_writes
+       << ", \"l2_write_fails\": " << t.l2_write_fails
+       << ", \"l2_rejects\": " << t.l2_rejects << "}";
   }
   os << "]}";
   return os.str();
@@ -91,6 +118,8 @@ void ArtifactStore::publish_metrics(const std::string& prefix) const {
     reg.gauge(base + ".misses").set(static_cast<double>(t.misses));
     reg.gauge(base + ".entries").set(static_cast<double>(t.entries));
     reg.gauge(base + ".evicted").set(static_cast<double>(t.evicted));
+    reg.gauge(base + ".l2_hits").set(static_cast<double>(t.l2_hits));
+    reg.gauge(base + ".l2_writes").set(static_cast<double>(t.l2_writes));
   }
   reg.gauge(prefix + ".evicted").set(static_cast<double>(total_evicted()));
 }

@@ -88,6 +88,11 @@ void replay_diags(const std::vector<Diagnostic>& diags, DiagEngine& sink);
 /// silent bypass: the cold reference path runs the exact same code, which
 /// is what makes cold-vs-warm byte-identity testable.
 struct ArtifactStore {
+  /// Installs the deep-payload-bytes accounting hooks on every tier
+  /// (see artifact_codec.hpp), so byte caps bound real memory from the
+  /// first insert.
+  ArtifactStore();
+
   rtlgen::ModuleCache modules{"modules"};
   netlist::FlatBlockCache blocks{"blocks"};
   ArtifactCache<netlist::FlatNetlist> flats{"flats"};
@@ -109,6 +114,17 @@ struct ArtifactStore {
   /// long-running daemon's resident artifact set finite. Totals are per
   /// tier, not across the store.
   void set_capacity(std::size_t max_entries, std::size_t max_bytes = 0);
+
+  /// Attaches `l2` (e.g. a DiskBlobStore) as the durable layer under all
+  /// ten tiers, wiring each tier's binary codec; nullptr detaches. With
+  /// an L2 attached, lookups read through on L1 miss and inserts are
+  /// written back by flush_l2() or on eviction. `l2` is not owned.
+  void attach_blob_store(BlobStore* l2);
+
+  /// Encodes every dirty entry of every tier into the attached L2 and
+  /// returns how many objects were written (0 when no L2 is attached).
+  /// Called by the daemon's drain and at the end of batch runs.
+  std::size_t flush_l2();
 
   /// Per-tier snapshots, in declaration order.
   [[nodiscard]] std::vector<ArtifactTierStats> stats() const;

@@ -10,6 +10,8 @@
 #include <unordered_set>
 
 #include "core/diag.hpp"
+#include "core/diskstore.hpp"
+#include "dse/shard.hpp"
 #include "lint/lint.hpp"
 #include "obs/obs.hpp"
 #include "netlist/stitch.hpp"
@@ -91,6 +93,11 @@ std::vector<core::ArtifactTierStats> tier_deltas(
     after[i].hits -= before[i].hits;
     after[i].misses -= before[i].misses;
     after[i].evicted -= before[i].evicted;
+    after[i].l2_hits -= before[i].l2_hits;
+    after[i].l2_misses -= before[i].l2_misses;
+    after[i].l2_writes -= before[i].l2_writes;
+    after[i].l2_write_fails -= before[i].l2_write_fails;
+    after[i].l2_rejects -= before[i].l2_rejects;
   }
   return after;
 }
@@ -286,9 +293,21 @@ SweepReport run_sweep(const cell::Library& lib,
       opt.use_cache ? static_cast<core::EvalBackend&>(cached) : raw;
   core::MsoSearcher searcher(backend);
 
+  // Durable L2 under the private artifact store: a second sweep over the
+  // same grid starts warm, and concurrent shard processes share the
+  // directory as their common cache. A caller-owned store keeps whatever
+  // persistence its owner wired.
+  std::unique_ptr<core::DiskBlobStore> disk;
+  if (!opt.store_dir.empty() && opt.shared_store == nullptr) {
+    disk = std::make_unique<core::DiskBlobStore>(opt.store_dir);
+    store->attach_blob_store(disk.get());
+  }
+
   // Enumerate every (spec, trajectory) task up front; seeds are cheap.
   // Results land in preallocated slots so the merge below is independent
-  // of the execution schedule.
+  // of the execution schedule. Under --shard i/N only the owned specs
+  // get tasks; the others keep empty slots (and empty per-spec results),
+  // preserving global spec indices for the byte-identical merge.
   struct Task {
     std::size_t spec_idx;
     std::size_t traj_idx;
@@ -297,6 +316,7 @@ SweepReport run_sweep(const cell::Library& lib,
   std::vector<Task> tasks;
   std::vector<std::vector<core::SearchResult>> slots(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (!shard_owns(i, opt.shard_index, opt.shard_count)) continue;
     auto seeds = core::MsoSearcher::trajectory_seeds(specs[i]);
     slots[i].resize(seeds.size());
     for (std::size_t j = 0; j < seeds.size(); ++j) {
@@ -347,27 +367,9 @@ SweepReport run_sweep(const cell::Library& lib,
     rep.per_spec.push_back(std::move(sr));
   }
 
-  // Global reduction: merge the shard fronts, dropping duplicate
-  // (config, timing-knob) evaluations (specs differing only in PPA
-  // preference explore identical points), then re-filter dominance over
-  // the union.
-  std::vector<FrontierPoint> merged;
-  std::unordered_set<std::string> seen;
-  for (std::size_t i = 0; i < rep.per_spec.size(); ++i) {
-    for (const core::DesignPoint& p : rep.per_spec[i].result.pareto) {
-      const std::string key = canonical_config_key(p.cfg) + "|" +
-                              canonical_spec_knobs_key(rep.per_spec[i].spec);
-      if (!seen.insert(key).second) continue;
-      FrontierPoint fp;
-      fp.point = p;
-      fp.spec_index = i;
-      // The id hashes exactly the dedup key above, so identical
-      // evaluations share an id across sweeps and thread counts.
-      fp.point_id = frontier_point_id(p.cfg, rep.per_spec[i].spec);
-      merged.push_back(std::move(fp));
-    }
-  }
-  rep.frontier = global_front(std::move(merged));
+  // Global reduction, shared with the shard merge (dse/shard.cpp): see
+  // merge_global_frontier below.
+  rep.frontier = merge_global_frontier(rep.per_spec);
 
   // Static sanity of every surviving frontier point: a frontier entry is
   // what a user will actually implement, so its elaborated netlist gets
@@ -375,32 +377,26 @@ SweepReport run_sweep(const cell::Library& lib,
   // frontier is small) and pure, keeping the report thread-count
   // independent.
   if (opt.lint_frontier && !rep.cancelled) {
-    OBS_SPAN("dse.frontier.lint");
-    for (FrontierPoint& fp : rep.frontier) {
-      const rtlgen::MacroDesign macro = [&] {
-        obs::PhaseScope phase(fp.timeline, "rtlgen");
-        return rtlgen::gen_macro(fp.point.cfg, &store->modules);
-      }();
-      const netlist::FlatNetlist flat = [&] {
-        obs::PhaseScope phase(fp.timeline, "map");
-        // Stitch pre-flattened subcircuit blocks (byte-identical to a
-        // monolithic flatten; the search above already populated the
-        // block tier with this point's subcircuits).
-        return std::move(
-            netlist::stitch_flatten(macro.design, macro.top, &store->blocks)
-                .nl);
-      }();
-      obs::PhaseScope phase(fp.timeline, "lint");
-      core::DiagEngine diag;
-      const lint::LintSummary s = lint::lint_netlist(flat, lib, diag);
-      fp.lint_errors = static_cast<int>(s.errors);
-      fp.lint_warnings = static_cast<int>(s.warnings);
-    }
+    lint_frontier_points(lib, rep.frontier, *store);
   }
 
   if (opt.use_cache && opt.shared_eval_cache == nullptr &&
       !opt.cache_path.empty()) {
-    (void)cache.save_json(opt.cache_path);
+    if (!cache.save_json(opt.cache_path)) {
+      ++rep.cache_save_fails;
+      if (opt.diag != nullptr) {
+        opt.diag->warning("CACHE-SAVEFAIL",
+                          "failed to persist evaluation cache",
+                          opt.cache_path);
+      }
+    }
+  }
+  if (disk != nullptr) {
+    // Drain makes the run durable: dirty L1 entries become L2 objects,
+    // so the next invocation (or another shard) starts warm.
+    store->flush_l2();
+    if (opt.diag != nullptr) disk->drain_diags(*opt.diag);
+    rep.store_json = disk->stats_json();
   }
   rep.cache = cache_deltas(cache_before, cache.stats());
   rep.artifacts = tier_deltas(store_before, store->stats());
@@ -432,6 +428,56 @@ SweepReport run_sweep(const cell::Library& lib,
         .set(static_cast<double>(t.entries));
   }
   return rep;
+}
+
+std::vector<FrontierPoint> merge_global_frontier(
+    const std::vector<SpecResult>& per_spec) {
+  // Merge the shard fronts, dropping duplicate (config, timing-knob)
+  // evaluations (specs differing only in PPA preference explore
+  // identical points), then re-filter dominance over the union.
+  std::vector<FrontierPoint> merged;
+  std::unordered_set<std::string> seen;
+  for (std::size_t i = 0; i < per_spec.size(); ++i) {
+    for (const core::DesignPoint& p : per_spec[i].result.pareto) {
+      const std::string key = canonical_config_key(p.cfg) + "|" +
+                              canonical_spec_knobs_key(per_spec[i].spec);
+      if (!seen.insert(key).second) continue;
+      FrontierPoint fp;
+      fp.point = p;
+      fp.spec_index = i;
+      // The id hashes exactly the dedup key above, so identical
+      // evaluations share an id across sweeps and thread counts.
+      fp.point_id = frontier_point_id(p.cfg, per_spec[i].spec);
+      merged.push_back(std::move(fp));
+    }
+  }
+  return global_front(std::move(merged));
+}
+
+void lint_frontier_points(const cell::Library& lib,
+                          std::vector<FrontierPoint>& frontier,
+                          core::ArtifactStore& store) {
+  OBS_SPAN("dse.frontier.lint");
+  for (FrontierPoint& fp : frontier) {
+    const rtlgen::MacroDesign macro = [&] {
+      obs::PhaseScope phase(fp.timeline, "rtlgen");
+      return rtlgen::gen_macro(fp.point.cfg, &store.modules);
+    }();
+    const netlist::FlatNetlist flat = [&] {
+      obs::PhaseScope phase(fp.timeline, "map");
+      // Stitch pre-flattened subcircuit blocks (byte-identical to a
+      // monolithic flatten; a search that ran in this process already
+      // populated the block tier with this point's subcircuits).
+      return std::move(
+          netlist::stitch_flatten(macro.design, macro.top, &store.blocks)
+              .nl);
+    }();
+    obs::PhaseScope phase(fp.timeline, "lint");
+    core::DiagEngine diag;
+    const lint::LintSummary s = lint::lint_netlist(flat, lib, diag);
+    fp.lint_errors = static_cast<int>(s.errors);
+    fp.lint_warnings = static_cast<int>(s.warnings);
+  }
 }
 
 std::uint64_t SweepReport::artifact_hits() const {
@@ -484,7 +530,8 @@ std::string sweep_report_json(const SweepReport& r) {
      << ", \"miss_eval_ms\": " << jnum(r.cache.miss_eval_ms)
      << ", \"entries\": " << r.cache.entries
      << ", \"loaded\": " << r.cache.loaded
-     << ", \"rejected\": " << r.cache.rejected << "}"
+     << ", \"rejected\": " << r.cache.rejected
+     << ", \"save_fails\": " << r.cache_save_fails << "}"
      << ",\n  \"artifacts\": {\"hits\": " << r.artifact_hits()
      << ", \"misses\": " << r.artifact_misses() << ", \"tiers\": [";
   for (std::size_t i = 0; i < r.artifacts.size(); ++i) {
@@ -492,10 +539,14 @@ std::string sweep_report_json(const SweepReport& r) {
     if (i) os << ", ";
     os << "{\"name\": \"" << t.name << "\", \"hits\": " << t.hits
        << ", \"misses\": " << t.misses << ", \"entries\": " << t.entries
-       << ", \"evicted\": " << t.evicted << "}";
+       << ", \"evicted\": " << t.evicted << ", \"l2_hits\": " << t.l2_hits
+       << ", \"l2_misses\": " << t.l2_misses
+       << ", \"l2_writes\": " << t.l2_writes
+       << ", \"l2_rejects\": " << t.l2_rejects << "}";
   }
-  os << "]}"
-     << ",\n  \"per_spec\": [\n";
+  os << "]}";
+  if (!r.store_json.empty()) os << ",\n  \"store\": " << r.store_json;
+  os << ",\n  \"per_spec\": [\n";
   for (std::size_t i = 0; i < r.per_spec.size(); ++i) {
     const SpecResult& sr = r.per_spec[i];
     if (i) os << ",\n";

@@ -66,6 +66,23 @@ struct SweepOptions {
   /// set — partial results, not an exception, so interrupted batch runs
   /// can still flush their reports.
   const core::CancelToken* cancel = nullptr;
+  /// Durable on-disk artifact store directory (core::DiskBlobStore).
+  /// When set (and no shared_store is adopted), the sweep's artifact
+  /// store reads through and writes back to this directory, so a second
+  /// invocation over the same grid starts warm — and concurrent shard
+  /// processes share it as their common cache. Empty = in-memory only.
+  std::string store_dir;
+  /// Deterministic multi-process partition of the spec grid: this run
+  /// evaluates only the specs whose global index i satisfies
+  /// i % shard_count == shard_index (see dse/shard.hpp). Spec indices
+  /// stay global, so shard results merge byte-identically to a
+  /// single-process run. shard_count <= 1 = no sharding.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Sink for persistence findings (CACHE-SAVEFAIL when the eval-cache
+  /// JSON cannot be written, CACHE-* from the on-disk store). nullptr =
+  /// counted in the report but not reported as diagnostics.
+  core::DiagEngine* diag = nullptr;
 };
 
 /// One spec's complete search outcome inside the sweep.
@@ -115,6 +132,12 @@ struct SweepReport {
   /// the frontier cover only the tasks that finished, and the frontier
   /// was not linted.
   bool cancelled = false;
+  /// Eval-cache persistence failures (save_json returning false); also
+  /// reported as CACHE-SAVEFAIL through SweepOptions::diag.
+  std::size_t cache_save_fails = 0;
+  /// On-disk store statistics JSON (DiskBlobStore::stats_json) when
+  /// SweepOptions::store_dir was used; empty otherwise.
+  std::string store_json;
 
   [[nodiscard]] std::uint64_t artifact_hits() const;
   [[nodiscard]] std::uint64_t artifact_misses() const;
@@ -128,6 +151,21 @@ struct SweepReport {
 [[nodiscard]] SweepReport run_sweep(const cell::Library& lib,
                                     const std::vector<core::PerfSpec>& specs,
                                     const SweepOptions& opt = {});
+
+/// Global reduction shared by run_sweep and dse::merge_shards: merges
+/// the per-spec Pareto fronts in global spec order, drops duplicate
+/// (config, timing-knob) evaluations, then dominance-filters over the
+/// union. Pure function of `per_spec` — the shard-merge determinism
+/// argument rests on both callers funneling through this.
+[[nodiscard]] std::vector<FrontierPoint> merge_global_frontier(
+    const std::vector<SpecResult>& per_spec);
+
+/// The sequential frontier lint run_sweep performs (rtlgen → stitch →
+/// lint per point, deterministic order); fills lint_errors/lint_warnings
+/// and per-point timelines. Shared with dse::merge_shards.
+void lint_frontier_points(const cell::Library& lib,
+                          std::vector<FrontierPoint>& frontier,
+                          core::ArtifactStore& store);
 
 /// Content id of one (config, spec) evaluation — see
 /// FrontierPoint::point_id.

@@ -1,0 +1,156 @@
+#include "layout/serialize.hpp"
+
+#include "core/binio.hpp"
+
+namespace syndcim::layout {
+
+using core::BinDecodeError;
+using core::BinReader;
+using core::BinWriter;
+using core::deep_str_bytes;
+using core::deep_vec_bytes;
+
+namespace {
+
+constexpr std::uint8_t kFloorplanVersion = 1;
+constexpr std::uint8_t kDrcVersion = 1;
+constexpr std::uint8_t kLvsVersion = 1;
+
+void encode_rect(BinWriter& w, const Rect& r) {
+  w.f64(r.x);
+  w.f64(r.y);
+  w.f64(r.w);
+  w.f64(r.h);
+}
+
+Rect decode_rect(BinReader& r) {
+  Rect out;
+  out.x = r.f64();
+  out.y = r.f64();
+  out.w = r.f64();
+  out.h = r.f64();
+  return out;
+}
+
+void encode_string_list(BinWriter& w, const std::vector<std::string>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const std::string& s : v) w.str(s);
+}
+
+std::vector<std::string> decode_string_list(BinReader& r) {
+  const std::uint32_t n = r.len(4);
+  std::vector<std::string> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(r.str());
+  return v;
+}
+
+std::size_t string_list_bytes(const std::vector<std::string>& v) {
+  std::size_t n = deep_vec_bytes(v);
+  for (const std::string& s : v) n += deep_str_bytes(s);
+  return n;
+}
+
+}  // namespace
+
+std::string encode_floorplan(const Floorplan& fp) {
+  BinWriter w;
+  w.u8(kFloorplanVersion);
+  encode_rect(w, fp.outline);
+  w.u32(static_cast<std::uint32_t>(fp.gate_rects.size()));
+  for (const Rect& r : fp.gate_rects) encode_rect(w, r);
+  w.u32(static_cast<std::uint32_t>(fp.placed.size()));
+  for (const std::uint8_t p : fp.placed) w.u8(p);
+  w.f64(fp.utilization);
+  w.f64(fp.wirelength_um);
+  w.u32(static_cast<std::uint32_t>(fp.regions.size()));
+  for (const Floorplan::Region& reg : fp.regions) {
+    w.str(reg.name);
+    encode_rect(w, reg.rect);
+  }
+  return w.take();
+}
+
+Floorplan decode_floorplan(std::string_view payload) {
+  BinReader r(payload);
+  if (r.u8() != kFloorplanVersion) {
+    throw BinDecodeError("unsupported codec version for floorplan");
+  }
+  Floorplan fp;
+  fp.outline = decode_rect(r);
+  const std::uint32_t n_rects = r.len(32);
+  fp.gate_rects.reserve(n_rects);
+  for (std::uint32_t i = 0; i < n_rects; ++i) {
+    fp.gate_rects.push_back(decode_rect(r));
+  }
+  const std::uint32_t n_placed = r.len(1);
+  fp.placed.reserve(n_placed);
+  for (std::uint32_t i = 0; i < n_placed; ++i) fp.placed.push_back(r.u8());
+  fp.utilization = r.f64();
+  fp.wirelength_um = r.f64();
+  const std::uint32_t n_regions = r.len(36);
+  fp.regions.reserve(n_regions);
+  for (std::uint32_t i = 0; i < n_regions; ++i) {
+    Floorplan::Region reg;
+    reg.name = r.str();
+    reg.rect = decode_rect(r);
+    fp.regions.push_back(std::move(reg));
+  }
+  r.expect_end();
+  return fp;
+}
+
+std::string encode_drc_report(const DrcReport& drc) {
+  BinWriter w;
+  w.u8(kDrcVersion);
+  encode_string_list(w, drc.violations);
+  return w.take();
+}
+
+DrcReport decode_drc_report(std::string_view payload) {
+  BinReader r(payload);
+  if (r.u8() != kDrcVersion) {
+    throw BinDecodeError("unsupported codec version for drc report");
+  }
+  DrcReport drc;
+  drc.violations = decode_string_list(r);
+  r.expect_end();
+  return drc;
+}
+
+std::string encode_lvs_report(const LvsReport& lvs) {
+  BinWriter w;
+  w.u8(kLvsVersion);
+  encode_string_list(w, lvs.mismatches);
+  return w.take();
+}
+
+LvsReport decode_lvs_report(std::string_view payload) {
+  BinReader r(payload);
+  if (r.u8() != kLvsVersion) {
+    throw BinDecodeError("unsupported codec version for lvs report");
+  }
+  LvsReport lvs;
+  lvs.mismatches = decode_string_list(r);
+  r.expect_end();
+  return lvs;
+}
+
+std::size_t deep_bytes(const Floorplan& fp) {
+  std::size_t n = deep_vec_bytes(fp.gate_rects) + deep_vec_bytes(fp.placed) +
+                  deep_vec_bytes(fp.regions);
+  for (const Floorplan::Region& reg : fp.regions) {
+    n += deep_str_bytes(reg.name);
+  }
+  return n;
+}
+
+std::size_t deep_bytes(const DrcReport& drc) {
+  return string_list_bytes(drc.violations);
+}
+
+std::size_t deep_bytes(const LvsReport& lvs) {
+  return string_list_bytes(lvs.mismatches);
+}
+
+}  // namespace syndcim::layout

@@ -1,0 +1,27 @@
+#pragma once
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "layout/floorplan.hpp"
+
+namespace syndcim::layout {
+
+// Stable binary codecs for the layout artifact payloads (placed tier;
+// Drc/Lvs ride inside the route artifact). Fixed little-endian layout
+// with bit-exact doubles; decoders throw core::BinDecodeError.
+
+[[nodiscard]] std::string encode_floorplan(const Floorplan& fp);
+[[nodiscard]] Floorplan decode_floorplan(std::string_view payload);
+
+[[nodiscard]] std::string encode_drc_report(const DrcReport& drc);
+[[nodiscard]] DrcReport decode_drc_report(std::string_view payload);
+
+[[nodiscard]] std::string encode_lvs_report(const LvsReport& lvs);
+[[nodiscard]] LvsReport decode_lvs_report(std::string_view payload);
+
+[[nodiscard]] std::size_t deep_bytes(const Floorplan& fp);
+[[nodiscard]] std::size_t deep_bytes(const DrcReport& drc);
+[[nodiscard]] std::size_t deep_bytes(const LvsReport& lvs);
+
+}  // namespace syndcim::layout

@@ -1,0 +1,39 @@
+#include "lint/serialize.hpp"
+
+#include "core/binio.hpp"
+
+namespace syndcim::lint {
+
+using core::BinDecodeError;
+using core::BinReader;
+using core::BinWriter;
+
+namespace {
+constexpr std::uint8_t kLintVersion = 1;
+}  // namespace
+
+std::string encode_lint_summary(const LintSummary& s) {
+  BinWriter w;
+  w.u8(kLintVersion);
+  w.u64(s.errors);
+  w.u64(s.warnings);
+  w.u64(s.notes);
+  return w.take();
+}
+
+LintSummary decode_lint_summary(std::string_view payload) {
+  BinReader r(payload);
+  if (r.u8() != kLintVersion) {
+    throw BinDecodeError("unsupported codec version for lint summary");
+  }
+  LintSummary s;
+  s.errors = static_cast<std::size_t>(r.u64());
+  s.warnings = static_cast<std::size_t>(r.u64());
+  s.notes = static_cast<std::size_t>(r.u64());
+  r.expect_end();
+  return s;
+}
+
+std::size_t deep_bytes(const LintSummary&) { return 0; }
+
+}  // namespace syndcim::lint

@@ -1,0 +1,18 @@
+#pragma once
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "lint/lint.hpp"
+
+namespace syndcim::lint {
+
+// Stable binary codec for the lint summary payload (rides inside the
+// lints composite artifact). Decoder throws core::BinDecodeError.
+
+[[nodiscard]] std::string encode_lint_summary(const LintSummary& s);
+[[nodiscard]] LintSummary decode_lint_summary(std::string_view payload);
+
+[[nodiscard]] std::size_t deep_bytes(const LintSummary& s);
+
+}  // namespace syndcim::lint

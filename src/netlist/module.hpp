@@ -90,6 +90,21 @@ class Module {
   /// Number of cell instances (excluding submodule instances).
   [[nodiscard]] std::size_t cell_count() const;
 
+  // --- raw restore (artifact decode only; see netlist/serialize.hpp) ---
+  // These rebuild state the constructive API cannot reach: ties on
+  // arbitrary nets, ports aliasing an existing net, and the lazily
+  // allocated const-net ids.
+  void restore_net_tie(NetId id, NetConst tie) { nets_.at(id.v).tie = tie; }
+  void restore_port(std::string name, PortDir dir, NetId net) {
+    ports_.push_back(Port{std::move(name), dir, net});
+  }
+  void restore_consts(NetId c0, NetId c1) {
+    const0_ = c0;
+    const1_ = c1;
+  }
+  [[nodiscard]] NetId const0_id() const { return const0_; }
+  [[nodiscard]] NetId const1_id() const { return const1_; }
+
  private:
   std::string name_;
   std::vector<Net> nets_;

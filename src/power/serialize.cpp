@@ -1,0 +1,177 @@
+#include "power/serialize.hpp"
+
+#include "core/binio.hpp"
+
+namespace syndcim::power {
+
+using core::BinDecodeError;
+using core::BinReader;
+using core::BinWriter;
+using core::deep_str_bytes;
+using core::deep_vec_bytes;
+
+namespace {
+
+constexpr std::uint8_t kActivityVersion = 1;
+constexpr std::uint8_t kGroupActivityVersion = 1;
+constexpr std::uint8_t kPowerVersion = 1;
+constexpr std::uint8_t kAreaVersion = 1;
+
+void encode_doubles(BinWriter& w, const std::vector<double>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const double d : v) w.f64(d);
+}
+
+std::vector<double> decode_doubles(BinReader& r) {
+  const std::uint32_t n = r.len(8);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(r.f64());
+  return v;
+}
+
+}  // namespace
+
+std::string encode_activity_model(const ActivityModel& m) {
+  BinWriter w;
+  w.u8(kActivityVersion);
+  encode_doubles(w, m.toggle_rate);
+  encode_doubles(w, m.p_one);
+  return w.take();
+}
+
+ActivityModel decode_activity_model(std::string_view payload) {
+  BinReader r(payload);
+  if (r.u8() != kActivityVersion) {
+    throw BinDecodeError("unsupported codec version for activity model");
+  }
+  ActivityModel m;
+  m.toggle_rate = decode_doubles(r);
+  m.p_one = decode_doubles(r);
+  r.expect_end();
+  return m;
+}
+
+std::string encode_group_activity(const GroupActivityArtifact& a) {
+  BinWriter w;
+  w.u8(kGroupActivityVersion);
+  w.u32(static_cast<std::uint32_t>(a.driven.size()));
+  for (const auto& [p1, toggle] : a.driven) {
+    w.f64(p1);
+    w.f64(toggle);
+  }
+  return w.take();
+}
+
+GroupActivityArtifact decode_group_activity(std::string_view payload) {
+  BinReader r(payload);
+  if (r.u8() != kGroupActivityVersion) {
+    throw BinDecodeError("unsupported codec version for group activity");
+  }
+  GroupActivityArtifact a;
+  const std::uint32_t n = r.len(16);
+  a.driven.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double p1 = r.f64();
+    const double toggle = r.f64();
+    a.driven.emplace_back(p1, toggle);
+  }
+  r.expect_end();
+  return a;
+}
+
+std::string encode_power_report(const PowerReport& p) {
+  BinWriter w;
+  w.u8(kPowerVersion);
+  w.f64(p.switching_uw);
+  w.f64(p.internal_uw);
+  w.f64(p.clock_uw);
+  w.f64(p.leakage_uw);
+  w.u32(static_cast<std::uint32_t>(p.by_group.size()));
+  for (const GroupPower& g : p.by_group) {
+    w.str(g.group);
+    w.f64(g.dynamic_uw);
+    w.f64(g.leakage_uw);
+  }
+  return w.take();
+}
+
+PowerReport decode_power_report(std::string_view payload) {
+  BinReader r(payload);
+  if (r.u8() != kPowerVersion) {
+    throw BinDecodeError("unsupported codec version for power report");
+  }
+  PowerReport p;
+  p.switching_uw = r.f64();
+  p.internal_uw = r.f64();
+  p.clock_uw = r.f64();
+  p.leakage_uw = r.f64();
+  const std::uint32_t n = r.len(20);
+  p.by_group.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    GroupPower g;
+    g.group = r.str();
+    g.dynamic_uw = r.f64();
+    g.leakage_uw = r.f64();
+    p.by_group.push_back(std::move(g));
+  }
+  r.expect_end();
+  return p;
+}
+
+std::string encode_area_report(const AreaReport& a) {
+  BinWriter w;
+  w.u8(kAreaVersion);
+  w.f64(a.total_um2);
+  w.f64(a.bitcell_um2);
+  w.f64(a.logic_um2);
+  w.u32(static_cast<std::uint32_t>(a.by_group.size()));
+  for (const GroupArea& g : a.by_group) {
+    w.str(g.group);
+    w.f64(g.area_um2);
+  }
+  return w.take();
+}
+
+AreaReport decode_area_report(std::string_view payload) {
+  BinReader r(payload);
+  if (r.u8() != kAreaVersion) {
+    throw BinDecodeError("unsupported codec version for area report");
+  }
+  AreaReport a;
+  a.total_um2 = r.f64();
+  a.bitcell_um2 = r.f64();
+  a.logic_um2 = r.f64();
+  const std::uint32_t n = r.len(12);
+  a.by_group.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    GroupArea g;
+    g.group = r.str();
+    g.area_um2 = r.f64();
+    a.by_group.push_back(std::move(g));
+  }
+  r.expect_end();
+  return a;
+}
+
+std::size_t deep_bytes(const ActivityModel& m) {
+  return deep_vec_bytes(m.toggle_rate) + deep_vec_bytes(m.p_one);
+}
+
+std::size_t deep_bytes(const GroupActivityArtifact& a) {
+  return deep_vec_bytes(a.driven);
+}
+
+std::size_t deep_bytes(const PowerReport& p) {
+  std::size_t n = deep_vec_bytes(p.by_group);
+  for (const GroupPower& g : p.by_group) n += deep_str_bytes(g.group);
+  return n;
+}
+
+std::size_t deep_bytes(const AreaReport& a) {
+  std::size_t n = deep_vec_bytes(a.by_group);
+  for (const GroupArea& g : a.by_group) n += deep_str_bytes(g.group);
+  return n;
+}
+
+}  // namespace syndcim::power

@@ -1,0 +1,36 @@
+#pragma once
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "power/activity.hpp"
+#include "power/power.hpp"
+
+namespace syndcim::power {
+
+// Stable binary codecs for the sim/power artifact payloads (activity and
+// act_models tiers; Power/Area reports ride inside the powers composite).
+// Doubles are raw IEEE-754 bit patterns — a replayed activity model is
+// bit-identical to the propagated one. Decoders throw
+// core::BinDecodeError.
+
+[[nodiscard]] std::string encode_activity_model(const ActivityModel& m);
+[[nodiscard]] ActivityModel decode_activity_model(std::string_view payload);
+
+[[nodiscard]] std::string encode_group_activity(
+    const GroupActivityArtifact& a);
+[[nodiscard]] GroupActivityArtifact decode_group_activity(
+    std::string_view payload);
+
+[[nodiscard]] std::string encode_power_report(const PowerReport& p);
+[[nodiscard]] PowerReport decode_power_report(std::string_view payload);
+
+[[nodiscard]] std::string encode_area_report(const AreaReport& a);
+[[nodiscard]] AreaReport decode_area_report(std::string_view payload);
+
+[[nodiscard]] std::size_t deep_bytes(const ActivityModel& m);
+[[nodiscard]] std::size_t deep_bytes(const GroupActivityArtifact& a);
+[[nodiscard]] std::size_t deep_bytes(const PowerReport& p);
+[[nodiscard]] std::size_t deep_bytes(const AreaReport& a);
+
+}  // namespace syndcim::power

@@ -101,6 +101,10 @@ Server::Server(const cell::Library& lib, ServerOptions opt)
   if (opt_.artifact_max_entries > 0 || opt_.artifact_max_bytes > 0) {
     store_->set_capacity(opt_.artifact_max_entries, opt_.artifact_max_bytes);
   }
+  if (!opt_.store_dir.empty()) {
+    disk_ = std::make_unique<core::DiskBlobStore>(opt_.store_dir);
+    store_->attach_blob_store(disk_.get());
+  }
 }
 
 Server::~Server() {
@@ -610,6 +614,8 @@ std::string Server::handle_metrics() {
   std::ostringstream os;
   os << "{\"metrics_json\": \"" << json_escape(obs::metrics().to_json())
      << "\", \"artifact_store_json\": \"" << json_escape(store_->stats_json())
+     << "\", \"blob_store_json\": \""
+     << json_escape(disk_ != nullptr ? disk_->stats_json() : std::string())
      << "\"}";
   return os.str();
 }
@@ -629,6 +635,26 @@ std::string Server::handle_status() {
   }
   const double uptime_ms =
       static_cast<double>(obs::now_ns() - start_ns_) / 1e6;
+  std::uint64_t l2_hits = 0, l2_misses = 0, l2_writes = 0;
+  for (const core::ArtifactTierStats& t : store_->stats()) {
+    l2_hits += t.l2_hits;
+    l2_misses += t.l2_misses;
+    l2_writes += t.l2_writes;
+  }
+  std::ostringstream store_json;
+  store_json << "{\"attached\": " << bool_json(disk_ != nullptr)
+             << ", \"l2_hits\": " << l2_hits << ", \"l2_misses\": " << l2_misses
+             << ", \"l2_writes\": " << l2_writes;
+  if (disk_ != nullptr) {
+    const core::DiskStoreStats ds = disk_->stats();
+    store_json << ", \"root\": \"" << json_escape(disk_->root())
+               << "\", \"usable\": " << bool_json(disk_->usable())
+               << ", \"objects_read\": " << ds.objects_read
+               << ", \"objects_written\": " << ds.objects_written
+               << ", \"bytes_read\": " << ds.bytes_read
+               << ", \"bytes_written\": " << ds.bytes_written;
+  }
+  store_json << "}";
   std::ostringstream os;
   os << "{\"proto\": \"" << kProtoName << "\", \"version\": " << kProtoVersion
      << ", \"uptime_ms\": " << json_number(uptime_ms)
@@ -644,7 +670,8 @@ std::string Server::handle_status() {
      << ", \"artifact_hits\": " << store_->total_hits()
      << ", \"artifact_misses\": " << store_->total_misses()
      << ", \"artifact_evicted\": " << store_->total_evicted()
-     << ", \"eval_entries\": " << eval_cache_.size() << "}";
+     << ", \"eval_entries\": " << eval_cache_.size()
+     << ", \"store\": " << store_json.str() << "}";
   return os.str();
 }
 
@@ -703,7 +730,12 @@ void Server::drain() {
     if (c->reader.joinable()) c->reader.join();
   }
 
-  // 4. Flush observability artifacts — the drain path shared with the
+  // 4. Flush every dirty artifact to the durable store — no worker runs
+  //    anymore, so this is the single-threaded write-back point that
+  //    makes the next daemon start warm.
+  if (disk_ != nullptr) (void)store_->flush_l2();
+
+  // 5. Flush observability artifacts — the drain path shared with the
   //    batch CLI's signal handling.
   if (!opt_.trace_path.empty()) (void)obs::tracer().save(opt_.trace_path);
   if (!opt_.metrics_path.empty()) {

@@ -29,6 +29,7 @@
 
 #include "cell/library.hpp"
 #include "core/cancel.hpp"
+#include "core/diskstore.hpp"
 #include "core/stage.hpp"
 #include "dse/eval_cache.hpp"
 #include "dse/pool.hpp"
@@ -54,6 +55,12 @@ struct ServerOptions {
   double default_deadline_ms = 0;
   std::string trace_path;    ///< Chrome trace JSON flushed on drain
   std::string metrics_path;  ///< metrics registry JSON flushed on drain
+  /// Durable artifact store directory (core::DiskBlobStore). When set,
+  /// the process-wide ArtifactStore reads through and writes back to it:
+  /// a restarted daemon answers its first repeated request from L2
+  /// instead of recomputing. Drain flushes every dirty artifact before
+  /// exit. Empty = in-memory only (restarts are cold).
+  std::string store_dir;
 };
 
 class Server {
@@ -93,6 +100,9 @@ class Server {
   /// The process-wide artifact store (test/introspection hook).
   [[nodiscard]] core::ArtifactStore& store() { return *store_; }
   [[nodiscard]] dse::EvalCache& eval_cache() { return eval_cache_; }
+  /// The durable L2 blob store, or nullptr when no store_dir was given
+  /// (test/introspection hook).
+  [[nodiscard]] core::DiskBlobStore* blob_store() { return disk_.get(); }
 
  private:
   struct Connection {
@@ -139,6 +149,7 @@ class Server {
   const cell::Library& lib_;
   ServerOptions opt_;
   std::shared_ptr<core::ArtifactStore> store_;
+  std::unique_ptr<core::DiskBlobStore> disk_;
   dse::EvalCache eval_cache_;
   SingleFlight flight_;
   std::unique_ptr<dse::WorkStealingPool> pool_;

@@ -1,0 +1,164 @@
+#include "sta/serialize.hpp"
+
+#include "core/binio.hpp"
+
+namespace syndcim::sta {
+
+using core::BinDecodeError;
+using core::BinReader;
+using core::BinWriter;
+using core::deep_str_bytes;
+using core::deep_vec_bytes;
+
+namespace {
+
+constexpr std::uint8_t kWireVersion = 1;
+constexpr std::uint8_t kTimingVersion = 1;
+
+void encode_arcs(BinWriter& w, const std::vector<BoundaryArc>& arcs) {
+  w.u32(static_cast<std::uint32_t>(arcs.size()));
+  for (const BoundaryArc& a : arcs) {
+    w.str(a.net);
+    w.f64(a.arrival_ps);
+    w.f64(a.slew_ps);
+  }
+}
+
+std::vector<BoundaryArc> decode_arcs(BinReader& r) {
+  const std::uint32_t n = r.len(20);
+  std::vector<BoundaryArc> arcs;
+  arcs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BoundaryArc a;
+    a.net = r.str();
+    a.arrival_ps = r.f64();
+    a.slew_ps = r.f64();
+    arcs.push_back(std::move(a));
+  }
+  return arcs;
+}
+
+}  // namespace
+
+std::string encode_wire_model(const WireModel& wm) {
+  BinWriter w;
+  w.u8(kWireVersion);
+  w.f64(wm.cap_per_fanout_ff);
+  w.u32(static_cast<std::uint32_t>(wm.per_net_cap_ff.size()));
+  for (const double c : wm.per_net_cap_ff) w.f64(c);
+  return w.take();
+}
+
+WireModel decode_wire_model(std::string_view payload) {
+  BinReader r(payload);
+  if (r.u8() != kWireVersion) {
+    throw BinDecodeError("unsupported codec version for wire model");
+  }
+  WireModel wm;
+  wm.cap_per_fanout_ff = r.f64();
+  const std::uint32_t n = r.len(8);
+  wm.per_net_cap_ff.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) wm.per_net_cap_ff.push_back(r.f64());
+  r.expect_end();
+  return wm;
+}
+
+std::string encode_timing_report(const TimingReport& t) {
+  BinWriter w;
+  w.u8(kTimingVersion);
+  w.f64(t.wns_ps);
+  w.f64(t.tns_ps);
+  w.f64(t.min_period_ps);
+  w.f64(t.fmax_mhz);
+  w.f64(t.min_write_period_ps);
+  w.u32(static_cast<std::uint32_t>(t.groups.size()));
+  for (const GroupSlack& g : t.groups) {
+    w.str(g.group);
+    w.f64(g.wns_ps);
+    w.f64(g.worst_arrival_ps);
+  }
+  w.u32(static_cast<std::uint32_t>(t.interfaces.size()));
+  for (const GroupInterface& gi : t.interfaces) {
+    w.str(gi.group);
+    encode_arcs(w, gi.inputs);
+    encode_arcs(w, gi.outputs);
+  }
+  w.f64(t.critical.arrival_ps);
+  w.f64(t.critical.required_ps);
+  w.str(t.critical.endpoint);
+  w.u32(static_cast<std::uint32_t>(t.critical.stages.size()));
+  for (const PathStage& s : t.critical.stages) {
+    w.str(s.master);
+    w.str(s.group);
+    w.f64(s.arrival_ps);
+  }
+  return w.take();
+}
+
+TimingReport decode_timing_report(std::string_view payload) {
+  BinReader r(payload);
+  if (r.u8() != kTimingVersion) {
+    throw BinDecodeError("unsupported codec version for timing report");
+  }
+  TimingReport t;
+  t.wns_ps = r.f64();
+  t.tns_ps = r.f64();
+  t.min_period_ps = r.f64();
+  t.fmax_mhz = r.f64();
+  t.min_write_period_ps = r.f64();
+  const std::uint32_t n_groups = r.len(20);
+  t.groups.reserve(n_groups);
+  for (std::uint32_t i = 0; i < n_groups; ++i) {
+    GroupSlack g;
+    g.group = r.str();
+    g.wns_ps = r.f64();
+    g.worst_arrival_ps = r.f64();
+    t.groups.push_back(std::move(g));
+  }
+  const std::uint32_t n_ifaces = r.len(12);
+  t.interfaces.reserve(n_ifaces);
+  for (std::uint32_t i = 0; i < n_ifaces; ++i) {
+    GroupInterface gi;
+    gi.group = r.str();
+    gi.inputs = decode_arcs(r);
+    gi.outputs = decode_arcs(r);
+    t.interfaces.push_back(std::move(gi));
+  }
+  t.critical.arrival_ps = r.f64();
+  t.critical.required_ps = r.f64();
+  t.critical.endpoint = r.str();
+  const std::uint32_t n_stages = r.len(16);
+  t.critical.stages.reserve(n_stages);
+  for (std::uint32_t i = 0; i < n_stages; ++i) {
+    PathStage s;
+    s.master = r.str();
+    s.group = r.str();
+    s.arrival_ps = r.f64();
+    t.critical.stages.push_back(std::move(s));
+  }
+  r.expect_end();
+  return t;
+}
+
+std::size_t deep_bytes(const WireModel& w) {
+  return deep_vec_bytes(w.per_net_cap_ff);
+}
+
+std::size_t deep_bytes(const TimingReport& t) {
+  std::size_t n = deep_vec_bytes(t.groups) + deep_vec_bytes(t.interfaces) +
+                  deep_vec_bytes(t.critical.stages) +
+                  deep_str_bytes(t.critical.endpoint);
+  for (const GroupSlack& g : t.groups) n += deep_str_bytes(g.group);
+  for (const GroupInterface& gi : t.interfaces) {
+    n += deep_str_bytes(gi.group) + deep_vec_bytes(gi.inputs) +
+         deep_vec_bytes(gi.outputs);
+    for (const BoundaryArc& a : gi.inputs) n += deep_str_bytes(a.net);
+    for (const BoundaryArc& a : gi.outputs) n += deep_str_bytes(a.net);
+  }
+  for (const PathStage& s : t.critical.stages) {
+    n += deep_str_bytes(s.master) + deep_str_bytes(s.group);
+  }
+  return n;
+}
+
+}  // namespace syndcim::sta

@@ -1,0 +1,24 @@
+#pragma once
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "sta/sta.hpp"
+
+namespace syndcim::sta {
+
+// Stable binary codecs for the timing artifact payloads (timings tier;
+// WireModel also rides inside the route artifact). Doubles are stored as
+// raw IEEE-754 bit patterns, so a decoded report is bit-identical to the
+// computed one. Decoders throw core::BinDecodeError on bad payloads.
+
+[[nodiscard]] std::string encode_wire_model(const WireModel& w);
+[[nodiscard]] WireModel decode_wire_model(std::string_view payload);
+
+[[nodiscard]] std::string encode_timing_report(const TimingReport& t);
+[[nodiscard]] TimingReport decode_timing_report(std::string_view payload);
+
+[[nodiscard]] std::size_t deep_bytes(const WireModel& w);
+[[nodiscard]] std::size_t deep_bytes(const TimingReport& t);
+
+}  // namespace syndcim::sta

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -374,6 +375,51 @@ TEST(ServeDaemon, SecondIdenticalSweepIsWarm) {
   // Byte-identity also holds cold vs warm.
   EXPECT_EQ(cold.result.find("frontier_json")->as_string(),
             warm.result.find("frontier_json")->as_string());
+  server->drain();
+}
+
+TEST(ServeDaemon, RestartOnStoreDirAnswersWarmFromL2) {
+  const std::string root = ::testing::TempDir() + "syndcim_serve_store";
+  std::filesystem::remove_all(root);
+  serve::ServerOptions opt;
+  opt.store_dir = root;
+
+  // First daemon: cold sweep, then drain (which flushes every dirty
+  // artifact to the durable store).
+  std::string cold_frontier;
+  {
+    auto server = start_server(opt);
+    const serve::ClientResponse cold =
+        call(server->port(), "sweep", small_sweep_params());
+    ASSERT_TRUE(cold.ok) << cold.raw;
+    cold_frontier = cold.result.find("frontier_json")->as_string();
+    server->drain();
+    ASSERT_NE(server->blob_store(), nullptr);
+    EXPECT_GT(server->blob_store()->stats().objects_written, 0u);
+  }
+
+  // Second daemon, same directory: a brand-new process-wide L1, so every
+  // artifact hit on the repeated sweep is served from L2.
+  auto server = start_server(opt);
+  const serve::ClientResponse warm =
+      call(server->port(), "sweep", small_sweep_params());
+  ASSERT_TRUE(warm.ok) << warm.raw;
+  EXPECT_EQ(warm.result.find("frontier_json")->as_string(), cold_frontier);
+  EXPECT_GT(warm.result.find("artifacts")->find("hits")->as_number(), 0.0);
+
+  std::uint64_t l2_hits = 0;
+  for (const core::ArtifactTierStats& t : server->store().stats()) {
+    l2_hits += t.l2_hits;
+  }
+  EXPECT_GT(l2_hits, 0u);
+
+  // The status endpoint reports the durable store.
+  const serve::ClientResponse status =
+      call(server->port(), "status", {});
+  ASSERT_TRUE(status.ok) << status.raw;
+  const serve::JsonValue* store = status.result.find("store");
+  ASSERT_NE(store, nullptr) << status.raw;
+  EXPECT_GT(store->find("l2_hits")->as_number(), 0.0) << status.raw;
   server->drain();
 }
 

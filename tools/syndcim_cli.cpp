@@ -52,6 +52,7 @@
 #include "core/diag.hpp"
 #include "core/report.hpp"
 #include "core/spec.hpp"
+#include "dse/shard.hpp"
 #include "dse/sweep.hpp"
 #include "lint/lint.hpp"
 #include "netlist/verilog_parser.hpp"
@@ -111,7 +112,9 @@ void usage_sweep(std::ostream& os) {
         "               [sweep_mac_mhz=...] [sweep_mcr=...]\n"
         "               [sweep_bits=...] [sweep_pref=...] [--threads N]\n"
         "               [--cache FILE] [--no-cache] [--json FILE]\n"
-        "               [--frontier-json FILE] [common options]\n"
+        "               [--frontier-json FILE] [--store-dir DIR]\n"
+        "               [--shard I/N --shard-out FILE]\n"
+        "               [--merge-shards FILE...] [common options]\n"
         "  options:\n"
         "    --threads N       worker threads (default: hardware)\n"
         "    --cache FILE      warm-start/persist the evaluation cache\n"
@@ -119,6 +122,16 @@ void usage_sweep(std::ostream& os) {
         "    --no-artifact-cache  disable the subcircuit-artifact tier\n"
         "    --json FILE       full sweep report JSON (default: stdout)\n"
         "    --frontier-json FILE  deterministic global-frontier JSON\n"
+        "    --store-dir DIR   durable on-disk artifact store: a repeat\n"
+        "                      sweep over the same grid starts warm, and\n"
+        "                      concurrent shards share it as their cache\n"
+        "    --shard I/N       evaluate only the specs with global grid\n"
+        "                      index == I (mod N); pair with --shard-out\n"
+        "                      and merge the N files with --merge-shards\n"
+        "    --shard-out FILE  write this shard's Pareto sets (binary)\n"
+        "    --merge-shards FILE...  fold shard files into the global\n"
+        "                      frontier (byte-identical to one process\n"
+        "                      sweeping the whole grid); no sweep is run\n"
         "    sweep_mac_mhz=250,350  MAC frequency grid dimension\n"
         "    sweep_mcr=1,2          memory-compute-ratio dimension\n"
         "    sweep_bits=4;8;4,8     precision groups (`;`-separated)\n"
@@ -168,7 +181,8 @@ void usage_serve(std::ostream& os) {
   os << "usage: syndcim serve [--port N] [--host H] [--workers N]\n"
         "               [--queue-cap N] [--sweep-threads N] [--max-conn N]\n"
         "               [--cache-cap-entries N] [--cache-cap-bytes N]\n"
-        "               [--deadline-ms N] [common options]\n"
+        "               [--deadline-ms N] [--store-dir DIR]\n"
+        "               [common options]\n"
         "  options:\n"
         "    --port N          TCP port (default 0: ephemeral; the bound\n"
         "                      port is printed as `port=N` on stdout)\n"
@@ -183,6 +197,9 @@ void usage_serve(std::ostream& os) {
         "                      (0 = unlimited; LRU eviction past it)\n"
         "    --cache-cap-bytes N    per-tier artifact cache byte cap\n"
         "    --deadline-ms N   default per-request deadline (0 = none)\n"
+        "    --store-dir DIR   durable on-disk artifact store; a\n"
+        "                      restarted daemon answers repeated requests\n"
+        "                      warm (dirty artifacts flushed on drain)\n"
      << kCommonOptions
      << "  the daemon serves syndcim-serve v1 (newline-delimited JSON;\n"
         "  methods compile/sweep/lint/metrics/status/shutdown) until\n"
@@ -232,10 +249,59 @@ void read_spec_file(const std::string& path,
 /// options already stripped by main().
 using Args = std::vector<std::string>;
 
+/// Shared tail of the sweep and merge-shards paths: frontier table on
+/// stderr, report/frontier JSON files, buffered CACHE-* findings, and the
+/// feasibility exit status.
+int emit_sweep_outputs(const dse::SweepReport& rep,
+                       const std::string& json_path,
+                       const std::string& frontier_path,
+                       const core::DiagEngine& diag) {
+  core::TextTable t({"spec", "MHz", "mcr", "label", "power_uW", "area_um2",
+                     "fmax_MHz"});
+  for (const dse::FrontierPoint& fp : rep.frontier) {
+    const core::PerfSpec& s = rep.per_spec[fp.spec_index].spec;
+    t.add_row({std::to_string(fp.spec_index),
+               core::TextTable::num(s.mac_freq_mhz, 0),
+               std::to_string(s.mcr), fp.point.label,
+               core::TextTable::num(fp.point.ppa.power_uw, 0),
+               core::TextTable::num(fp.point.ppa.area_um2, 0),
+               core::TextTable::num(fp.point.ppa.fmax_mhz, 0)});
+  }
+  t.print(std::cerr);
+
+  for (const core::Diagnostic& d : diag.diags()) {
+    std::cerr << core::severity_name(d.severity) << " [" << d.rule << "] "
+              << d.message << " (" << d.object << ")\n";
+  }
+  if (!rep.store_json.empty()) {
+    std::cerr << "store: " << rep.store_json << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    f << dse::sweep_report_json(rep);
+    std::cerr << "wrote " << json_path << "\n";
+  } else {
+    std::cout << dse::sweep_report_json(rep);
+  }
+  if (!frontier_path.empty()) {
+    std::ofstream f(frontier_path);
+    f << dse::sweep_frontier_json(rep);
+    std::cerr << "wrote " << frontier_path << "\n";
+  }
+  bool any_feasible = false;
+  for (const dse::SpecResult& sr : rep.per_spec) {
+    any_feasible = any_feasible || sr.result.feasible();
+  }
+  return any_feasible ? 0 : 1;
+}
+
 int run_sweep_command(const Args& args) {
   std::map<std::string, std::string> kv;
   dse::SweepOptions opt;
-  std::string json_path, frontier_path;
+  std::string json_path, frontier_path, shard_out;
+  bool merge_mode = false;
+  std::vector<std::string> merge_paths;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a == "--help" || a == "-h") {
@@ -261,6 +327,32 @@ int run_sweep_command(const Args& args) {
       json_path = args[++i];
     } else if (a == "--frontier-json" && i + 1 < args.size()) {
       frontier_path = args[++i];
+    } else if (a == "--store-dir" && i + 1 < args.size()) {
+      opt.store_dir = args[++i];
+    } else if (a == "--shard" && i + 1 < args.size()) {
+      const std::string v = args[++i];
+      const auto slash = v.find('/');
+      bool ok = slash != std::string::npos;
+      if (ok) {
+        try {
+          opt.shard_index = std::stoul(v.substr(0, slash));
+          opt.shard_count = std::stoul(v.substr(slash + 1));
+        } catch (const std::exception&) {
+          ok = false;
+        }
+      }
+      if (!ok || opt.shard_count == 0 ||
+          opt.shard_index >= opt.shard_count) {
+        std::cerr << "error: --shard wants I/N with 0 <= I < N, got '" << v
+                  << "'\n";
+        return 2;
+      }
+    } else if (a == "--shard-out" && i + 1 < args.size()) {
+      shard_out = args[++i];
+    } else if (a == "--merge-shards") {
+      merge_mode = true;
+    } else if (merge_mode && a.rfind("--", 0) != 0) {
+      merge_paths.push_back(a);
     } else if (a.find('=') != std::string::npos) {
       const auto eq = a.find('=');
       kv[a.substr(0, eq)] = a.substr(eq + 1);
@@ -271,34 +363,54 @@ int run_sweep_command(const Args& args) {
     }
   }
 
+  if (merge_mode) {
+    if (merge_paths.empty()) {
+      std::cerr << "error: --merge-shards wants shard file paths\n";
+      usage_sweep(std::cerr);
+      return 2;
+    }
+    const auto lib =
+        cell::characterize_default_library(tech::make_default_40nm());
+    core::DiagEngine diag;
+    dse::MergeOptions mopt;
+    mopt.store_dir = opt.store_dir;
+    mopt.diag = &diag;
+    dse::SweepReport rep;
+    try {
+      rep = dse::merge_shards(lib, merge_paths, mopt);
+    } catch (const std::exception& e) {
+      std::cerr << "error: merge-shards: " << e.what() << "\n";
+      return 2;
+    }
+    std::cerr << "merged " << merge_paths.size() << " shard files: "
+              << rep.frontier.size() << " frontier points from "
+              << rep.per_spec.size() << " specs\n";
+    return emit_sweep_outputs(rep, json_path, frontier_path, diag);
+  }
+
   const dse::SweepGrid grid = dse::grid_from_kv(std::move(kv));
   const std::vector<core::PerfSpec> specs = grid.expand();
   // Ctrl-C / SIGTERM trips the process-wide token: the sweep returns
   // early with whatever completed and the reports below still flush.
   opt.cancel = &serve::interrupt_token();
+  core::DiagEngine diag;
+  opt.diag = &diag;
+  // A shard's frontier is partial — the merge lints the real one.
+  if (opt.shard_count > 1) opt.lint_frontier = false;
   std::cerr << "sweep: " << specs.size() << " spec points, threads="
             << (opt.threads > 0 ? opt.threads
                                 : dse::WorkStealingPool::default_threads())
             << ", cache=" << (opt.use_cache ? "on" : "off");
   if (!opt.cache_path.empty()) std::cerr << " (" << opt.cache_path << ")";
+  if (!opt.store_dir.empty()) std::cerr << ", store=" << opt.store_dir;
+  if (opt.shard_count > 1) {
+    std::cerr << ", shard=" << opt.shard_index << "/" << opt.shard_count;
+  }
   std::cerr << "\n";
 
   const auto lib =
       cell::characterize_default_library(tech::make_default_40nm());
   const dse::SweepReport rep = dse::run_sweep(lib, specs, opt);
-
-  core::TextTable t({"spec", "MHz", "mcr", "label", "power_uW", "area_um2",
-                     "fmax_MHz"});
-  for (const dse::FrontierPoint& fp : rep.frontier) {
-    const core::PerfSpec& s = rep.per_spec[fp.spec_index].spec;
-    t.add_row({std::to_string(fp.spec_index),
-               core::TextTable::num(s.mac_freq_mhz, 0),
-               std::to_string(s.mcr), fp.point.label,
-               core::TextTable::num(fp.point.ppa.power_uw, 0),
-               core::TextTable::num(fp.point.ppa.area_um2, 0),
-               core::TextTable::num(fp.point.ppa.fmax_mhz, 0)});
-  }
-  t.print(std::cerr);
 
   // Cache effectiveness and pool behaviour, read back from the metrics
   // registry the sweep published into (`dse.cache.*` / `dse.pool.*`).
@@ -337,28 +449,24 @@ int run_sweep_command(const Args& args) {
   if (!opt.use_artifact_cache) std::cerr << ", tier disabled";
   std::cerr << ")\n";
 
-  if (!json_path.empty()) {
-    std::ofstream f(json_path);
-    f << dse::sweep_report_json(rep);
-    std::cerr << "wrote " << json_path << "\n";
-  } else {
-    std::cout << dse::sweep_report_json(rep);
+  if (!shard_out.empty()) {
+    const dse::ShardResult sr =
+        dse::make_shard_result(specs, rep, opt.shard_index, opt.shard_count);
+    if (!dse::write_shard_file(shard_out, sr)) {
+      std::cerr << "error: cannot write shard file " << shard_out << "\n";
+      return 2;
+    }
+    std::cerr << "wrote " << shard_out << " (" << sr.owned.size() << " of "
+              << specs.size() << " specs)\n";
   }
-  if (!frontier_path.empty()) {
-    std::ofstream f(frontier_path);
-    f << dse::sweep_frontier_json(rep);
-    std::cerr << "wrote " << frontier_path << "\n";
-  }
-  bool any_feasible = false;
-  for (const dse::SpecResult& sr : rep.per_spec) {
-    any_feasible = any_feasible || sr.result.feasible();
-  }
+
+  const int rc = emit_sweep_outputs(rep, json_path, frontier_path, diag);
   if (rep.cancelled && serve::shutdown_signal() != 0) {
     std::cerr << "sweep interrupted (signal " << serve::shutdown_signal()
               << "); partial report written\n";
     return 128 + serve::shutdown_signal();
   }
-  return any_feasible ? 0 : 1;
+  return rc;
 }
 
 /// `syndcim netmap`: map a layer-graph model onto a heterogeneous macro
@@ -798,6 +906,8 @@ int run_serve_command(const Args& args, const std::string& trace_path,
       }
     } else if (a == "--cache-cap-bytes") {
       if (!int_arg("--cache-cap-bytes", &sopt.artifact_max_bytes)) return 2;
+    } else if (a == "--store-dir" && i + 1 < args.size()) {
+      sopt.store_dir = args[++i];
     } else if (a == "--deadline-ms") {
       if (i + 1 >= args.size()) {
         std::cerr << "error: --deadline-ms wants a value\n";
